@@ -1,0 +1,82 @@
+// Reproduces paper FIGURE 3: (a) locality φ as a function of the number of
+// partitions for the five real-graph stand-ins, and (b) the improvement in
+// φ relative to hash partitioning.
+//
+// Expected shapes: φ decays slowly with k and stays high even at large k;
+// hash partitioning's φ ≈ 1/k, so the relative improvement grows roughly
+// linearly with k (paper: up to 250× at k=512).
+#include <cstdio>
+#include <vector>
+
+#include "baselines/hash_partitioner.h"
+#include "bench_util.h"
+#include "spinner/partitioner.h"
+
+namespace spinner::bench {
+namespace {
+
+void Run() {
+  PrintBanner(
+      "FIGURE 3 — locality vs number of partitions (a), improvement over "
+      "hash (b)",
+      "phi decays slowly with k; improvement over hash grows ~linearly in "
+      "k (paper: up to 250x at k=512)");
+  const std::vector<std::string> keys = {"LJ", "G+", "TU", "TW", "FR"};
+  const std::vector<int> ks = {2, 4, 8, 16, 32, 64, 128, 256};
+
+  std::printf("\nFig 3(a): phi per (graph, k)\n%-5s", "k");
+  for (const auto& key : keys) std::printf(" %8s", key.c_str());
+  std::printf("\n");
+
+  // phi[graph][k]
+  std::vector<std::vector<double>> phis(keys.size());
+  std::vector<std::vector<double>> hash_phis(keys.size());
+  for (size_t gi = 0; gi < keys.size(); ++gi) {
+    StandIn stand_in = MakeStandIn(keys[gi]);
+    CsrGraph g = Convert(stand_in.graph);
+    for (int k : ks) {
+      SpinnerConfig config;
+      config.num_partitions = k;
+      SpinnerPartitioner partitioner(config);
+      auto result = partitioner.Partition(g);
+      SPINNER_CHECK(result.ok());
+      phis[gi].push_back(result->metrics.phi);
+
+      HashPartitioner hash;
+      auto hash_labels = hash.Partition(g, k);
+      SPINNER_CHECK(hash_labels.ok());
+      auto hash_metrics = ComputeMetrics(g, *hash_labels, k, 1.05);
+      SPINNER_CHECK(hash_metrics.ok());
+      hash_phis[gi].push_back(hash_metrics->phi);
+    }
+  }
+
+  for (size_t ki = 0; ki < ks.size(); ++ki) {
+    std::printf("%-5d", ks[ki]);
+    for (size_t gi = 0; gi < keys.size(); ++gi) {
+      std::printf(" %8.3f", phis[gi][ki]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFig 3(b): phi improvement over hash partitioning "
+              "(phi_spinner / phi_hash)\n%-5s", "k");
+  for (const auto& key : keys) std::printf(" %8s", key.c_str());
+  std::printf("\n");
+  for (size_t ki = 0; ki < ks.size(); ++ki) {
+    std::printf("%-5d", ks[ki]);
+    for (size_t gi = 0; gi < keys.size(); ++gi) {
+      std::printf(" %8.1f", phis[gi][ki] / hash_phis[gi][ki]);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(shape check: column values in (b) should grow with k)\n");
+}
+
+}  // namespace
+}  // namespace spinner::bench
+
+int main() {
+  spinner::bench::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Reproduces paper FIGURE 4: per-iteration evolution of φ, ρ and score(G)
+// while partitioning (a) the Twitter stand-in and (b) the Yahoo!-web
+// stand-in, with the halting condition disabled (as the paper does for
+// Twitter: 115 iterations, halting would have fired at 41).
+//
+// Expected shapes: ρ drops fast from the unbalanced random start (Twitter
+// starts ~1.67 in the paper) and flattens near 1.05 while φ climbs
+// steadily; score(G) first rises with balance, then follows φ. The web
+// graph converges in far fewer iterations with higher final φ.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "spinner/partitioner.h"
+
+namespace spinner::bench {
+namespace {
+
+/// Returns the iteration at which the halting rule (ε, w) would have
+/// fired, or -1 if it never would.
+int HaltingIteration(const std::vector<IterationPoint>& history,
+                     double epsilon, int window) {
+  double best = -1e300;
+  int streak = 0;
+  for (size_t i = 0; i < history.size(); ++i) {
+    const double improvement = history[i].score - best;
+    best = std::max(best, history[i].score);
+    if (improvement < epsilon) {
+      ++streak;
+    } else {
+      streak = 0;
+    }
+    if (i > 0 && streak >= window) return static_cast<int>(i + 1);
+  }
+  return -1;
+}
+
+void RunOne(const char* title, const std::string& key, int k,
+            int iterations) {
+  StandIn stand_in = MakeStandIn(key);
+  CsrGraph g = Convert(stand_in.graph);
+  std::printf("\n--- %s: k=%d, %d iterations, halting disabled ---\n", title,
+              k, iterations);
+  PrintStandIn(stand_in, g);
+
+  SpinnerConfig config;
+  config.num_partitions = k;
+  config.use_halting = false;
+  config.max_iterations = iterations;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  SPINNER_CHECK(result.ok());
+
+  std::printf("%-5s %-8s %-8s %-10s %-10s\n", "iter", "phi", "rho",
+              "score(G)", "migrations");
+  for (const IterationPoint& pt : result->history) {
+    // Print every iteration early on, then every 5th (long flat tail).
+    if (pt.iteration > 20 && pt.iteration % 5 != 0 &&
+        pt.iteration != static_cast<int>(result->history.size())) {
+      continue;
+    }
+    std::printf("%-5d %-8.3f %-8.3f %-10.4f %-10lld\n", pt.iteration, pt.phi,
+                pt.rho, pt.score,
+                static_cast<long long>(pt.migrations));
+  }
+  const int halt_at = HaltingIteration(result->history, config.halt_epsilon,
+                                       config.halt_window);
+  std::printf("halting rule (eps=%.3f, w=%d) would stop at iteration: %d\n",
+              config.halt_epsilon, config.halt_window, halt_at);
+  std::printf("final: phi=%.3f rho=%.3f\n", result->metrics.phi,
+              result->metrics.rho);
+}
+
+void Run() {
+  PrintBanner("FIGURE 4 — metric evolution across iterations",
+              "rho drops fast to ~c while phi climbs; score rises with "
+              "balance first, then tracks phi; web graph converges faster "
+              "with higher final phi (paper: 73% at iteration 42)");
+  RunOne("Fig 4(a) Twitter stand-in", "TW", 64, 115);
+  RunOne("Fig 4(b) Yahoo! web stand-in", "Y!", 32, 60);
+}
+
+}  // namespace
+}  // namespace spinner::bench
+
+int main() {
+  spinner::bench::Run();
+  return 0;
+}

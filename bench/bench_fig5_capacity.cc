@@ -1,0 +1,85 @@
+// Reproduces paper FIGURE 5: the impact of the additional-capacity
+// parameter c on (a) the achieved balance ρ and (b) convergence speed, on
+// the LiveJournal stand-in for k ∈ {8,16,32,64} and c ∈
+// {1.02, 1.05, 1.10, 1.20}, averaged over repeated runs.
+//
+// Expected shapes: (a) ρ tracks and stays below c on average (ρ ≈ c line);
+// (b) larger c converges in fewer iterations (more migrations allowed per
+// iteration).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "spinner/partitioner.h"
+
+namespace spinner::bench {
+namespace {
+
+void Run() {
+  PrintBanner("FIGURE 5 — impact of additional capacity c",
+              "(a) rho <= c on average with small excursions; (b) iterations "
+              "to converge drop as c grows");
+  StandIn lj = MakeStandIn("LJ");
+  CsrGraph g = Convert(lj.graph);
+  PrintStandIn(lj, g);
+
+  const std::vector<double> cs = {1.02, 1.05, 1.10, 1.20};
+  const std::vector<int> ks = {8, 16, 32, 64};
+  const int kRepetitions = 5;
+
+  std::printf("\nFig 5(a): rho vs c (avg [min..max] over %d seeds, all k)\n",
+              kRepetitions);
+  std::printf("%-6s %-10s %-24s\n", "c", "avg rho", "[min..max]");
+  for (double c : cs) {
+    SampleStats rho;
+    for (int k : ks) {
+      for (int rep = 0; rep < kRepetitions; ++rep) {
+        SpinnerConfig config;
+        config.num_partitions = k;
+        config.additional_capacity = c;
+        config.seed = 100 + rep;
+        SpinnerPartitioner partitioner(config);
+        auto result = partitioner.Partition(g);
+        SPINNER_CHECK(result.ok());
+        rho.Add(result->metrics.rho);
+      }
+    }
+    std::printf("%-6.2f %-10.3f [%.3f..%.3f]%s\n", c, rho.Mean(), rho.Min(),
+                rho.Max(), rho.Mean() <= c ? "" : "   (exceeds c)");
+  }
+
+  std::printf("\nFig 5(b): iterations to converge vs c, per k (avg over %d "
+              "seeds)\n",
+              kRepetitions);
+  std::printf("%-6s", "c");
+  for (int k : ks) std::printf("   k=%-5d", k);
+  std::printf("\n");
+  for (double c : cs) {
+    std::printf("%-6.2f", c);
+    for (int k : ks) {
+      SampleStats iterations;
+      for (int rep = 0; rep < kRepetitions; ++rep) {
+        SpinnerConfig config;
+        config.num_partitions = k;
+        config.additional_capacity = c;
+        config.seed = 100 + rep;
+        SpinnerPartitioner partitioner(config);
+        auto result = partitioner.Partition(g);
+        SPINNER_CHECK(result.ok());
+        iterations.Add(static_cast<double>(result->iterations));
+      }
+      std::printf("   %-7.1f", iterations.Mean());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n(shape check: each k column should decrease downward)\n");
+}
+
+}  // namespace
+}  // namespace spinner::bench
+
+int main() {
+  spinner::bench::Run();
+  return 0;
+}

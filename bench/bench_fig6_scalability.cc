@@ -1,0 +1,112 @@
+// Reproduces paper FIGURE 6 (google-benchmark): runtime of one LPA
+// iteration (ComputeScores + ComputeMigrations, the most expensive and
+// deterministic iteration) as a function of
+//   (a) graph size        — Watts-Strogatz, deg 40, beta 0.3, k=64;
+//   (b) number of workers — fixed graph, workers 1..hardware;
+//   (c) number of partitions k — fixed graph, k 2..512.
+//
+// Expected shapes: (a) near-linear in |V| (loglog-linear in the paper);
+// (b) runtime drops with added workers (paper: 7.6× speedup with 7.6×
+// workers); (c) near-linear growth with k (per-vertex work and counter
+// management are proportional to k).
+//
+// Scale note: the paper runs 2M..1024M vertices on 115 machines; this
+// harness runs 16k..256k vertices on one machine — the *trend* is the
+// reproduction target.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "bench_util.h"
+#include "spinner/partitioner.h"
+
+namespace spinner::bench {
+namespace {
+
+/// Cached converted Watts-Strogatz graphs (paper §V.B setup, scaled).
+const CsrGraph& CachedWsGraph(int64_t n) {
+  static std::map<int64_t, std::unique_ptr<CsrGraph>>* cache =
+      new std::map<int64_t, std::unique_ptr<CsrGraph>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    auto ws = WattsStrogatz(n, /*neighbors_per_side=*/20, 0.3, 42);
+    SPINNER_CHECK(ws.ok());
+    auto converted = BuildSymmetric(ws->num_vertices, ws->edges);
+    SPINNER_CHECK(converted.ok());
+    it = cache
+             ->emplace(n, std::make_unique<CsrGraph>(
+                               std::move(converted).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+/// Runs two LPA iterations and returns the wall time of the first full
+/// iteration (supersteps 1 and 2: the first ComputeScores and
+/// ComputeMigrations after Initialize).
+double FirstIterationSeconds(const CsrGraph& g, int k, int workers) {
+  SpinnerConfig config;
+  config.num_partitions = k;
+  config.num_workers = workers;
+  config.max_iterations = 2;
+  config.use_halting = false;
+  config.record_history = false;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  SPINNER_CHECK(result.ok());
+  const auto& steps = result->run_stats.per_superstep;
+  SPINNER_CHECK(steps.size() >= 3);
+  return steps[1].wall_seconds + steps[2].wall_seconds;
+}
+
+void BM_IterationTime_GraphSize(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const CsrGraph& g = CachedWsGraph(n);
+  for (auto _ : state) {
+    state.SetIterationTime(FirstIterationSeconds(g, 64, 0));
+  }
+  state.counters["vertices"] = static_cast<double>(n);
+  state.counters["arcs"] = static_cast<double>(g.NumArcs());
+}
+BENCHMARK(BM_IterationTime_GraphSize)
+    ->RangeMultiplier(2)
+    ->Range(16384, 262144)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_IterationTime_Workers(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const CsrGraph& g = CachedWsGraph(131072);
+  for (auto _ : state) {
+    state.SetIterationTime(FirstIterationSeconds(g, 64, workers));
+  }
+  state.counters["workers"] = workers;
+}
+BENCHMARK(BM_IterationTime_Workers)
+    ->RangeMultiplier(2)
+    ->Range(1, 16)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+void BM_IterationTime_Partitions(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const CsrGraph& g = CachedWsGraph(131072);
+  for (auto _ : state) {
+    state.SetIterationTime(FirstIterationSeconds(g, k, 0));
+  }
+  state.counters["k"] = k;
+}
+BENCHMARK(BM_IterationTime_Partitions)
+    ->RangeMultiplier(4)
+    ->Range(2, 512)
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace spinner::bench
+
+BENCHMARK_MAIN();

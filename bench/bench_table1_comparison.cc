@@ -1,0 +1,103 @@
+// Reproduces paper TABLE I: φ and ρ of Spinner vs the streaming baselines
+// (LDG [24], Fennel [28]) and the offline multilevel baseline (METIS [12])
+// on the Twitter graph for k ∈ {2,4,8,16,32}. Hash partitioning is added
+// as the reference floor (φ ≈ 1/k).
+//
+// Expected shape (paper): multilevel best on φ with ρ ≈ 1.03; Spinner
+// within ~2-12% of it with ρ ≈ 1.02-1.05; streaming partitioners below or
+// comparable to Spinner on φ.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/fennel_partitioner.h"
+#include "baselines/hash_partitioner.h"
+#include "baselines/ldg_partitioner.h"
+#include "baselines/multilevel_partitioner.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "spinner/partitioner.h"
+
+namespace spinner::bench {
+namespace {
+
+struct Row {
+  std::string approach;
+  std::vector<double> phi;
+  std::vector<double> rho;
+};
+
+void Run() {
+  PrintBanner(
+      "TABLE I — comparison with state-of-the-art on the Twitter stand-in",
+      "multilevel(METIS) best phi, Spinner within ~2-12% of it, both ~1.05 "
+      "balance; streaming below; hash floor at 1/k");
+  StandIn tw = MakeStandIn("TW");
+  CsrGraph g = Convert(tw.graph);
+  PrintStandIn(tw, g);
+
+  const std::vector<int> ks = {2, 4, 8, 16, 32};
+  std::vector<Row> rows;
+
+  auto eval = [&](const std::string& name,
+                  const std::vector<PartitionId>& labels, int k, Row* row) {
+    auto m = ComputeMetrics(g, labels, k, 1.05);
+    SPINNER_CHECK(m.ok());
+    row->phi.push_back(m->phi);
+    row->rho.push_back(m->rho);
+    (void)name;
+  };
+
+  Row ldg_row{"LDG (Stanton et al.)", {}, {}};
+  Row fennel_row{"Fennel", {}, {}};
+  Row ml_row{"Multilevel (METIS-like)", {}, {}};
+  Row spinner_row{"Spinner", {}, {}};
+  Row hash_row{"Hash", {}, {}};
+
+  for (int k : ks) {
+    // Streaming baselines in edge-balance mode: the paper's ρ measures
+    // edge balance, and these are the variants one would deploy alongside
+    // an edge-balancing partitioner.
+    LdgPartitioner ldg(/*stream_seed=*/0, /*balance_on_edges=*/true);
+    eval("ldg", *ldg.Partition(g, k), k, &ldg_row);
+    FennelPartitioner fennel(1.5, 1.1, /*stream_seed=*/0,
+                             /*balance_on_edges=*/true);
+    eval("fennel", *fennel.Partition(g, k), k, &fennel_row);
+    MultilevelPartitioner ml;
+    eval("multilevel", *ml.Partition(g, k), k, &ml_row);
+    HashPartitioner hash;
+    eval("hash", *hash.Partition(g, k), k, &hash_row);
+
+    SpinnerConfig config;
+    config.num_partitions = k;
+    SpinnerPartitioner partitioner(config);
+    auto result = partitioner.Partition(g);
+    SPINNER_CHECK(result.ok());
+    spinner_row.phi.push_back(result->metrics.phi);
+    spinner_row.rho.push_back(result->metrics.rho);
+  }
+  rows = {ldg_row, fennel_row, ml_row, spinner_row, hash_row};
+
+  std::printf("\n%-26s", "Approach");
+  for (int k : ks) std::printf("     k=%-3d      ", k);
+  std::printf("\n%-26s", "");
+  for (size_t i = 0; i < ks.size(); ++i) std::printf("   phi    rho   ");
+  std::printf("\n");
+  for (const Row& row : rows) {
+    std::printf("%-26s", row.approach.c_str());
+    for (size_t i = 0; i < ks.size(); ++i) {
+      std::printf("  %5.2f  %5.2f  ", row.phi[i], row.rho[i]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(paper Table I, Twitter: Spinner phi 0.85/0.69/0.51/0.39/0.31,\n"
+      " rho ~1.02-1.05; Metis phi 0.88/0.76/0.64/0.46/0.37, rho 1.02-1.03)\n");
+}
+
+}  // namespace
+}  // namespace spinner::bench
+
+int main() {
+  spinner::bench::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Elastic cloud scaling (paper §III.E / §V.E scenario): the cluster grows
+// from 8 to 12 machines at peak traffic, then shrinks to 6 overnight. The
+// partitioning follows the machine count without ever repartitioning from
+// scratch.
+//
+//   ./elastic_scaling [--initial-k=8]
+#include <cstdio>
+
+#include "common/cli.h"
+#include "graph/conversion.h"
+#include "graph/generators.h"
+#include "spinner/partitioner.h"
+
+using namespace spinner;
+
+namespace {
+
+void Report(const char* phase, const PartitionResult& result,
+            double moved_pct) {
+  std::printf("%-28s k=%-3d phi=%.3f rho=%.3f iterations=%-3d moved=%.1f%%\n",
+              phase, result.num_partitions, result.metrics.phi,
+              result.metrics.rho, result.iterations, moved_pct);
+}
+
+double MovedPct(const std::vector<PartitionId>& before,
+                const std::vector<PartitionId>& after) {
+  auto moved = PartitioningDifference(before, after);
+  SPINNER_CHECK_OK(moved.status());
+  return 100.0 * *moved;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli;
+  SPINNER_CHECK_OK(cli.Parse(argc, argv));
+  const int initial_k = static_cast<int>(cli.GetInt("initial-k", 8));
+
+  auto graph = WattsStrogatz(12000, 8, 0.25, 3);
+  SPINNER_CHECK_OK(graph.status());
+  auto converted = BuildSymmetric(graph->num_vertices, graph->edges);
+  SPINNER_CHECK_OK(converted.status());
+
+  // Morning: steady state on `initial_k` machines.
+  SpinnerConfig config;
+  config.num_partitions = initial_k;
+  SpinnerPartitioner partitioner(config);
+  auto steady = partitioner.Partition(*converted);
+  SPINNER_CHECK_OK(steady.status());
+  Report("morning steady state", *steady, 0.0);
+
+  // Peak: scale out to 12 machines. Vertices migrate to the new
+  // partitions with probability n/(k+n) (paper Eq. 11), then label
+  // propagation re-optimizes.
+  auto scaled_out = partitioner.Rescale(*converted, steady->assignment, 12);
+  SPINNER_CHECK_OK(scaled_out.status());
+  Report("peak: scale out to 12", *scaled_out,
+         MovedPct(steady->assignment, scaled_out->assignment));
+
+  // Night: scale in to 6 machines. Partitions 6..11 are evacuated
+  // uniformly at random, then re-optimized.
+  SpinnerConfig night_config = config;
+  night_config.num_partitions = 12;  // previous k
+  SpinnerPartitioner night_partitioner(night_config);
+  auto scaled_in =
+      night_partitioner.Rescale(*converted, scaled_out->assignment, 6);
+  SPINNER_CHECK_OK(scaled_in.status());
+  Report("night: scale in to 6", *scaled_in,
+         MovedPct(scaled_out->assignment, scaled_in->assignment));
+
+  std::printf("\nevery transition reused the previous assignment: balance "
+              "recovered at each new k with far fewer moves than a "
+              "from-scratch repartitioning (which moves ~95%%).\n");
+  return 0;
+}

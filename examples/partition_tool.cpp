@@ -1,0 +1,142 @@
+// partition_tool: a complete command-line front end to the library — the
+// utility an operator would script against.
+//
+//   # Partition an edge-list file (sparse ids fine; they are compacted):
+//   ./partition_tool partition --input=edges.txt --k=32 --out=parts.txt
+//
+//   # The graph changed: adapt the existing partitioning.
+//   ./partition_tool adapt --input=new_edges.txt --previous=parts.txt
+//       --k=32 --out=parts2.txt
+//
+//   # The cluster changed: rescale to a new partition count.
+//   ./partition_tool rescale --input=edges.txt --previous=parts.txt
+//       --k=32 --new-k=40 --out=parts3.txt
+//
+//   # Score any partition file:
+//   ./partition_tool metrics --input=edges.txt --parts=parts.txt --k=32
+//
+// Common flags: --c (capacity slack), --seed, --workers,
+// --balance=edges|vertices.
+#include <cstdio>
+#include <string>
+
+#include "common/cli.h"
+#include "graph/conversion.h"
+#include "graph/edge_list.h"
+#include "graph/graph_io.h"
+#include "graph/remap.h"
+#include "graph/stats.h"
+#include "spinner/metrics.h"
+#include "spinner/partitioner.h"
+
+using namespace spinner;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: partition_tool <partition|adapt|rescale|metrics> "
+               "--input=<edges.txt> [flags]\n"
+               "see the header of examples/partition_tool.cpp for the "
+               "full flag list\n");
+  return 2;
+}
+
+struct LoadedGraph {
+  CsrGraph converted;
+  int64_t num_vertices = 0;
+};
+
+Result<LoadedGraph> Load(const std::string& path) {
+  SPINNER_ASSIGN_OR_RETURN(EdgeList edges, graph_io::ReadEdgeList(path));
+  if (edges.empty()) return Status::InvalidArgument("no edges in " + path);
+  CompactVertexIds(&edges);  // tolerate sparse ids
+  const int64_t n = MaxVertexId(edges) + 1;
+  LoadedGraph out;
+  SPINNER_ASSIGN_OR_RETURN(out.converted,
+                           ConvertToWeightedUndirected(n, edges));
+  out.num_vertices = n;
+  return out;
+}
+
+SpinnerConfig ConfigFrom(const CommandLine& cli) {
+  SpinnerConfig config;
+  config.num_partitions = static_cast<int>(cli.GetInt("k", 32));
+  config.additional_capacity = cli.GetDouble("c", 1.05);
+  config.seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  config.num_workers = static_cast<int>(cli.GetInt("workers", 0));
+  if (cli.GetString("balance", "edges") == "vertices") {
+    config.balance_mode = BalanceMode::kVertices;
+  }
+  return config;
+}
+
+void Report(const PartitionResult& result) {
+  std::printf("k=%d iterations=%d converged=%s phi=%.4f rho=%.4f\n",
+              result.num_partitions, result.iterations,
+              result.converged ? "yes" : "no", result.metrics.phi,
+              result.metrics.rho);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  CommandLine cli;
+  if (!cli.Parse(argc, argv).ok()) return Usage();
+  const std::string input = cli.GetString("input", "");
+  if (input.empty()) return Usage();
+
+  auto loaded = Load(input);
+  if (!loaded.ok()) return Fail(loaded.status());
+  std::printf("graph: %s\n",
+              ToString(ComputeGraphStats(loaded->converted)).c_str());
+  const SpinnerConfig config = ConfigFrom(cli);
+  SpinnerPartitioner partitioner(config);
+
+  Result<PartitionResult> result = Status::Unimplemented("no command");
+  if (command == "partition") {
+    result = partitioner.Partition(loaded->converted);
+  } else if (command == "adapt" || command == "rescale") {
+    auto previous = graph_io::ReadPartitioning(
+        cli.GetString("previous", ""), loaded->num_vertices);
+    if (!previous.ok()) return Fail(previous.status());
+    if (command == "adapt") {
+      result = partitioner.Repartition(loaded->converted, *previous);
+    } else {
+      const int new_k = static_cast<int>(
+          cli.GetInt("new-k", config.num_partitions));
+      result = partitioner.Rescale(loaded->converted, *previous, new_k);
+    }
+  } else if (command == "metrics") {
+    auto parts = graph_io::ReadPartitioning(cli.GetString("parts", ""),
+                                            loaded->num_vertices);
+    if (!parts.ok()) return Fail(parts.status());
+    auto m = ComputeMetrics(loaded->converted, *parts,
+                            config.num_partitions,
+                            config.additional_capacity);
+    if (!m.ok()) return Fail(m.status());
+    std::printf("phi=%.4f rho=%.4f cut=%lld total=%lld\n", m->phi, m->rho,
+                static_cast<long long>(m->cut_weight),
+                static_cast<long long>(m->total_weight));
+    return 0;
+  } else {
+    return Usage();
+  }
+
+  if (!result.ok()) return Fail(result.status());
+  Report(*result);
+  const std::string out = cli.GetString("out", "");
+  if (!out.empty()) {
+    Status s = graph_io::WritePartitioning(out, result->assignment);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}

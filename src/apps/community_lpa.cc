@@ -1,0 +1,95 @@
+#include "apps/community_lpa.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "pregel/topology.h"
+
+namespace spinner::apps {
+
+void CommunityLpaProgram::Compute(CommunityHandle& vertex,
+                                  std::span<const CommunityMessage> messages) {
+  auto& value = vertex.value();
+  auto& edges = vertex.mutable_edges();
+  if (vertex.superstep() == 0) {
+    value.label = vertex.id();
+    vertex.SendMessageToAllEdges({vertex.id(), value.label});
+    return;
+  }
+
+  // Fold neighbor updates into the edge cache (edges arrive sorted from
+  // the CSR, so binary search applies; LPA never adds edges).
+  for (const CommunityMessage& msg : messages) {
+    auto it = std::lower_bound(
+        edges.begin(), edges.end(), msg.source,
+        [](const pregel::OutEdge<VertexId>& e, VertexId target) {
+          return e.target < target;
+        });
+    SPINNER_DCHECK(it != edges.end() && it->target == msg.source);
+    if (it != edges.end() && it->target == msg.source) {
+      it->value = msg.label;
+    }
+  }
+
+  // Most frequent label over the full (cached) neighborhood. Ties break
+  // randomly via an order-independent hash-argmin, preferring the current
+  // label (speeds convergence).
+  std::unordered_map<VertexId, int> counts;
+  counts.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (e.value >= 0) ++counts[e.value];
+  }
+  int max_count = 0;
+  for (const auto& [label, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  VertexId best = value.label;
+  auto current_it = counts.find(value.label);
+  const bool current_is_max =
+      current_it != counts.end() && current_it->second == max_count;
+  if (!current_is_max && max_count > 0) {
+    uint64_t best_key = ~uint64_t{0};
+    for (const auto& [label, count] : counts) {
+      if (count != max_count) continue;
+      const uint64_t key =
+          HashCombine(static_cast<uint64_t>(vertex.superstep()),
+                      static_cast<uint64_t>(vertex.id()),
+                      static_cast<uint64_t>(label));
+      if (key < best_key) {
+        best_key = key;
+        best = label;
+      }
+    }
+  }
+
+  if (best != value.label) {
+    value.label = best;
+    vertex.SendMessageToAllEdges({vertex.id(), best});
+  }
+  vertex.VoteToHalt();
+}
+
+bool CommunityLpaProgram::MasterCompute(pregel::MasterContext& ctx) {
+  return ctx.superstep() + 1 < max_iterations_;
+}
+
+std::vector<VertexId> DetectCommunities(const CsrGraph& graph,
+                                        int num_workers,
+                                        int max_iterations) {
+  pregel::EngineConfig config;
+  config.num_workers = num_workers;
+  CommunityEngine engine(
+      graph, config, pregel::HashPlacement(num_workers),
+      [](VertexId) { return CommunityVertex{}; },
+      [](VertexId, VertexId, EdgeWeight) { return VertexId{-1}; });
+  CommunityLpaProgram program(max_iterations);
+  engine.Run(program);
+  std::vector<VertexId> labels(graph.NumVertices());
+  engine.ForEachVertex([&labels](VertexId v, const CommunityVertex& val) {
+    labels[v] = val.label;
+  });
+  return labels;
+}
+
+}  // namespace spinner::apps

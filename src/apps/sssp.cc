@@ -1,0 +1,39 @@
+#include "apps/sssp.h"
+
+#include <deque>
+
+namespace spinner::apps {
+
+void SsspProgram::Compute(SsspHandle& vertex,
+                          std::span<const int64_t> messages) {
+  auto& value = vertex.value();
+  int64_t best = value.distance;
+  if (vertex.superstep() == 0 && vertex.id() == source_) best = 0;
+  for (int64_t m : messages) best = std::min(best, m);
+
+  if (best < value.distance) {
+    value.distance = best;
+    vertex.SendMessageToAllEdges(best + 1);
+  }
+  vertex.VoteToHalt();
+}
+
+std::vector<int64_t> BfsReference(const CsrGraph& graph, VertexId source) {
+  std::vector<int64_t> dist(graph.NumVertices(), kInfDistance);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId u : graph.Neighbors(v)) {
+      if (dist[u] == kInfDistance) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace spinner::apps

@@ -1,0 +1,127 @@
+#include "apps/triangle_count.h"
+
+#include <algorithm>
+
+#include "pregel/topology.h"
+
+namespace spinner::apps {
+
+void TriangleCountProgram::RegisterAggregators(
+    pregel::AggregatorRegistry* registry) {
+  registry->Register(kTotalAgg,
+                     std::make_unique<pregel::LongSumAggregator>(),
+                     /*persistent=*/true);
+}
+
+void TriangleCountProgram::Compute(TriangleHandle& vertex,
+                                   std::span<const NeighborList> messages) {
+  if (vertex.superstep() == 0) {
+    // Send to each higher neighbor u the (sorted) list of this vertex's
+    // neighbors with ids above u. A triangle (v < u < w) is then detected
+    // by u finding w in both the message from v and its own adjacency.
+    const auto& edges = vertex.edges();
+    NeighborList higher;
+    higher.reserve(edges.size());
+    for (const auto& e : edges) {
+      if (e.target > vertex.id()) higher.push_back(e.target);
+    }
+    std::sort(higher.begin(), higher.end());
+    for (size_t i = 0; i < higher.size(); ++i) {
+      // Targets are sorted, so the sublist above higher[i] is its suffix.
+      if (i + 1 < higher.size()) {
+        vertex.SendMessage(higher[i],
+                           NeighborList(higher.begin() + i + 1,
+                                        higher.end()));
+      }
+    }
+    return;
+  }
+
+  // Intersect each incoming candidate list with our own higher adjacency.
+  const auto& edges = vertex.edges();
+  NeighborList mine;
+  mine.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (e.target > vertex.id()) mine.push_back(e.target);
+  }
+  std::sort(mine.begin(), mine.end());
+
+  int64_t found = 0;
+  for (const NeighborList& candidates : messages) {
+    // Both lists sorted: linear merge intersection.
+    size_t i = 0;
+    size_t j = 0;
+    while (i < candidates.size() && j < mine.size()) {
+      if (candidates[i] < mine[j]) {
+        ++i;
+      } else if (candidates[i] > mine[j]) {
+        ++j;
+      } else {
+        ++found;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  vertex.value().triangles = found;
+  vertex.AggregatePartial<pregel::LongSumAggregator>(kTotalAgg)->Add(found);
+  vertex.VoteToHalt();
+}
+
+bool TriangleCountProgram::MasterCompute(pregel::MasterContext& ctx) {
+  if (ctx.superstep() == 1) {
+    total_ = ctx.aggregators()
+                 .Get<pregel::LongSumAggregator>(kTotalAgg)
+                 ->value();
+    return false;
+  }
+  return true;
+}
+
+int64_t CountTriangles(const CsrGraph& graph, int num_workers) {
+  pregel::EngineConfig config;
+  config.num_workers = num_workers;
+  TriangleEngine engine(
+      graph, config, pregel::HashPlacement(num_workers),
+      [](VertexId) { return TriangleVertex{}; },
+      [](VertexId, VertexId, EdgeWeight) { return char{}; });
+  TriangleCountProgram program;
+  engine.Run(program);
+  return program.TotalTriangles();
+}
+
+int64_t CountTrianglesReference(const CsrGraph& graph) {
+  int64_t total = 0;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    auto nbrs = graph.Neighbors(v);
+    for (VertexId u : nbrs) {
+      if (u <= v) continue;
+      // Count w > u adjacent to both v and u.
+      auto un = graph.Neighbors(u);
+      size_t i = 0;
+      size_t j = 0;
+      while (i < nbrs.size() && j < un.size()) {
+        if (nbrs[i] <= u) {
+          ++i;
+          continue;
+        }
+        if (un[j] <= u) {
+          ++j;
+          continue;
+        }
+        if (nbrs[i] < un[j]) {
+          ++i;
+        } else if (nbrs[i] > un[j]) {
+          ++j;
+        } else {
+          ++total;
+          ++i;
+          ++j;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace spinner::apps

@@ -1,0 +1,40 @@
+#include "apps/wcc.h"
+
+#include "graph/union_find.h"
+
+namespace spinner::apps {
+
+void WccProgram::Compute(WccHandle& vertex,
+                         std::span<const VertexId> messages) {
+  auto& value = vertex.value();
+  VertexId best =
+      vertex.superstep() == 0 ? vertex.id() : value.component;
+  for (VertexId m : messages) best = std::min(best, m);
+
+  if (vertex.superstep() == 0 || best < value.component) {
+    value.component = best;
+    vertex.SendMessageToAllEdges(best);
+  }
+  vertex.VoteToHalt();
+}
+
+std::vector<VertexId> WccReference(const CsrGraph& graph) {
+  UnionFind uf(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    for (VertexId u : graph.Neighbors(v)) uf.Union(v, u);
+  }
+  // Canonical component id: the minimum vertex id in the component.
+  std::vector<VertexId> min_of_root(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) min_of_root[v] = v;
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const VertexId r = uf.Find(v);
+    min_of_root[r] = std::min(min_of_root[r], v);
+  }
+  std::vector<VertexId> component(graph.NumVertices());
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    component[v] = min_of_root[uf.Find(v)];
+  }
+  return component;
+}
+
+}  // namespace spinner::apps

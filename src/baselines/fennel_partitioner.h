@@ -1,0 +1,42 @@
+// FENNEL streaming partitioner (Tsourakakis et al., WSDM 2014) — the
+// "[28]" row of paper Table I.
+//
+// Each streamed vertex v is placed on the partition maximizing
+//   |N(v) ∩ P_i| − α·γ/2 · |P_i|^(γ−1)
+// with the paper's recommended γ = 1.5 and α = √k·m / n^1.5, under a hard
+// balance cap of ν·n/k vertices per partition.
+#ifndef SPINNER_BASELINES_FENNEL_PARTITIONER_H_
+#define SPINNER_BASELINES_FENNEL_PARTITIONER_H_
+
+#include "baselines/partitioner_interface.h"
+
+namespace spinner {
+
+/// One-pass Fennel with the standard parameterization.
+class FennelPartitioner : public GraphPartitioner {
+ public:
+  /// `gamma` and `balance_cap` (ν) follow the FENNEL paper defaults
+  /// (γ=1.5, ν=1.1); `stream_seed` shuffles arrival order (0 = id order);
+  /// `balance_on_edges` caps weighted degree instead of vertex count (the
+  /// quantity the paper's ρ measures).
+  explicit FennelPartitioner(double gamma = 1.5, double balance_cap = 1.1,
+                             uint64_t stream_seed = 0,
+                             bool balance_on_edges = false)
+      : gamma_(gamma),
+        balance_cap_(balance_cap),
+        stream_seed_(stream_seed),
+        balance_on_edges_(balance_on_edges) {}
+  std::string name() const override { return "fennel"; }
+  Result<std::vector<PartitionId>> Partition(const CsrGraph& converted,
+                                             int k) const override;
+
+ private:
+  double gamma_;
+  double balance_cap_;
+  uint64_t stream_seed_;
+  bool balance_on_edges_;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_BASELINES_FENNEL_PARTITIONER_H_

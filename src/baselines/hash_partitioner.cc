@@ -1,0 +1,25 @@
+#include "baselines/hash_partitioner.h"
+
+#include "common/random.h"
+#include "spinner/initial_assignment.h"
+
+namespace spinner {
+
+Result<std::vector<PartitionId>> HashPartitioner::Partition(
+    const CsrGraph& converted, int k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  std::vector<PartitionId> labels(converted.NumVertices());
+  for (VertexId v = 0; v < converted.NumVertices(); ++v) {
+    labels[v] = static_cast<PartitionId>(
+        SplitMix64(static_cast<uint64_t>(v)) % static_cast<uint64_t>(k));
+  }
+  return labels;
+}
+
+Result<std::vector<PartitionId>> RandomPartitioner::Partition(
+    const CsrGraph& converted, int k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  return RandomAssignment(converted.NumVertices(), k, seed_);
+}
+
+}  // namespace spinner

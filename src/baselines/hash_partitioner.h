@@ -1,0 +1,34 @@
+// Hash partitioning: the de-facto default the paper sets out to replace.
+// Vertex v goes to h(v) mod k. No locality, but perfect scalability and —
+// on hub-free graphs — decent vertex balance.
+#ifndef SPINNER_BASELINES_HASH_PARTITIONER_H_
+#define SPINNER_BASELINES_HASH_PARTITIONER_H_
+
+#include "baselines/partitioner_interface.h"
+
+namespace spinner {
+
+/// h(v) mod k with a mixing hash (matches Giraph's default placement).
+class HashPartitioner : public GraphPartitioner {
+ public:
+  std::string name() const override { return "hash"; }
+  Result<std::vector<PartitionId>> Partition(const CsrGraph& converted,
+                                             int k) const override;
+};
+
+/// Uniform random assignment with a seed; the "random partitioning"
+/// initial state of paper Fig. 4.
+class RandomPartitioner : public GraphPartitioner {
+ public:
+  explicit RandomPartitioner(uint64_t seed = 42) : seed_(seed) {}
+  std::string name() const override { return "random"; }
+  Result<std::vector<PartitionId>> Partition(const CsrGraph& converted,
+                                             int k) const override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_BASELINES_HASH_PARTITIONER_H_

@@ -1,0 +1,37 @@
+// Linear Deterministic Greedy streaming partitioner
+// (Stanton & Kleinberg, KDD 2012) — the "[24]" row of paper Table I.
+//
+// Vertices arrive in a stream; each is placed on the partition maximizing
+//   |N(v) ∩ P_i| · (1 − |P_i| / C_i)
+// where C_i is the per-partition vertex capacity. Neighbors seen later in
+// the stream contribute nothing at placement time (one pass).
+#ifndef SPINNER_BASELINES_LDG_PARTITIONER_H_
+#define SPINNER_BASELINES_LDG_PARTITIONER_H_
+
+#include "baselines/partitioner_interface.h"
+
+namespace spinner {
+
+/// One-pass LDG. `stream_seed` shuffles the arrival order (0 = vertex id
+/// order, matching the common "natural order" evaluation setting).
+/// `balance_on_edges` switches the capacity from vertex counts (the
+/// original formulation) to weighted degrees — the balance objective the
+/// paper measures ρ against; without it, hub-heavy graphs blow up edge
+/// balance even though vertex counts are capped.
+class LdgPartitioner : public GraphPartitioner {
+ public:
+  explicit LdgPartitioner(uint64_t stream_seed = 0,
+                          bool balance_on_edges = false)
+      : stream_seed_(stream_seed), balance_on_edges_(balance_on_edges) {}
+  std::string name() const override { return "ldg"; }
+  Result<std::vector<PartitionId>> Partition(const CsrGraph& converted,
+                                             int k) const override;
+
+ private:
+  uint64_t stream_seed_;
+  bool balance_on_edges_;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_BASELINES_LDG_PARTITIONER_H_

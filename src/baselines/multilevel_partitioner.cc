@@ -1,0 +1,343 @@
+#include "baselines/multilevel_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace spinner {
+
+namespace {
+
+/// Internal weighted-graph level representation.
+struct Level {
+  int64_t n = 0;
+  std::vector<int64_t> vweight;
+  // Adjacency with merged parallel edges: (neighbor, edge weight).
+  std::vector<std::vector<std::pair<VertexId, int64_t>>> adj;
+  // Mapping from this level's vertices to the coarser level's vertices
+  // (filled when the next level is built).
+  std::vector<VertexId> coarse_of;
+};
+
+Level FromCsr(const CsrGraph& g) {
+  Level lv;
+  lv.n = g.NumVertices();
+  lv.vweight.resize(lv.n);
+  lv.adj.resize(lv.n);
+  for (VertexId v = 0; v < lv.n; ++v) {
+    lv.vweight[v] = g.WeightedDegree(v);
+    auto nbrs = g.Neighbors(v);
+    auto wts = g.Weights(v);
+    lv.adj[v].reserve(nbrs.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      lv.adj[v].emplace_back(nbrs[i], static_cast<int64_t>(wts[i]));
+    }
+  }
+  return lv;
+}
+
+/// Heavy-edge matching: each unmatched vertex pairs with its unmatched
+/// neighbor of maximum edge weight. Returns the number of coarse vertices
+/// and fills level->coarse_of.
+int64_t HeavyEdgeMatch(Level* level, uint64_t seed) {
+  const int64_t n = level->n;
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), VertexId{0});
+  Rng rng(SplitMix64(seed));
+  for (int64_t i = n - 1; i > 0; --i) {
+    std::swap(order[i], order[rng.Uniform(i + 1)]);
+  }
+
+  std::vector<VertexId> match(n, -1);
+  for (VertexId v : order) {
+    if (match[v] != -1) continue;
+    VertexId best = -1;
+    int64_t best_w = -1;
+    for (const auto& [u, w] : level->adj[v]) {
+      if (u == v || match[u] != -1) continue;
+      if (w > best_w || (w == best_w && u < best)) {
+        best_w = w;
+        best = u;
+      }
+    }
+    if (best != -1) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // stays single
+    }
+  }
+
+  level->coarse_of.assign(n, -1);
+  int64_t next_id = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (level->coarse_of[v] != -1) continue;
+    level->coarse_of[v] = next_id;
+    if (match[v] != v) level->coarse_of[match[v]] = next_id;
+    ++next_id;
+  }
+  return next_id;
+}
+
+/// Builds the coarser level from `fine` using fine.coarse_of.
+Level Coarsen(const Level& fine, int64_t coarse_n) {
+  Level coarse;
+  coarse.n = coarse_n;
+  coarse.vweight.assign(coarse_n, 0);
+  coarse.adj.resize(coarse_n);
+  for (VertexId v = 0; v < fine.n; ++v) {
+    coarse.vweight[fine.coarse_of[v]] += fine.vweight[v];
+  }
+  // Merge parallel edges with a per-vertex hash map.
+  std::unordered_map<VertexId, int64_t> acc;
+  for (VertexId cv = 0; cv < coarse_n; ++cv) {
+    coarse.adj[cv].reserve(4);
+  }
+  std::vector<std::vector<VertexId>> members(coarse_n);
+  for (VertexId v = 0; v < fine.n; ++v) {
+    members[fine.coarse_of[v]].push_back(v);
+  }
+  for (VertexId cv = 0; cv < coarse_n; ++cv) {
+    acc.clear();
+    for (VertexId v : members[cv]) {
+      for (const auto& [u, w] : fine.adj[v]) {
+        const VertexId cu = fine.coarse_of[u];
+        if (cu == cv) continue;  // internal edge disappears
+        acc[cu] += w;
+      }
+    }
+    auto& out = coarse.adj[cv];
+    out.assign(acc.begin(), acc.end());
+    std::sort(out.begin(), out.end());
+  }
+  return coarse;
+}
+
+/// Induced subgraph of `vertices` (ids of `level`), with local ids
+/// 0..vertices.size(). Edges leaving the subset are dropped.
+Level InducedSubgraph(const Level& level,
+                      const std::vector<VertexId>& vertices) {
+  Level sub;
+  sub.n = static_cast<int64_t>(vertices.size());
+  sub.vweight.reserve(sub.n);
+  sub.adj.resize(sub.n);
+  std::vector<VertexId> to_local(level.n, -1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    to_local[vertices[i]] = static_cast<VertexId>(i);
+  }
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const VertexId v = vertices[i];
+    sub.vweight.push_back(level.vweight[v]);
+    for (const auto& [u, w] : level.adj[v]) {
+      const VertexId lu = to_local[u];
+      if (lu != -1) sub.adj[i].emplace_back(lu, w);
+    }
+  }
+  return sub;
+}
+
+/// Greedy graph growing bisection: grows side 0 from the heaviest vertex
+/// along maximum-connectivity frontiers until it reaches `target0` weight;
+/// the remainder is side 1.
+std::vector<PartitionId> GrowBisection(const Level& level, int64_t target0) {
+  const int64_t n = level.n;
+  std::vector<PartitionId> side(n, 1);
+  std::vector<int64_t> conn(n, 0);
+  std::vector<uint8_t> taken(n, 0);
+
+  VertexId seed_v = -1;
+  for (VertexId v = 0; v < n; ++v) {
+    if (seed_v == -1 || level.vweight[v] > level.vweight[seed_v]) seed_v = v;
+  }
+  int64_t grown = 0;
+  VertexId next = seed_v;
+  while (next != -1 && grown < target0) {
+    side[next] = 0;
+    taken[next] = 1;
+    grown += level.vweight[next];
+    for (const auto& [u, w] : level.adj[next]) {
+      if (!taken[u]) conn[u] += w;
+    }
+    VertexId frontier_best = -1;
+    int64_t best_conn = 0;
+    VertexId heaviest = -1;
+    for (VertexId v = 0; v < n; ++v) {
+      if (taken[v]) continue;
+      if (conn[v] > best_conn ||
+          (conn[v] == best_conn && frontier_best != -1 && conn[v] > 0 &&
+           level.vweight[v] > level.vweight[frontier_best])) {
+        best_conn = conn[v];
+        frontier_best = v;
+      }
+      if (heaviest == -1 || level.vweight[v] > level.vweight[heaviest]) {
+        heaviest = v;
+      }
+    }
+    next = frontier_best != -1 ? frontier_best : heaviest;
+  }
+  return side;
+}
+
+void RefineCapacities(const Level& level,
+                      const std::vector<double>& capacity, int passes,
+                      std::vector<PartitionId>* labels);
+
+/// Recursive bisection (the classic METIS initial-partitioning scheme):
+/// split `vertices` into k1 = ⌊k/2⌋ and k−k1 shares by weight, refine the
+/// 2-way cut, recurse. Writes final labels base..base+k−1.
+void RecursiveBisect(const Level& level,
+                     const std::vector<VertexId>& vertices, int k,
+                     PartitionId base, double balance, int passes,
+                     std::vector<PartitionId>* labels) {
+  if (k == 1 || vertices.empty()) {
+    for (VertexId v : vertices) (*labels)[v] = base;
+    return;
+  }
+  Level sub = InducedSubgraph(level, vertices);
+  const int k1 = k / 2;
+  const int k2 = k - k1;
+  const int64_t total =
+      std::accumulate(sub.vweight.begin(), sub.vweight.end(), int64_t{0});
+  const int64_t target0 = total * k1 / k;
+
+  std::vector<PartitionId> side = GrowBisection(sub, target0);
+  const std::vector<double> caps = {
+      balance * static_cast<double>(total) * k1 / k,
+      balance * static_cast<double>(total) * k2 / k};
+  RefineCapacities(sub, caps, passes, &side);
+
+  std::vector<VertexId> part0;
+  std::vector<VertexId> part1;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    (side[i] == 0 ? part0 : part1).push_back(vertices[i]);
+  }
+  // Degenerate splits (tiny subsets): keep both sides non-empty whenever
+  // there is something to split.
+  if (part0.empty() && part1.size() > 1) {
+    part0.push_back(part1.back());
+    part1.pop_back();
+  } else if (part1.empty() && part0.size() > 1) {
+    part1.push_back(part0.back());
+    part0.pop_back();
+  }
+  RecursiveBisect(level, part0, k1, base, balance, passes, labels);
+  RecursiveBisect(level, part1, k2, base + k1, balance, passes, labels);
+}
+
+/// FM-style greedy boundary refinement: move vertices to the adjacent
+/// partition with maximal cut gain, subject to per-partition capacities.
+/// Moves are applied eagerly; passes repeat until no move or the budget
+/// ends.
+void RefineCapacities(const Level& level,
+                      const std::vector<double>& capacity, int passes,
+                      std::vector<PartitionId>* labels) {
+  const int64_t n = level.n;
+  const auto k = static_cast<int>(capacity.size());
+  std::vector<int64_t> loads(k, 0);
+  for (VertexId v = 0; v < n; ++v) loads[(*labels)[v]] += level.vweight[v];
+
+  std::vector<int64_t> conn(k, 0);
+  std::vector<PartitionId> touched;
+  touched.reserve(k);
+
+  for (int pass = 0; pass < passes; ++pass) {
+    bool moved_any = false;
+    for (VertexId v = 0; v < n; ++v) {
+      const PartitionId cur = (*labels)[v];
+      // Connectivity to each adjacent partition.
+      for (const auto& [u, w] : level.adj[v]) {
+        const PartitionId lu = (*labels)[u];
+        if (conn[lu] == 0) touched.push_back(lu);
+        conn[lu] += w;
+      }
+      PartitionId best = cur;
+      int64_t best_gain = 0;
+      for (const PartitionId p : touched) {
+        if (p == cur) continue;
+        const int64_t gain = conn[p] - conn[cur];
+        const bool fits =
+            static_cast<double>(loads[p] + level.vweight[v]) <= capacity[p];
+        // Positive gain moves, or zero-gain moves that improve balance.
+        const bool balance_gain =
+            gain == 0 && loads[p] + level.vweight[v] < loads[cur];
+        if (fits && (gain > best_gain ||
+                     (gain == best_gain && gain > 0 && p < best) ||
+                     (best == cur && balance_gain))) {
+          best = p;
+          best_gain = gain;
+        }
+      }
+      if (best != cur) {
+        loads[cur] -= level.vweight[v];
+        loads[best] += level.vweight[v];
+        (*labels)[v] = best;
+        moved_any = true;
+      }
+      for (const PartitionId p : touched) conn[p] = 0;
+      touched.clear();
+    }
+    if (!moved_any) break;
+  }
+}
+
+/// Uniform-capacity wrapper: capacity = balance·(total/k) per partition.
+void Refine(const Level& level, int k, double balance, int passes,
+            std::vector<PartitionId>* labels) {
+  const int64_t total =
+      std::accumulate(level.vweight.begin(), level.vweight.end(),
+                      int64_t{0});
+  const std::vector<double> caps(
+      k, balance * static_cast<double>(total) / static_cast<double>(k));
+  RefineCapacities(level, caps, passes, labels);
+}
+
+}  // namespace
+
+Result<std::vector<PartitionId>> MultilevelPartitioner::Partition(
+    const CsrGraph& converted, int k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const int64_t n = converted.NumVertices();
+  if (n == 0) return std::vector<PartitionId>{};
+  if (k == 1) return std::vector<PartitionId>(n, 0);
+
+  // --- Stage 1: coarsen. ---
+  std::vector<Level> levels;
+  levels.push_back(FromCsr(converted));
+  const int64_t stop_at = std::max<int64_t>(
+      64, static_cast<int64_t>(options_.coarsen_until_factor) * k);
+  while (levels.back().n > stop_at) {
+    Level& fine = levels.back();
+    const int64_t coarse_n =
+        HeavyEdgeMatch(&fine, options_.seed + levels.size());
+    // Matching stalled (e.g. star graphs): stop coarsening.
+    if (coarse_n > fine.n * 9 / 10) break;
+    levels.push_back(Coarsen(fine, coarse_n));
+  }
+
+  // --- Stage 2: initial partition of the coarsest level via recursive
+  // bisection, then k-way refinement. ---
+  std::vector<PartitionId> labels(levels.back().n, 0);
+  std::vector<VertexId> all(levels.back().n);
+  std::iota(all.begin(), all.end(), VertexId{0});
+  RecursiveBisect(levels.back(), all, k, 0, options_.balance,
+                  options_.refine_passes, &labels);
+  Refine(levels.back(), k, options_.balance, options_.refine_passes,
+         &labels);
+
+  // --- Stage 3: project back and refine at every level. ---
+  for (auto i = static_cast<int64_t>(levels.size()) - 2; i >= 0; --i) {
+    const Level& fine = levels[i];
+    std::vector<PartitionId> fine_labels(fine.n);
+    for (VertexId v = 0; v < fine.n; ++v) {
+      fine_labels[v] = labels[fine.coarse_of[v]];
+    }
+    labels = std::move(fine_labels);
+    Refine(fine, k, options_.balance, options_.refine_passes, &labels);
+  }
+  return labels;
+}
+
+}  // namespace spinner

@@ -1,0 +1,52 @@
+// Multilevel k-way partitioner in the METIS family (Karypis & Kumar) — the
+// offline, global-view baseline of paper Table I.
+//
+// Three classic stages:
+//   1. Coarsening: repeated heavy-edge matching merges endpoint pairs of
+//      heavy edges until the graph is small;
+//   2. Initial partitioning: greedy graph growing on the coarsest graph;
+//   3. Uncoarsening: the partition is projected back level by level, with
+//      FM-style boundary refinement (gain-driven local moves under a
+//      balance cap) after every projection.
+//
+// Vertex weight is the weighted degree in the input graph, so balance is on
+// edges — the same objective as Spinner — and ρ lands near the paper's
+// METIS row (~1.03).
+#ifndef SPINNER_BASELINES_MULTILEVEL_PARTITIONER_H_
+#define SPINNER_BASELINES_MULTILEVEL_PARTITIONER_H_
+
+#include "baselines/partitioner_interface.h"
+
+namespace spinner {
+
+/// Options for the multilevel partitioner.
+struct MultilevelOptions {
+  /// Stop coarsening below max(coarsen_until_factor·k, 64) vertices.
+  /// Deep coarsening (small factor) gives the greedy initial partitioning
+  /// an easier problem and more refinement levels on the way back up.
+  int coarsen_until_factor = 8;
+  /// Balance slack: per-partition capacity is balance·(total/k).
+  double balance = 1.03;
+  /// Refinement passes per level.
+  int refine_passes = 10;
+  /// Seed for matching order.
+  uint64_t seed = 42;
+};
+
+/// The offline baseline. Not distributed, needs the whole graph in memory:
+/// exactly the practicality gap Spinner addresses.
+class MultilevelPartitioner : public GraphPartitioner {
+ public:
+  explicit MultilevelPartitioner(MultilevelOptions options = {})
+      : options_(options) {}
+  std::string name() const override { return "multilevel"; }
+  Result<std::vector<PartitionId>> Partition(const CsrGraph& converted,
+                                             int k) const override;
+
+ private:
+  MultilevelOptions options_;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_BASELINES_MULTILEVEL_PARTITIONER_H_

@@ -1,0 +1,30 @@
+// Common interface for the baseline partitioners the paper compares against
+// in Table I, so benches can sweep them uniformly.
+#ifndef SPINNER_BASELINES_PARTITIONER_INTERFACE_H_
+#define SPINNER_BASELINES_PARTITIONER_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace spinner {
+
+/// A k-way partitioner over a converted (symmetric, weighted) graph.
+class GraphPartitioner {
+ public:
+  virtual ~GraphPartitioner() = default;
+
+  /// Human-readable name for reports ("hash", "fennel", ...).
+  virtual std::string name() const = 0;
+
+  /// Computes a label in [0, k) for every vertex.
+  virtual Result<std::vector<PartitionId>> Partition(
+      const CsrGraph& converted, int k) const = 0;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_BASELINES_PARTITIONER_INTERFACE_H_

@@ -1,0 +1,44 @@
+// Restreaming partitioning (Nishimura & Ugander, KDD 2013 — the paper's
+// reference [19]): run a streaming partitioner repeatedly, each pass
+// seeing the assignment computed by the previous one. Several passes of
+// restreamed LDG approach offline quality while staying one-pass-simple.
+// Included as the closest streaming competitor to Spinner's iterative
+// refinement.
+#ifndef SPINNER_BASELINES_RESTREAMING_PARTITIONER_H_
+#define SPINNER_BASELINES_RESTREAMING_PARTITIONER_H_
+
+#include "baselines/partitioner_interface.h"
+
+namespace spinner {
+
+/// Iterated LDG ("ReLDG"): on pass p > 0, a vertex's score counts
+/// neighbors by their pass-(p−1) labels (full neighborhood knowledge,
+/// like Spinner's edge-value cache), under the same capacity rule as LDG.
+class RestreamingPartitioner : public GraphPartitioner {
+ public:
+  explicit RestreamingPartitioner(int num_passes = 10,
+                                  uint64_t stream_seed = 0,
+                                  bool balance_on_edges = true)
+      : num_passes_(num_passes),
+        stream_seed_(stream_seed),
+        balance_on_edges_(balance_on_edges) {}
+
+  std::string name() const override { return "restreaming-ldg"; }
+  Result<std::vector<PartitionId>> Partition(const CsrGraph& converted,
+                                             int k) const override;
+
+  /// Restream starting from an existing assignment (the incremental
+  /// adaptation usage; compare SpinnerPartitioner::Repartition).
+  Result<std::vector<PartitionId>> Restream(
+      const CsrGraph& converted, int k,
+      const std::vector<PartitionId>& previous, int num_passes) const;
+
+ private:
+  int num_passes_;
+  uint64_t stream_seed_;
+  bool balance_on_edges_;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_BASELINES_RESTREAMING_PARTITIONER_H_

@@ -1,0 +1,67 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace spinner {
+
+void SampleStats::Add(double v) {
+  samples_.push_back(v);
+  sorted_valid_ = false;
+}
+
+double SampleStats::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Sum() const {
+  double s = 0.0;
+  for (double v : samples_) s += v;
+  return s;
+}
+
+double SampleStats::Min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::Max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::StdDev() const {
+  const auto n = samples_.size();
+  if (n < 2) return 0.0;
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(n - 1));
+}
+
+double SampleStats::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  SPINNER_CHECK(p >= 0.0 && p <= 100.0) << "percentile out of range: " << p;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void SampleStats::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+}  // namespace spinner

@@ -1,0 +1,52 @@
+// Streaming summary statistics (count/mean/min/max/stddev/percentiles) used
+// by the cluster simulator and the benchmark harnesses when reporting
+// per-worker superstep times, exactly the quantities Table IV reports.
+#ifndef SPINNER_COMMON_HISTOGRAM_H_
+#define SPINNER_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spinner {
+
+/// Collects double samples and answers summary queries. Keeps all samples
+/// (workloads here are small); percentile queries sort lazily.
+class SampleStats {
+ public:
+  /// Adds one sample.
+  void Add(double v);
+
+  /// Number of samples added.
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+
+  /// Arithmetic mean; 0 when empty.
+  double Mean() const;
+
+  /// Smallest / largest sample; 0 when empty.
+  double Min() const;
+  double Max() const;
+
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+  double StdDev() const;
+
+  /// p in [0, 100]. Linear interpolation between closest ranks.
+  double Percentile(double p) const;
+
+  /// Sum of all samples.
+  double Sum() const;
+
+  /// Removes all samples.
+  void Clear();
+
+  /// Read-only view of raw samples (unsorted, insertion order).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;  // lazily maintained cache
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_COMMON_HISTOGRAM_H_

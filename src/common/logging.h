@@ -1,0 +1,90 @@
+// Minimal leveled logging plus CHECK macros for programmer invariants.
+// Library code never throws; invariant violations abort with a message.
+#ifndef SPINNER_COMMON_LOGGING_H_
+#define SPINNER_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace spinner {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style message sink that emits on destruction. `fatal` aborts the
+/// process after emitting, used by CHECK failures.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed LogMessage expression into void inside ?: chains.
+/// operator& binds looser than << but tighter than ?:, the classic glog
+/// trick.
+struct Voidify {
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal
+
+#define SPINNER_LOG(level)                                                  \
+  ::spinner::internal::LogMessage(::spinner::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+/// Aborts with a message when `cond` is false. Always on, release included:
+/// these guard data-structure invariants whose violation would corrupt
+/// results silently.
+#define SPINNER_CHECK(cond)                                              \
+  (cond) ? (void)0                                                       \
+         : ::spinner::internal::Voidify() &                              \
+               ::spinner::internal::LogMessage(                          \
+                   ::spinner::LogLevel::kError, __FILE__, __LINE__,      \
+                   true)                                                 \
+                   << "Check failed: " #cond " "
+
+#define SPINNER_CHECK_OK(expr)                                           \
+  do {                                                                   \
+    ::spinner::Status _s = (expr);                                       \
+    SPINNER_CHECK(_s.ok()) << _s.ToString();                             \
+  } while (0)
+
+#ifndef NDEBUG
+#define SPINNER_DCHECK(cond) SPINNER_CHECK(cond)
+#else
+#define SPINNER_DCHECK(cond) \
+  while (false) ::spinner::internal::NullStream() << ""
+#endif
+
+}  // namespace spinner
+
+#endif  // SPINNER_COMMON_LOGGING_H_

@@ -1,0 +1,126 @@
+// Deterministic pseudo-random primitives.
+//
+// Every stochastic decision in the library (initial labels, tie breaking,
+// migration coin flips, graph generation) is derived from these functions so
+// that a run is bit-reproducible for a given seed, independent of thread
+// count and scheduling. The core trick is stateless hashing: instead of
+// sharing a mutable RNG across threads, callers hash (seed, superstep,
+// vertex_id) to obtain an independent stream per decision point.
+#ifndef SPINNER_COMMON_RANDOM_H_
+#define SPINNER_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace spinner {
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mixing function.
+/// Suitable both as a hash finalizer and as the generator behind stateless
+/// per-decision randomness.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combines two 64-bit values into one well-mixed value.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return SplitMix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Combines three 64-bit values. Used for (seed, superstep, vertex) streams.
+inline uint64_t HashCombine(uint64_t a, uint64_t b, uint64_t c) {
+  return HashCombine(HashCombine(a, b), c);
+}
+
+/// Small, fast xoshiro256** engine. Satisfies UniformRandomBitGenerator so
+/// it can drive <random> distributions, but the library mostly uses the
+/// direct helpers below to stay allocation- and distribution-free.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four lanes of state via SplitMix64, per the xoshiro authors.
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) {
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      x = SplitMix64(x);
+      lane = x;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  /// Next raw 64 bits.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t Uniform(uint64_t bound) {
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = -bound % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+/// Stateless uniform draw in [0, bound) from a hashed key. The workhorse for
+/// deterministic per-(seed, step, vertex) decisions.
+inline uint64_t HashUniform(uint64_t key, uint64_t bound) {
+  // One extra mix round decorrelates from callers that pass raw counters.
+  uint64_t x = SplitMix64(key);
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(x) * bound) >> 64);
+}
+
+/// Stateless uniform double in [0, 1) from a hashed key.
+inline double HashUniformDouble(uint64_t key) {
+  return static_cast<double>(SplitMix64(key) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace spinner
+
+#endif  // SPINNER_COMMON_RANDOM_H_

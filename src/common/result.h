@@ -1,0 +1,78 @@
+// Result<T>: value-or-Status, the return type of fallible factories.
+// Mirrors arrow::Result / absl::StatusOr semantics in a dependency-free form.
+#ifndef SPINNER_COMMON_RESULT_H_
+#define SPINNER_COMMON_RESULT_H_
+
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace spinner {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced.
+///
+///   Result<CsrGraph> r = graph_io::ReadEdgeList(path);
+///   if (!r.ok()) return r.status();
+///   CsrGraph g = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, like StatusOr).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error. CHECK-fails on an OK status:
+  /// an OK Result must carry a value.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    SPINNER_CHECK(!std::get<Status>(repr_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The status: OK() if a value is present, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Accessors. CHECK-fail if no value is present.
+  const T& value() const& {
+    SPINNER_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    SPINNER_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    SPINNER_CHECK(ok()) << "Result::value() on error: " << status();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), returns its status on error, otherwise
+/// assigns the value into `lhs`.
+#define SPINNER_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  auto SPINNER_CONCAT_(_result_, __LINE__) = (rexpr);     \
+  if (!SPINNER_CONCAT_(_result_, __LINE__).ok())          \
+    return SPINNER_CONCAT_(_result_, __LINE__).status();  \
+  lhs = std::move(SPINNER_CONCAT_(_result_, __LINE__)).value()
+
+#define SPINNER_CONCAT_IMPL_(a, b) a##b
+#define SPINNER_CONCAT_(a, b) SPINNER_CONCAT_IMPL_(a, b)
+
+}  // namespace spinner
+
+#endif  // SPINNER_COMMON_RESULT_H_

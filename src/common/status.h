@@ -1,0 +1,102 @@
+// Status: lightweight error-handling type used throughout the library in
+// place of exceptions, following the RocksDB/Arrow idiom. Functions that can
+// fail return a Status (or a Result<T>, see result.h); callers are expected
+// to check `ok()` before using any output.
+#ifndef SPINNER_COMMON_STATUS_H_
+#define SPINNER_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace spinner {
+
+/// Error categories. Kept deliberately small; the message carries detail.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIOError = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "IOError"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier. A default-constructed Status is OK.
+///
+/// Typical use:
+///   Status s = graph_io::WriteEdgeList(path, edges);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller. Mirrors RocksDB's pattern.
+#define SPINNER_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::spinner::Status _status = (expr);                \
+    if (!_status.ok()) return _status;                 \
+  } while (0)
+
+}  // namespace spinner
+
+#endif  // SPINNER_COMMON_STATUS_H_

@@ -1,0 +1,109 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace spinner {
+
+std::vector<std::string_view> Split(std::string_view text, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view text) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t') ++i;
+    if (i > start) out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t b = 0;
+  size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  text = Trim(text);
+  if (text.empty() || text.size() > 31) return false;
+  char buf[32];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf, &end, 10);
+  if (errno == ERANGE || end != buf + text.size() || end == buf) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  text = Trim(text);
+  if (text.empty() || text.size() > 63) return false;
+  char buf[64];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf, &end);
+  if (errno == ERANGE || end != buf + text.size() || end == buf) return false;
+  *out = v;
+  return true;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string WithCommas(int64_t n) {
+  const bool neg = n < 0;
+  std::string digits = std::to_string(neg ? -n : n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace spinner

@@ -1,0 +1,40 @@
+// Small string helpers shared by I/O, benches and examples.
+#ifndef SPINNER_COMMON_STRING_UTIL_H_
+#define SPINNER_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spinner {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string_view> Split(std::string_view text, char sep);
+
+/// Splits `text` on any run of spaces/tabs, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+/// Removes leading and trailing whitespace.
+std::string_view Trim(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Parses a signed 64-bit integer. Returns false on any non-numeric input,
+/// overflow, or trailing garbage.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a double. Returns false on malformed input or trailing garbage.
+bool ParseDouble(std::string_view text, double* out);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Renders n with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithCommas(int64_t n);
+
+}  // namespace spinner
+
+#endif  // SPINNER_COMMON_STRING_UTIL_H_

@@ -1,0 +1,89 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spinner {
+
+ThreadPool::ThreadPool(int num_threads) {
+  num_threads = std::max(1, num_threads);
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SPINNER_CHECK(!shutdown_) << "Submit on a shut-down pool";
+    tasks_.push(std::move(task));
+    ++pending_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(lock,
+                           [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn) {
+  ParallelForChunked(pool, begin, end, pool->num_threads(),
+                     [&fn](int /*chunk*/, int64_t lo, int64_t hi) {
+                       for (int64_t i = lo; i < hi; ++i) fn(i);
+                     });
+}
+
+void ParallelForChunked(
+    ThreadPool* pool, int64_t begin, int64_t end, int num_chunks,
+    const std::function<void(int, int64_t, int64_t)>& fn) {
+  SPINNER_CHECK(begin <= end);
+  const int64_t n = end - begin;
+  if (n == 0) return;
+  num_chunks = static_cast<int>(
+      std::min<int64_t>(std::max(1, num_chunks), n));
+  const int64_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (int c = 0; c < num_chunks; ++c) {
+    const int64_t lo = begin + c * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool->Submit([c, lo, hi, &fn] { fn(c, lo, hi); });
+  }
+  pool->Wait();
+}
+
+}  // namespace spinner

@@ -1,0 +1,64 @@
+// Fixed-size thread pool plus a blocking ParallelFor, the only concurrency
+// primitives the Pregel engine needs. Workers are long-lived so superstep
+// loops do not pay thread-creation costs.
+#ifndef SPINNER_COMMON_THREADPOOL_H_
+#define SPINNER_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace spinner {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (minimum 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  /// Number of worker threads.
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  int64_t pending_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across `pool`, blocking until done.
+/// Work is split into contiguous chunks, one per worker, so that fn bodies
+/// that touch per-index arrays keep cache locality. fn must be safe to call
+/// concurrently for distinct i.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn);
+
+/// Runs fn(chunk_index, chunk_begin, chunk_end) over `num_chunks` contiguous
+/// ranges covering [begin, end). Used when the caller wants per-chunk state
+/// (e.g. one accumulator per worker).
+void ParallelForChunked(
+    ThreadPool* pool, int64_t begin, int64_t end, int num_chunks,
+    const std::function<void(int, int64_t, int64_t)>& fn);
+
+}  // namespace spinner
+
+#endif  // SPINNER_COMMON_THREADPOOL_H_

@@ -1,0 +1,97 @@
+#include "graph/conversion.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/string_util.h"
+#include "graph/edge_list.h"
+
+namespace spinner {
+
+namespace {
+
+Status ValidateRange(int64_t num_vertices, const EdgeList& edges) {
+  if (num_vertices < 0) {
+    return Status::InvalidArgument("negative vertex count");
+  }
+  if (!EdgesInRange(edges, num_vertices)) {
+    return Status::InvalidArgument(
+        StrFormat("edge endpoint out of range [0,%lld)",
+                  static_cast<long long>(num_vertices)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CsrGraph> ConvertToWeightedUndirected(int64_t num_vertices,
+                                             const EdgeList& directed_edges) {
+  SPINNER_RETURN_IF_ERROR(ValidateRange(num_vertices, directed_edges));
+
+  // Canonicalize each directed edge to (min, max, direction-bit), then a
+  // single sorted pass merges the two directions of each unordered pair.
+  struct Arc {
+    VertexId lo;
+    VertexId hi;
+    uint8_t dir;  // bit 0: lo->hi present, bit 1: hi->lo present
+
+    bool operator<(const Arc& o) const {
+      return std::tie(lo, hi) < std::tie(o.lo, o.hi);
+    }
+  };
+  std::vector<Arc> arcs;
+  arcs.reserve(directed_edges.size());
+  for (const Edge& e : directed_edges) {
+    if (e.src == e.dst) continue;  // self-loops carry no cut information
+    if (e.src < e.dst) {
+      arcs.push_back({e.src, e.dst, 1});
+    } else {
+      arcs.push_back({e.dst, e.src, 2});
+    }
+  }
+  std::sort(arcs.begin(), arcs.end());
+
+  EdgeList sym_edges;
+  std::vector<EdgeWeight> sym_weights;
+  sym_edges.reserve(arcs.size() * 2);
+  sym_weights.reserve(arcs.size() * 2);
+  size_t i = 0;
+  while (i < arcs.size()) {
+    uint8_t dir = 0;
+    const VertexId lo = arcs[i].lo;
+    const VertexId hi = arcs[i].hi;
+    while (i < arcs.size() && arcs[i].lo == lo && arcs[i].hi == hi) {
+      dir |= arcs[i].dir;
+      ++i;
+    }
+    const EdgeWeight w = (dir == 3) ? 2u : 1u;  // both directions => 2
+    sym_edges.push_back({lo, hi});
+    sym_weights.push_back(w);
+    sym_edges.push_back({hi, lo});
+    sym_weights.push_back(w);
+  }
+  return CsrGraph::FromEdges(num_vertices, sym_edges, sym_weights);
+}
+
+Result<CsrGraph> BuildSymmetric(int64_t num_vertices, const EdgeList& edges) {
+  SPINNER_RETURN_IF_ERROR(ValidateRange(num_vertices, edges));
+
+  EdgeList canonical;
+  canonical.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (e.src == e.dst) continue;
+    canonical.push_back(
+        {std::min(e.src, e.dst), std::max(e.src, e.dst)});
+  }
+  SortAndDedup(&canonical);
+
+  EdgeList sym;
+  sym.reserve(canonical.size() * 2);
+  for (const Edge& e : canonical) {
+    sym.push_back(e);
+    sym.push_back({e.dst, e.src});
+  }
+  return CsrGraph::FromEdges(num_vertices, sym);
+}
+
+}  // namespace spinner

@@ -1,0 +1,35 @@
+// Directed → weighted-undirected conversion (paper §III.A, Eq. 3).
+//
+// Spinner optimizes the number of messages crossing partitions. In Pregel,
+// messages flow along directed edges, so a pair of reciprocal directed edges
+// between u and v carries twice the traffic of a single edge. The conversion
+// produces a symmetric graph whose arc weights count that traffic:
+//   w(u,v) = 1 if exactly one of (u,v), (v,u) is in the directed graph,
+//   w(u,v) = 2 if both are.
+//
+// This is the offline reference implementation; the Pregel-native
+// NeighborPropagation/NeighborDiscovery phases in src/spinner compute the
+// same result in-engine, and a test cross-checks the two.
+#ifndef SPINNER_GRAPH_CONVERSION_H_
+#define SPINNER_GRAPH_CONVERSION_H_
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace spinner {
+
+/// Converts a directed edge list into the symmetric weighted CSR form.
+/// Self-loops and duplicate directed edges are dropped (a duplicate carries
+/// no extra structural information for partitioning). Every undirected edge
+/// appears as two arcs (u→v and v→u) of equal weight ∈ {1,2}.
+Result<CsrGraph> ConvertToWeightedUndirected(int64_t num_vertices,
+                                             const EdgeList& directed_edges);
+
+/// Builds the symmetric weight-1 CSR form of an undirected edge list (each
+/// edge listed once). Self-loops and duplicates are dropped.
+Result<CsrGraph> BuildSymmetric(int64_t num_vertices, const EdgeList& edges);
+
+}  // namespace spinner
+
+#endif  // SPINNER_GRAPH_CONVERSION_H_

@@ -1,0 +1,113 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace spinner {
+
+Result<CsrGraph> CsrGraph::FromEdges(int64_t num_vertices,
+                                     const EdgeList& edges,
+                                     std::span<const EdgeWeight> weights) {
+  if (num_vertices < 0) {
+    return Status::InvalidArgument("negative vertex count");
+  }
+  if (!weights.empty() && weights.size() != edges.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "weight count %zu does not match edge count %zu", weights.size(),
+        edges.size()));
+  }
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.src >= num_vertices || e.dst < 0 ||
+        e.dst >= num_vertices) {
+      return Status::InvalidArgument(
+          StrFormat("edge (%lld,%lld) out of range [0,%lld)",
+                    static_cast<long long>(e.src),
+                    static_cast<long long>(e.dst),
+                    static_cast<long long>(num_vertices)));
+    }
+  }
+
+  CsrGraph g;
+  g.num_vertices_ = num_vertices;
+  g.offsets_.assign(num_vertices + 1, 0);
+  for (const Edge& e : edges) ++g.offsets_[e.src + 1];
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+
+  const auto m = static_cast<int64_t>(edges.size());
+  g.targets_.resize(m);
+  g.weights_.resize(m);
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const int64_t pos = cursor[edges[i].src]++;
+    g.targets_[pos] = edges[i].dst;
+    g.weights_[pos] = weights.empty() ? 1u : weights[i];
+  }
+
+  // Sort each vertex's arcs by (target, weight) so that Neighbors() is
+  // ordered and HasArc() can binary-search.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const int64_t lo = g.offsets_[v];
+    const int64_t hi = g.offsets_[v + 1];
+    std::vector<std::pair<VertexId, EdgeWeight>> row;
+    row.reserve(hi - lo);
+    for (int64_t i = lo; i < hi; ++i) {
+      row.emplace_back(g.targets_[i], g.weights_[i]);
+    }
+    std::sort(row.begin(), row.end());
+    for (int64_t i = lo; i < hi; ++i) {
+      g.targets_[i] = row[i - lo].first;
+      g.weights_[i] = row[i - lo].second;
+    }
+  }
+
+  g.weighted_degree_.assign(num_vertices, 0);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    int64_t wd = 0;
+    for (EdgeWeight w : g.Weights(v)) wd += w;
+    g.weighted_degree_[v] = wd;
+    g.total_arc_weight_ += wd;
+  }
+  return g;
+}
+
+bool CsrGraph::IsSymmetric() const {
+  for (VertexId u = 0; u < num_vertices_; ++u) {
+    auto nbrs = Neighbors(u);
+    auto ws = Weights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const VertexId v = nbrs[i];
+      // Find arc v->u with equal weight.
+      auto vn = Neighbors(v);
+      auto vw = Weights(v);
+      auto it = std::lower_bound(vn.begin(), vn.end(), u);
+      bool found = false;
+      while (it != vn.end() && *it == u) {
+        if (vw[it - vn.begin()] == ws[i]) {
+          found = true;
+          break;
+        }
+        ++it;
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+bool CsrGraph::HasArc(VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+EdgeList CsrGraph::ToEdgeList() const {
+  EdgeList out;
+  out.reserve(targets_.size());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (VertexId u : Neighbors(v)) out.push_back({v, u});
+  }
+  return out;
+}
+
+}  // namespace spinner

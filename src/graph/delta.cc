@@ -1,0 +1,76 @@
+#include "graph/delta.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "graph/edge_list.h"
+
+namespace spinner {
+
+Result<EdgeList> ApplyDelta(int64_t num_vertices, const EdgeList& edges,
+                            const GraphDelta& delta) {
+  const int64_t new_n = num_vertices + delta.num_new_vertices;
+  if (delta.num_new_vertices < 0) {
+    return Status::InvalidArgument("num_new_vertices must be >= 0");
+  }
+  if (!EdgesInRange(delta.added_edges, new_n)) {
+    return Status::InvalidArgument(StrFormat(
+        "added edge endpoint outside [0,%lld)",
+        static_cast<long long>(new_n)));
+  }
+
+  EdgeList result = edges;
+  if (!delta.removed_edges.empty()) {
+    // Multiset-style removal: each removed edge cancels one occurrence.
+    EdgeList to_remove = delta.removed_edges;
+    std::sort(to_remove.begin(), to_remove.end());
+    std::sort(result.begin(), result.end());
+    EdgeList kept;
+    kept.reserve(result.size());
+    size_t r = 0;
+    for (const Edge& e : result) {
+      if (r < to_remove.size() && to_remove[r] == e) {
+        ++r;  // cancelled
+        continue;
+      }
+      kept.push_back(e);
+    }
+    if (r != to_remove.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "removed edge (%lld,%lld) not present",
+          static_cast<long long>(to_remove[r].src),
+          static_cast<long long>(to_remove[r].dst)));
+    }
+    result = std::move(kept);
+  }
+  result.insert(result.end(), delta.added_edges.begin(),
+                delta.added_edges.end());
+  return result;
+}
+
+GraphDelta RandomEdgeAdditions(int64_t num_vertices, const EdgeList& existing,
+                               int64_t num_edges, uint64_t seed) {
+  auto key = [](VertexId a, VertexId b) {
+    const auto lo = static_cast<uint64_t>(std::min(a, b));
+    const auto hi = static_cast<uint64_t>(std::max(a, b));
+    return (hi << 32) | lo;
+  };
+  std::unordered_set<uint64_t> present;
+  present.reserve(existing.size() * 2);
+  for (const Edge& e : existing) present.insert(key(e.src, e.dst));
+
+  GraphDelta delta;
+  Rng rng(SplitMix64(seed ^ 0xD317AULL));
+  while (static_cast<int64_t>(delta.added_edges.size()) < num_edges) {
+    const VertexId u = static_cast<VertexId>(rng.Uniform(num_vertices));
+    const VertexId v = static_cast<VertexId>(rng.Uniform(num_vertices));
+    if (u == v) continue;
+    if (!present.insert(key(u, v)).second) continue;
+    delta.added_edges.push_back({u, v});
+  }
+  return delta;
+}
+
+}  // namespace spinner

@@ -1,0 +1,39 @@
+// GraphDelta: a batch of dynamic changes, the input to incremental
+// repartitioning (paper §III.D). The paper's experiments add edges (new
+// friendships) and vertices; removal is supported for completeness.
+#ifndef SPINNER_GRAPH_DELTA_H_
+#define SPINNER_GRAPH_DELTA_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/types.h"
+
+namespace spinner {
+
+/// A set of changes to apply on top of an existing edge list.
+struct GraphDelta {
+  /// Number of vertices appended to the id range (new ids are
+  /// [old_n, old_n + num_new_vertices)).
+  int64_t num_new_vertices = 0;
+  /// Edges to add. May reference both old and new vertices.
+  EdgeList added_edges;
+  /// Edges to remove (matched exactly against existing edges).
+  EdgeList removed_edges;
+};
+
+/// Applies `delta` to (num_vertices, edges): appends vertices, removes then
+/// adds edges. Fails if an added edge references a vertex outside the grown
+/// range or a removed edge does not exist.
+Result<EdgeList> ApplyDelta(int64_t num_vertices, const EdgeList& edges,
+                            const GraphDelta& delta);
+
+/// Generates a delta of `num_edges` new random edges among existing vertices
+/// (no self-loops, not already present, deterministic in seed) — the
+/// "percentage of new edges" workload of paper Fig. 7.
+GraphDelta RandomEdgeAdditions(int64_t num_vertices, const EdgeList& existing,
+                               int64_t num_edges, uint64_t seed);
+
+}  // namespace spinner
+
+#endif  // SPINNER_GRAPH_DELTA_H_

@@ -1,0 +1,49 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spinner {
+
+VertexId MaxVertexId(const EdgeList& edges) {
+  VertexId max_id = -1;
+  for (const Edge& e : edges) {
+    max_id = std::max(max_id, std::max(e.src, e.dst));
+  }
+  return max_id;
+}
+
+void SortAndDedup(EdgeList* edges) {
+  std::sort(edges->begin(), edges->end());
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+}
+
+void RemoveSelfLoops(EdgeList* edges) {
+  edges->erase(std::remove_if(edges->begin(), edges->end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               edges->end());
+}
+
+std::vector<int64_t> OutDegrees(const EdgeList& edges, int64_t num_vertices) {
+  std::vector<int64_t> deg(num_vertices, 0);
+  for (const Edge& e : edges) {
+    SPINNER_CHECK(e.src >= 0 && e.src < num_vertices)
+        << "edge source " << e.src << " out of range [0," << num_vertices
+        << ")";
+    ++deg[e.src];
+  }
+  return deg;
+}
+
+bool EdgesInRange(const EdgeList& edges, int64_t num_vertices) {
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.src >= num_vertices || e.dst < 0 ||
+        e.dst >= num_vertices) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace spinner

@@ -1,0 +1,29 @@
+// Helpers over plain edge lists: normalization, bounds, degree counting.
+#ifndef SPINNER_GRAPH_EDGE_LIST_H_
+#define SPINNER_GRAPH_EDGE_LIST_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace spinner {
+
+/// Largest vertex id referenced by any edge; -1 for an empty list.
+VertexId MaxVertexId(const EdgeList& edges);
+
+/// Sorts by (src, dst) and removes exact duplicates in place.
+void SortAndDedup(EdgeList* edges);
+
+/// Removes self-loop edges (src == dst) in place, preserving order.
+void RemoveSelfLoops(EdgeList* edges);
+
+/// Out-degree of every vertex in [0, num_vertices). Edges referencing
+/// vertices outside the range are a programming error (CHECK).
+std::vector<int64_t> OutDegrees(const EdgeList& edges, int64_t num_vertices);
+
+/// True iff every endpoint lies in [0, num_vertices).
+bool EdgesInRange(const EdgeList& edges, int64_t num_vertices);
+
+}  // namespace spinner
+
+#endif  // SPINNER_GRAPH_EDGE_LIST_H_

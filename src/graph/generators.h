@@ -1,0 +1,71 @@
+// Synthetic graph generators: the evaluation substrate.
+//
+// The paper's scalability experiments use Watts-Strogatz graphs; its
+// real-world datasets (Twitter, LiveJournal, Tuenti, ...) are proprietary or
+// impractically large, so the benches use topology-matched stand-ins:
+// Barabási-Albert for hub-heavy social graphs (Twitter), Watts-Strogatz for
+// small-world graphs, R-MAT for skewed web-like graphs, and a planted
+// partition (stochastic block model) for graphs with known community
+// structure. All generators are deterministic in `seed`.
+#ifndef SPINNER_GRAPH_GENERATORS_H_
+#define SPINNER_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "graph/types.h"
+
+namespace spinner {
+
+/// A generated graph: `edges` lists each (un)directed edge exactly once.
+struct GeneratedGraph {
+  int64_t num_vertices = 0;
+  EdgeList edges;
+  /// True if `edges` should be interpreted as directed edges.
+  bool directed = false;
+};
+
+/// Watts-Strogatz small-world graph (paper §V.B): ring lattice where every
+/// vertex connects to its `neighbors_per_side` successors, then each edge's
+/// far endpoint is rewired with probability `beta` to a uniform vertex.
+/// Mean degree is 2·neighbors_per_side. Undirected.
+Result<GeneratedGraph> WattsStrogatz(int64_t num_vertices,
+                                     int neighbors_per_side, double beta,
+                                     uint64_t seed);
+
+/// Barabási-Albert preferential attachment: starts from a `m0`-clique, each
+/// new vertex attaches `m` edges preferentially to high-degree vertices.
+/// Produces heavy-tailed degree distributions with hubs (Twitter-like).
+/// Undirected.
+Result<GeneratedGraph> BarabasiAlbert(int64_t num_vertices, int m0, int m,
+                                      uint64_t seed);
+
+/// Erdős-Rényi G(n, m): `num_edges` distinct undirected edges chosen
+/// uniformly at random (no self-loops).
+Result<GeneratedGraph> ErdosRenyi(int64_t num_vertices, int64_t num_edges,
+                                  uint64_t seed);
+
+/// R-MAT recursive-matrix generator with quadrant probabilities a,b,c,d
+/// (a+b+c+d = 1). 2^scale vertices, edge_factor·2^scale directed edges.
+/// Skewed, web-like. Directed.
+Result<GeneratedGraph> RMat(int scale, int edge_factor, double a, double b,
+                            double c, uint64_t seed);
+
+/// Planted partition / stochastic block model: `num_blocks` communities of
+/// `block_size` vertices; within-community edges appear with probability
+/// p_in, cross-community with p_out. Ground truth for locality tests.
+/// Undirected.
+Result<GeneratedGraph> PlantedPartition(int num_blocks, int64_t block_size,
+                                        double p_in, double p_out,
+                                        uint64_t seed);
+
+/// Deterministic structured graphs for unit tests.
+GeneratedGraph Ring(int64_t num_vertices);
+GeneratedGraph Path(int64_t num_vertices);
+GeneratedGraph Star(int64_t num_leaves);  // vertex 0 is the hub
+GeneratedGraph Complete(int64_t num_vertices);
+GeneratedGraph Grid(int64_t rows, int64_t cols);
+
+}  // namespace spinner
+
+#endif  // SPINNER_GRAPH_GENERATORS_H_

@@ -1,0 +1,126 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace spinner::graph_io {
+
+namespace {
+
+bool IsCommentOrBlank(std::string_view line) {
+  line = Trim(line);
+  return line.empty() || line[0] == '#' || line[0] == '%';
+}
+
+}  // namespace
+
+Result<EdgeList> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open edge list file: " + path);
+  }
+  EdgeList edges;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    const auto fields = SplitWhitespace(line);
+    int64_t src = 0;
+    int64_t dst = 0;
+    if (fields.size() < 2 || !ParseInt64(fields[0], &src) ||
+        !ParseInt64(fields[1], &dst) || src < 0 || dst < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%lld: malformed edge line: '%s'", path.c_str(),
+          static_cast<long long>(line_no), std::string(Trim(line)).c_str()));
+    }
+    edges.push_back({src, dst});
+  }
+  if (in.bad()) {
+    return Status::IOError("read error on: " + path);
+  }
+  return edges;
+}
+
+Status WriteEdgeList(const std::string& path, const EdgeList& edges) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  for (const Edge& e : edges) {
+    out << e.src << ' ' << e.dst << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("write error on: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<PartitionId>> ReadPartitioning(const std::string& path,
+                                                  int64_t num_vertices) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open partition file: " + path);
+  }
+  std::vector<PartitionId> assignment(num_vertices, kNoPartition);
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    const auto fields = SplitWhitespace(line);
+    int64_t vertex = 0;
+    int64_t part = 0;
+    if (fields.size() < 2 || !ParseInt64(fields[0], &vertex) ||
+        !ParseInt64(fields[1], &part) || part < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%lld: malformed partition line: '%s'", path.c_str(),
+          static_cast<long long>(line_no), std::string(Trim(line)).c_str()));
+    }
+    if (vertex < 0 || vertex >= num_vertices) {
+      return Status::OutOfRange(StrFormat(
+          "%s:%lld: vertex %lld outside [0,%lld)", path.c_str(),
+          static_cast<long long>(line_no), static_cast<long long>(vertex),
+          static_cast<long long>(num_vertices)));
+    }
+    if (assignment[vertex] != kNoPartition) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%lld: vertex %lld assigned twice", path.c_str(),
+          static_cast<long long>(line_no), static_cast<long long>(vertex)));
+    }
+    assignment[vertex] = static_cast<PartitionId>(part);
+  }
+  if (in.bad()) {
+    return Status::IOError("read error on: " + path);
+  }
+  for (int64_t v = 0; v < num_vertices; ++v) {
+    if (assignment[v] == kNoPartition) {
+      return Status::InvalidArgument(StrFormat(
+          "vertex %lld has no partition in %s", static_cast<long long>(v),
+          path.c_str()));
+    }
+  }
+  return assignment;
+}
+
+Status WritePartitioning(const std::string& path,
+                         const std::vector<PartitionId>& assignment) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  for (size_t v = 0; v < assignment.size(); ++v) {
+    out << v << ' ' << assignment[v] << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("write error on: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace spinner::graph_io

@@ -1,0 +1,32 @@
+#include "graph/remap.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace spinner {
+
+VertexIdMapping CompactVertexIds(EdgeList* edges) {
+  VertexIdMapping mapping;
+  mapping.original_id.reserve(edges->size());
+  for (const Edge& e : *edges) {
+    mapping.original_id.push_back(e.src);
+    mapping.original_id.push_back(e.dst);
+  }
+  std::sort(mapping.original_id.begin(), mapping.original_id.end());
+  mapping.original_id.erase(
+      std::unique(mapping.original_id.begin(), mapping.original_id.end()),
+      mapping.original_id.end());
+
+  std::unordered_map<VertexId, VertexId> to_dense;
+  to_dense.reserve(mapping.original_id.size() * 2);
+  for (size_t dense = 0; dense < mapping.original_id.size(); ++dense) {
+    to_dense[mapping.original_id[dense]] = static_cast<VertexId>(dense);
+  }
+  for (Edge& e : *edges) {
+    e.src = to_dense[e.src];
+    e.dst = to_dense[e.dst];
+  }
+  return mapping;
+}
+
+}  // namespace spinner

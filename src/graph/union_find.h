@@ -1,0 +1,63 @@
+// Disjoint-set forest with path halving and union by size. Used by the
+// multilevel partitioner's coarsening and as the reference for WCC tests.
+#ifndef SPINNER_GRAPH_UNION_FIND_H_
+#define SPINNER_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace spinner {
+
+/// Standard union-find over the dense vertex range [0, n).
+class UnionFind {
+ public:
+  explicit UnionFind(int64_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  /// Representative of v's set (with path halving).
+  VertexId Find(VertexId v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(VertexId a, VertexId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+  /// True iff a and b are in the same set.
+  bool Connected(VertexId a, VertexId b) { return Find(a) == Find(b); }
+
+  /// Size of the set containing v.
+  int64_t SetSize(VertexId v) { return size_[Find(v)]; }
+
+  /// Number of distinct sets.
+  int64_t NumSets() {
+    int64_t count = 0;
+    for (VertexId v = 0; v < static_cast<VertexId>(parent_.size()); ++v) {
+      if (Find(v) == v) ++count;
+    }
+    return count;
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<int64_t> size_;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_GRAPH_UNION_FIND_H_

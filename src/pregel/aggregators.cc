@@ -1,0 +1,36 @@
+#include "pregel/aggregators.h"
+
+namespace spinner::pregel {
+
+void AggregatorRegistry::Register(const std::string& name,
+                                  std::unique_ptr<AggregatorBase> agg,
+                                  bool persistent) {
+  SPINNER_CHECK(slots_.count(name) == 0)
+      << "aggregator registered twice: " << name;
+  Slot slot;
+  slot.global = std::move(agg);
+  slot.persistent = persistent;
+  slots_[name] = std::move(slot);
+}
+
+void AggregatorRegistry::CreatePartials(int num_workers) {
+  for (auto& [name, slot] : slots_) {
+    slot.partials.clear();
+    slot.partials.reserve(num_workers);
+    for (int w = 0; w < num_workers; ++w) {
+      slot.partials.push_back(slot.global->CloneEmpty());
+    }
+  }
+}
+
+void AggregatorRegistry::MergePartials() {
+  for (auto& [name, slot] : slots_) {
+    if (!slot.persistent) slot.global->Reset();
+    for (auto& partial : slot.partials) {
+      slot.global->MergeFrom(*partial);
+      partial->Reset();
+    }
+  }
+}
+
+}  // namespace spinner::pregel

@@ -1,0 +1,55 @@
+// Per-superstep execution statistics. The cluster simulator derives paper
+// Table IV / Figure 9 timings from these exact counts.
+#ifndef SPINNER_PREGEL_STATS_H_
+#define SPINNER_PREGEL_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spinner::pregel {
+
+/// Counters for one superstep, including per-worker breakdowns.
+struct SuperstepStats {
+  int64_t superstep = 0;
+  /// Vertices that executed Compute() this superstep.
+  int64_t active_vertices = 0;
+  /// Messages sent during this superstep (delivered in the next one).
+  int64_t messages_sent = 0;
+  /// Of those, messages whose source and destination vertices live on the
+  /// same / a different worker. Remote messages would cross the network in
+  /// a distributed deployment — this is what partitioning minimizes.
+  int64_t messages_local = 0;
+  int64_t messages_remote = 0;
+
+  /// Per destination worker: messages received (delivered at the start of
+  /// the next superstep), split by origin.
+  std::vector<int64_t> worker_messages_in;
+  std::vector<int64_t> worker_remote_messages_in;
+  /// Per worker: vertices computed and the sum of their out-degrees (the
+  /// compute-load proxy used by the cost model).
+  std::vector<int64_t> worker_vertices_computed;
+  std::vector<int64_t> worker_edges_scanned;
+  /// Per worker: messages this worker sent.
+  std::vector<int64_t> worker_messages_out;
+
+  /// Measured wall-clock duration of the superstep (compute + barrier).
+  double wall_seconds = 0.0;
+};
+
+/// Result of an engine run.
+struct RunStats {
+  int64_t supersteps = 0;
+  double total_wall_seconds = 0.0;
+  std::vector<SuperstepStats> per_superstep;
+
+  /// Sum of messages_sent over all supersteps.
+  int64_t TotalMessages() const {
+    int64_t total = 0;
+    for (const auto& s : per_superstep) total += s.messages_sent;
+    return total;
+  }
+};
+
+}  // namespace spinner::pregel
+
+#endif  // SPINNER_PREGEL_STATS_H_

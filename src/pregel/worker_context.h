@@ -1,0 +1,39 @@
+// WorkerContext: per-worker shared state, the Giraph feature Spinner's
+// asynchronous-within-a-superstep optimization relies on (paper §IV.A.4).
+// All vertices executed by the same worker see (and may mutate) the same
+// context with no locking, because a worker is a single sequential unit.
+#ifndef SPINNER_PREGEL_WORKER_CONTEXT_H_
+#define SPINNER_PREGEL_WORKER_CONTEXT_H_
+
+#include <memory>
+
+namespace spinner::pregel {
+
+using WorkerId = int;
+
+/// Base class for per-worker shared state. Programs subclass this and
+/// downcast inside Compute()/PreSuperstep()/PostSuperstep().
+class WorkerContextBase {
+ public:
+  virtual ~WorkerContextBase() = default;
+
+  /// The worker this context belongs to.
+  WorkerId worker_id() const { return worker_id_; }
+
+  /// Total number of workers in the computation.
+  int num_workers() const { return num_workers_; }
+
+  /// Engine-internal: set once at construction time.
+  void BindWorker(WorkerId id, int num_workers) {
+    worker_id_ = id;
+    num_workers_ = num_workers;
+  }
+
+ private:
+  WorkerId worker_id_ = 0;
+  int num_workers_ = 1;
+};
+
+}  // namespace spinner::pregel
+
+#endif  // SPINNER_PREGEL_WORKER_CONTEXT_H_

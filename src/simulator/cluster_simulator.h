@@ -1,0 +1,47 @@
+// ClusterSimulator: runs any Pregel program under a chosen vertex→worker
+// placement and reports simulated distributed timings — the harness behind
+// the paper's application-performance experiments (§V.F).
+#ifndef SPINNER_SIMULATOR_CLUSTER_SIMULATOR_H_
+#define SPINNER_SIMULATOR_CLUSTER_SIMULATOR_H_
+
+#include <utility>
+
+#include "graph/csr_graph.h"
+#include "pregel/engine.h"
+#include "pregel/topology.h"
+#include "simulator/cost_model.h"
+
+namespace spinner::sim {
+
+/// Combined outcome: real engine counters + modeled cluster timings.
+struct ClusterRun {
+  pregel::RunStats engine_stats;
+  SimulationResult simulation;
+};
+
+/// Runs `program` on `graph` distributed across `num_workers` simulated
+/// machines via `placement`, then prices the run with `model`.
+/// V/E/M are the program's vertex/edge/message types; `init_vertex` and
+/// `init_edge` seed the state exactly as PregelEngine's constructor does.
+template <typename V, typename E, typename M>
+ClusterRun RunOnCluster(
+    const CsrGraph& graph, int num_workers, pregel::Placement placement,
+    pregel::VertexProgram<V, E, M>& program,
+    std::function<V(VertexId)> init_vertex,
+    std::function<E(VertexId, VertexId, EdgeWeight)> init_edge,
+    const CostModel& model = {}, int64_t max_supersteps = 100000) {
+  pregel::EngineConfig config;
+  config.num_workers = num_workers;
+  config.max_supersteps = max_supersteps;
+  pregel::PregelEngine<V, E, M> engine(graph, config, std::move(placement),
+                                       std::move(init_vertex),
+                                       std::move(init_edge));
+  ClusterRun run;
+  run.engine_stats = engine.Run(program);
+  run.simulation = Simulate(run.engine_stats, model);
+  return run;
+}
+
+}  // namespace spinner::sim
+
+#endif  // SPINNER_SIMULATOR_CLUSTER_SIMULATOR_H_

@@ -1,0 +1,61 @@
+#include "simulator/cost_model.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spinner::sim {
+
+SimulationResult Simulate(const pregel::RunStats& stats,
+                          const CostModel& model) {
+  SimulationResult result;
+  const auto& steps = stats.per_superstep;
+  for (size_t s = 0; s < steps.size(); ++s) {
+    const auto& step = steps[s];
+    const auto num_workers = static_cast<int>(
+        step.worker_vertices_computed.size());
+    SimulatedSuperstep sim;
+    sim.superstep = step.superstep;
+    sim.worker_seconds.resize(num_workers, 0.0);
+
+    double max_t = 0.0;
+    double min_t = 1e300;
+    double sum_t = 0.0;
+    for (int w = 0; w < num_workers; ++w) {
+      double t_us = model.per_vertex_us *
+                        static_cast<double>(step.worker_vertices_computed[w]) +
+                    model.per_edge_us *
+                        static_cast<double>(step.worker_edges_scanned[w]);
+      if (s > 0) {
+        // Messages ingested at the previous barrier are processed now.
+        const auto& prev = steps[s - 1];
+        const int64_t in = prev.worker_messages_in[w];
+        const int64_t remote_in = prev.worker_remote_messages_in[w];
+        t_us += model.per_local_message_us *
+                    static_cast<double>(in - remote_in) +
+                model.per_remote_message_us * static_cast<double>(remote_in);
+      }
+      const double t = t_us * 1e-6;
+      sim.worker_seconds[w] = t;
+      max_t = std::max(max_t, t);
+      min_t = std::min(min_t, t);
+      sum_t += t;
+    }
+    if (num_workers == 0) min_t = 0.0;
+    sim.mean_worker_seconds =
+        num_workers == 0 ? 0.0 : sum_t / static_cast<double>(num_workers);
+    sim.min_worker_seconds = min_t;
+    sim.superstep_seconds = max_t + model.barrier_us * 1e-6;
+
+    result.total_seconds += sim.superstep_seconds;
+    result.total_messages += step.messages_sent;
+    result.remote_messages += step.messages_remote;
+    result.mean_stats.Add(sim.mean_worker_seconds);
+    result.max_stats.Add(max_t);
+    result.min_stats.Add(min_t);
+    result.supersteps.push_back(std::move(sim));
+  }
+  return result;
+}
+
+}  // namespace spinner::sim

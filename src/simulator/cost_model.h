@@ -1,0 +1,68 @@
+// Cluster cost model: turns exact per-worker engine statistics into
+// simulated distributed wall-clock times.
+//
+// The paper's application experiments (Table IV, Fig. 9) ran on 256-worker
+// Hadoop clusters we do not have. What those experiments actually measure,
+// though, is determined by message locality and per-worker load — which the
+// in-process engine counts exactly. The model charges each worker per
+// superstep for its compute (vertices + edges) and for the messages it
+// ingests (remote messages an order of magnitude more expensive than local
+// ones, the defining property of a shared-nothing cluster), and makes the
+// superstep as slow as its slowest worker — the synchronization-barrier
+// effect that makes load balance matter (§V.F: "less loaded workers idle at
+// the synchronization barrier").
+#ifndef SPINNER_SIMULATOR_COST_MODEL_H_
+#define SPINNER_SIMULATOR_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "pregel/stats.h"
+
+namespace spinner::sim {
+
+/// Cost coefficients, in microseconds. Defaults approximate a commodity
+/// cluster: remote messages cost ~10× local ones.
+struct CostModel {
+  double per_vertex_us = 0.05;
+  double per_edge_us = 0.01;
+  double per_local_message_us = 0.05;
+  double per_remote_message_us = 0.50;
+  double barrier_us = 2000.0;
+};
+
+/// Simulated timings for one superstep.
+struct SimulatedSuperstep {
+  int64_t superstep = 0;
+  /// Simulated busy time per worker.
+  std::vector<double> worker_seconds;
+  /// Duration of the superstep: slowest worker + barrier.
+  double superstep_seconds = 0.0;
+  /// Mean/min over workers (Table IV columns).
+  double mean_worker_seconds = 0.0;
+  double min_worker_seconds = 0.0;
+};
+
+/// Whole-run simulated timings.
+struct SimulationResult {
+  std::vector<SimulatedSuperstep> supersteps;
+  double total_seconds = 0.0;
+  int64_t total_messages = 0;
+  int64_t remote_messages = 0;
+
+  /// Distributions across supersteps of the per-superstep worker mean /
+  /// max / min (the ± entries of Table IV).
+  SampleStats mean_stats;
+  SampleStats max_stats;
+  SampleStats min_stats;
+};
+
+/// Applies the cost model to engine statistics. Messages are charged at the
+/// superstep where they are processed (one after they were sent).
+SimulationResult Simulate(const pregel::RunStats& stats,
+                          const CostModel& model);
+
+}  // namespace spinner::sim
+
+#endif  // SPINNER_SIMULATOR_COST_MODEL_H_

@@ -1,0 +1,137 @@
+#include "spinner/partitioner.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "graph/conversion.h"
+#include "graph/edge_list.h"
+#include "pregel/topology.h"
+#include "spinner/initial_assignment.h"
+#include "spinner/program.h"
+
+namespace spinner {
+
+SpinnerPartitioner::SpinnerPartitioner(const SpinnerConfig& config)
+    : config_(config) {}
+
+Result<PartitionResult> SpinnerPartitioner::Partition(
+    const CsrGraph& converted) const {
+  std::vector<PartitionId> no_labels(converted.NumVertices(), kNoPartition);
+  return RunOnGraph(converted, converted, std::move(no_labels),
+                    config_.num_partitions, /*with_conversion=*/false);
+}
+
+Result<PartitionResult> SpinnerPartitioner::PartitionDirected(
+    int64_t num_vertices, const EdgeList& directed) const {
+  EdgeList dedup = directed;
+  RemoveSelfLoops(&dedup);
+  SortAndDedup(&dedup);
+  SPINNER_ASSIGN_OR_RETURN(CsrGraph converted,
+                           ConvertToWeightedUndirected(num_vertices, dedup));
+  std::vector<PartitionId> no_labels(num_vertices, kNoPartition);
+  if (config_.in_engine_conversion) {
+    SPINNER_ASSIGN_OR_RETURN(CsrGraph raw_directed,
+                             CsrGraph::FromEdges(num_vertices, dedup));
+    return RunOnGraph(raw_directed, converted, std::move(no_labels),
+                      config_.num_partitions, /*with_conversion=*/true);
+  }
+  return RunOnGraph(converted, converted, std::move(no_labels),
+                    config_.num_partitions, /*with_conversion=*/false);
+}
+
+Result<PartitionResult> SpinnerPartitioner::Repartition(
+    const CsrGraph& new_converted,
+    std::span<const PartitionId> previous) const {
+  SPINNER_ASSIGN_OR_RETURN(
+      std::vector<PartitionId> initial,
+      ExtendForNewVertices(new_converted, previous, config_.num_partitions));
+  return RunOnGraph(new_converted, new_converted, std::move(initial),
+                    config_.num_partitions, /*with_conversion=*/false);
+}
+
+Result<PartitionResult> SpinnerPartitioner::Rescale(
+    const CsrGraph& converted, std::span<const PartitionId> previous,
+    int new_num_partitions) const {
+  if (static_cast<int64_t>(previous.size()) != converted.NumVertices()) {
+    return Status::InvalidArgument(
+        "previous assignment must cover every vertex");
+  }
+  const int old_k = config_.num_partitions;
+  std::vector<PartitionId> initial;
+  if (new_num_partitions > old_k) {
+    SPINNER_ASSIGN_OR_RETURN(
+        initial, ElasticExpand(previous, old_k, new_num_partitions,
+                               config_.seed));
+  } else if (new_num_partitions < old_k) {
+    SPINNER_ASSIGN_OR_RETURN(
+        initial, ElasticShrink(previous, old_k, new_num_partitions,
+                               config_.seed));
+  } else {
+    initial.assign(previous.begin(), previous.end());
+  }
+  return RunOnGraph(converted, converted, std::move(initial),
+                    new_num_partitions, /*with_conversion=*/false);
+}
+
+Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
+    const CsrGraph& engine_graph, const CsrGraph& converted,
+    std::vector<PartitionId> initial_labels, int k,
+    bool with_conversion) const {
+  if (k < 1) return Status::InvalidArgument("num_partitions must be >= 1");
+  if (engine_graph.NumVertices() == 0) {
+    return Status::InvalidArgument("cannot partition an empty graph");
+  }
+  if (!config_.partition_weights.empty() &&
+      static_cast<int>(config_.partition_weights.size()) != k) {
+    return Status::InvalidArgument(
+        "partition_weights size must equal the number of partitions");
+  }
+
+  SpinnerConfig run_config = config_;
+  run_config.num_partitions = k;
+
+  pregel::EngineConfig engine_config;
+  engine_config.num_workers =
+      run_config.num_workers > 0
+          ? run_config.num_workers
+          : static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
+  engine_config.num_threads = run_config.num_threads;
+  // Phase supersteps: 2 conversion + 1 init + 2 per iteration (+ slack).
+  engine_config.max_supersteps =
+      3 + 2 * static_cast<int64_t>(run_config.max_iterations) + 4;
+
+  SpinnerEngine engine(
+      engine_graph, engine_config,
+      pregel::HashPlacement(engine_config.num_workers),
+      [](VertexId) { return SpinnerVertexValue{}; },
+      [](VertexId, VertexId, EdgeWeight w) {
+        return SpinnerEdgeValue{w, kNoPartition};
+      });
+
+  SpinnerProgram program(run_config, std::move(initial_labels),
+                         with_conversion);
+  pregel::RunStats run_stats = engine.Run(program);
+
+  PartitionResult result;
+  result.num_partitions = k;
+  result.iterations = program.iterations();
+  result.converged = program.converged();
+  result.history = program.history();
+  result.run_stats = std::move(run_stats);
+  result.assignment.resize(engine_graph.NumVertices());
+  engine.ForEachVertex([&result](VertexId v, const SpinnerVertexValue& val) {
+    result.assignment[v] = val.label;
+  });
+
+  BalanceSpec spec;
+  spec.mode = run_config.balance_mode;
+  spec.partition_weights = run_config.partition_weights;
+  SPINNER_ASSIGN_OR_RETURN(
+      result.metrics,
+      ComputeMetricsEx(converted, result.assignment, k,
+                       run_config.additional_capacity, spec));
+  return result;
+}
+
+}  // namespace spinner

@@ -1,0 +1,93 @@
+// SpinnerPartitioner: the public facade of the library.
+//
+//   SpinnerConfig config;
+//   config.num_partitions = 32;
+//   SpinnerPartitioner partitioner(config);
+//   auto result = partitioner.Partition(converted_graph);
+//   if (result.ok()) use(result->assignment);
+//
+// Entry points map to the paper's three modes: Partition /
+// PartitionDirected (scratch), Repartition (incremental, §III.D) and
+// Rescale (elastic, §III.E).
+#ifndef SPINNER_SPINNER_PARTITIONER_H_
+#define SPINNER_SPINNER_PARTITIONER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+#include "pregel/stats.h"
+#include "spinner/config.h"
+#include "spinner/metrics.h"
+#include "spinner/types.h"
+
+namespace spinner {
+
+/// Everything a run produces: the assignment plus quality metrics,
+/// convergence curves and engine statistics (used by the adaptation
+/// benches to measure time/message savings).
+struct PartitionResult {
+  /// Partition label per vertex, all in [0, num_partitions).
+  std::vector<PartitionId> assignment;
+  /// k of this run.
+  int num_partitions = 0;
+  /// LPA iterations executed.
+  int iterations = 0;
+  /// True iff halted by the score-convergence criterion (not the cap).
+  bool converged = false;
+  /// Final quality (computed on the converted graph).
+  PartitionMetrics metrics;
+  /// Per-iteration evolution (Fig. 4 curves); empty if record_history off.
+  std::vector<IterationPoint> history;
+  /// Engine statistics: supersteps, wall time, messages.
+  pregel::RunStats run_stats;
+};
+
+/// Stateless facade; safe to reuse and to share across threads.
+class SpinnerPartitioner {
+ public:
+  explicit SpinnerPartitioner(const SpinnerConfig& config);
+
+  /// Partitions a converted (symmetric, weighted) graph from scratch.
+  Result<PartitionResult> Partition(const CsrGraph& converted) const;
+
+  /// Partitions a raw directed edge list from scratch: deduplicates edges,
+  /// then either converts offline or — when config.in_engine_conversion is
+  /// set — runs the NeighborPropagation/NeighborDiscovery supersteps
+  /// in-engine exactly like the Giraph implementation.
+  Result<PartitionResult> PartitionDirected(int64_t num_vertices,
+                                            const EdgeList& directed) const;
+
+  /// Incremental adaptation (§III.D): restarts label propagation from
+  /// `previous` on a changed graph. `previous` may cover fewer vertices
+  /// than the graph; new vertices join the least-loaded partition. Every
+  /// vertex participates in migration (the paper's chosen strategy).
+  Result<PartitionResult> Repartition(
+      const CsrGraph& new_converted,
+      std::span<const PartitionId> previous) const;
+
+  /// Elastic adaptation (§III.E) to `new_num_partitions` partitions:
+  /// applies the probabilistic expand/shrink re-labeling, then restarts
+  /// label propagation. new_num_partitions may be larger or smaller than
+  /// config.num_partitions (which is the previous k).
+  Result<PartitionResult> Rescale(const CsrGraph& converted,
+                                  std::span<const PartitionId> previous,
+                                  int new_num_partitions) const;
+
+  /// The configuration this partitioner runs with.
+  const SpinnerConfig& config() const { return config_; }
+
+ private:
+  Result<PartitionResult> RunOnGraph(const CsrGraph& engine_graph,
+                                     const CsrGraph& converted,
+                                     std::vector<PartitionId> initial_labels,
+                                     int k, bool with_conversion) const;
+
+  SpinnerConfig config_;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_SPINNER_PARTITIONER_H_

@@ -1,0 +1,148 @@
+// SpinnerProgram: the paper's algorithm as a Pregel vertex program.
+//
+// Superstep phases (paper Fig. 2), sequenced by MasterCompute through a
+// broadcast aggregator:
+//
+//   NeighborPropagation ─► NeighborDiscovery ─► Initialize ─►
+//        ┌───────────────────────────────────────────┐
+//        ▼                                           │
+//   ComputeScores ─► ComputeMigrations ──────────────┘
+//
+// The first two supersteps perform the directed→weighted-undirected
+// conversion in-engine (§IV.A.1) and are skipped when the caller provides a
+// pre-converted graph. One LPA iteration = ComputeScores +
+// ComputeMigrations (§IV.A.2–3). Halting is evaluated by the master after
+// every ComputeScores using the aggregated global score (§III.C).
+#ifndef SPINNER_SPINNER_PROGRAM_H_
+#define SPINNER_SPINNER_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pregel/engine.h"
+#include "spinner/config.h"
+#include "spinner/types.h"
+
+namespace spinner {
+
+/// Engine instantiation used by Spinner.
+using SpinnerEngine =
+    pregel::PregelEngine<SpinnerVertexValue, SpinnerEdgeValue, LabelMessage>;
+using SpinnerHandle =
+    pregel::VertexHandle<SpinnerVertexValue, SpinnerEdgeValue, LabelMessage>;
+
+/// Per-worker shared state (§IV.A.4): the projected partition loads updated
+/// asynchronously as candidates are discovered within the worker, plus
+/// cached aggregator pointers and scratch buffers that make a vertex
+/// computation allocation-free.
+class SpinnerWorkerContext : public pregel::WorkerContextBase {
+ public:
+  /// Phase being executed this superstep.
+  int64_t phase = 0;
+  /// Per-partition capacities C_l (uniform c·|E|/k for homogeneous
+  /// systems, weighted for heterogeneous ones); valid from the first
+  /// ComputeScores on.
+  std::vector<double> capacities;
+  /// Global loads b(l) at the start of the superstep.
+  std::vector<int64_t> global_loads;
+  /// Worker-local projected loads (the asynchronous §IV.A.4 view).
+  std::vector<int64_t> projected_loads;
+  /// Migration counters m(l) (ComputeMigrations supersteps only).
+  std::vector<int64_t> migration_counts;
+
+  /// Scratch: per-label neighbor weight frequencies + touched-label list,
+  /// reset in O(labels touched) between vertices.
+  std::vector<int64_t> freq;
+  std::vector<PartitionId> touched;
+
+  /// Cached typed partial-aggregator pointers (valid for one superstep).
+  pregel::VectorSumAggregator* loads_partial = nullptr;
+  pregel::VectorSumAggregator* migrations_partial = nullptr;
+  pregel::DoubleSumAggregator* score_partial = nullptr;
+  pregel::LongSumAggregator* local_weight_partial = nullptr;
+  pregel::LongSumAggregator* migrated_partial = nullptr;
+  pregel::LongSumAggregator* total_load_partial = nullptr;
+};
+
+/// The Spinner vertex program. One instance drives one partitioning run.
+class SpinnerProgram : public pregel::VertexProgram<SpinnerVertexValue,
+                                                    SpinnerEdgeValue,
+                                                    LabelMessage> {
+ public:
+  /// Phase identifiers broadcast through the "phase" aggregator.
+  enum Phase : int64_t {
+    kNeighborPropagation = 0,
+    kNeighborDiscovery = 1,
+    kInitialize = 2,
+    kComputeScores = 3,
+    kComputeMigrations = 4,
+  };
+
+  /// `initial_labels` has one entry per vertex: a fixed label in [0, k) for
+  /// incremental/elastic restarts, or kNoPartition to draw a uniform random
+  /// label at Initialize (partitioning from scratch).
+  /// `start_with_conversion` enables the NeighborPropagation/Discovery
+  /// supersteps (pass the raw *directed* graph to the engine then).
+  SpinnerProgram(const SpinnerConfig& config,
+                 std::vector<PartitionId> initial_labels,
+                 bool start_with_conversion);
+
+  // --- VertexProgram interface -------------------------------------------
+  void RegisterAggregators(pregel::AggregatorRegistry* registry) override;
+  std::unique_ptr<pregel::WorkerContextBase> CreateWorkerContext() override;
+  void PreSuperstep(pregel::WorkerContextBase* wc,
+                    pregel::WorkerApi& api) override;
+  void Compute(SpinnerHandle& vertex,
+               std::span<const LabelMessage> messages) override;
+  bool MasterCompute(pregel::MasterContext& ctx) override;
+
+  // --- Results (valid after the engine run) ------------------------------
+  /// LPA iterations executed (ComputeScores supersteps).
+  int iterations() const { return iteration_; }
+  /// True iff the run halted via the score-convergence criterion rather
+  /// than the max_iterations cap.
+  bool converged() const { return converged_; }
+  /// Per-iteration φ/ρ/score/migrations curves (paper Fig. 4).
+  const std::vector<IterationPoint>& history() const { return history_; }
+
+  /// Aggregator names (exposed for tests).
+  static constexpr const char* kPhaseAgg = "spinner.phase";
+  static constexpr const char* kLoadsAgg = "spinner.loads";
+  static constexpr const char* kMigrationsAgg = "spinner.migrations";
+  static constexpr const char* kTotalLoadAgg = "spinner.total_load";
+  static constexpr const char* kScoreAgg = "spinner.score";
+  static constexpr const char* kLocalWeightAgg = "spinner.local_weight";
+  static constexpr const char* kMigratedAgg = "spinner.migrated";
+
+ private:
+  /// The load contribution of a vertex under the configured balance mode:
+  /// its weighted degree (edges) or 1 (vertices).
+  int64_t LoadUnits(const SpinnerVertexValue& value) const;
+
+  void ComputeNeighborPropagation(SpinnerHandle& vertex);
+  void ComputeNeighborDiscovery(SpinnerHandle& vertex,
+                                std::span<const LabelMessage> messages);
+  void ComputeInitialize(SpinnerHandle& vertex, SpinnerWorkerContext* wc);
+  void ComputeScoresPhase(SpinnerHandle& vertex, SpinnerWorkerContext* wc,
+                          std::span<const LabelMessage> messages);
+  void ComputeMigrationsPhase(SpinnerHandle& vertex,
+                              SpinnerWorkerContext* wc);
+
+  SpinnerConfig config_;
+  std::vector<PartitionId> initial_labels_;
+  Phase phase_;
+
+  // Master-side convergence tracking.
+  int iteration_ = 0;
+  bool converged_ = false;
+  double best_score_ = -1e300;
+  int low_improvement_streak_ = 0;
+  int64_t total_load_ = 0;
+  int64_t last_migrations_ = 0;
+  std::vector<IterationPoint> history_;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_SPINNER_PROGRAM_H_

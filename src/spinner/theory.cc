@@ -1,0 +1,88 @@
+#include "spinner/theory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace spinner::theory {
+
+std::vector<double> ImbalanceTrajectory(
+    const std::vector<IterationPoint>& history) {
+  std::vector<double> out;
+  if (history.empty() || history.front().loads.empty()) return out;
+  out.reserve(history.size());
+
+  // ‖x_0‖∞ normalization, per Proposition 1's statement.
+  double x0_norm = 0.0;
+  for (int64_t l : history.front().loads) {
+    x0_norm = std::max(x0_norm, std::abs(static_cast<double>(l)));
+  }
+  if (x0_norm == 0.0) x0_norm = 1.0;
+
+  for (const IterationPoint& pt : history) {
+    const auto k = static_cast<double>(pt.loads.size());
+    const double total = static_cast<double>(
+        std::accumulate(pt.loads.begin(), pt.loads.end(), int64_t{0}));
+    const double even = total / k;
+    double deviation = 0.0;
+    for (int64_t l : pt.loads) {
+      deviation =
+          std::max(deviation, std::abs(static_cast<double>(l) - even));
+    }
+    out.push_back(deviation / x0_norm);
+  }
+  return out;
+}
+
+double FitDecayRate(const std::vector<double>& trajectory) {
+  // Collect (t, log y_t) for the decaying prefix: once the trajectory
+  // bottoms out at the stochastic noise floor (2% of the initial value) or
+  // hits zero, further points would bias the fit toward 1.
+  std::vector<double> xs;
+  std::vector<double> ys;
+  const double floor_value =
+      trajectory.empty() ? 0.0 : 0.02 * trajectory.front();
+  for (size_t t = 0; t < trajectory.size(); ++t) {
+    if (trajectory[t] <= 0.0) break;
+    xs.push_back(static_cast<double>(t));
+    ys.push_back(std::log(trajectory[t]));
+    if (t > 0 && trajectory[t] <= floor_value) break;
+  }
+  const auto n = static_cast<double>(xs.size());
+  if (xs.size() < 2) return 1.0;
+
+  const double sx = std::accumulate(xs.begin(), xs.end(), 0.0);
+  const double sy = std::accumulate(ys.begin(), ys.end(), 0.0);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return 1.0;
+  const double slope = (n * sxy - sx * sy) / denom;
+  return std::min(1.0, std::exp(slope));
+}
+
+ViolationStats CountCapacityViolations(
+    const std::vector<IterationPoint>& history, double c) {
+  ViolationStats stats;
+  for (const IterationPoint& pt : history) {
+    if (pt.loads.empty()) continue;
+    const double total = static_cast<double>(
+        std::accumulate(pt.loads.begin(), pt.loads.end(), int64_t{0}));
+    const double capacity =
+        c * total / static_cast<double>(pt.loads.size());
+    if (capacity <= 0.0) continue;
+    for (int64_t load : pt.loads) {
+      ++stats.observations;
+      const double ratio = static_cast<double>(load) / capacity;
+      stats.worst_ratio = std::max(stats.worst_ratio, ratio);
+      if (ratio > 1.0) ++stats.violations;
+    }
+  }
+  return stats;
+}
+
+}  // namespace spinner::theory

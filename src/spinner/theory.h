@@ -1,0 +1,60 @@
+// Empirical checks of the paper's convergence analysis (§III.C and
+// Appendix A):
+//
+//  * Proposition 1 — under B-connectivity, the load vector x_t converges
+//    exponentially fast to the even balancing x* = [C..C]. We measure the
+//    imbalance trajectory ‖x_t − x*‖∞/‖x_0‖∞ and fit the exponential decay
+//    rate μ on its decreasing prefix.
+//  * Proposition 2 — bounded-time convergence: witnessed by the halting
+//    iteration itself.
+//  * Proposition 3 — the probability that a partition overshoots its
+//    capacity in one iteration is exponentially small. We count observed
+//    (iteration, partition) capacity violations and their worst ratio.
+//
+// Inputs come from PartitionResult::history (per-iteration load vectors).
+#ifndef SPINNER_SPINNER_THEORY_H_
+#define SPINNER_SPINNER_THEORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spinner/types.h"
+
+namespace spinner::theory {
+
+/// ‖x_t − x*‖∞ / ‖x_0‖∞ per iteration, where x* is the even balancing
+/// (total/k per partition). Empty input → empty output.
+std::vector<double> ImbalanceTrajectory(
+    const std::vector<IterationPoint>& history);
+
+/// Least-squares fit of log(y_t) = log(q) + t·log(μ) over the strictly
+/// positive prefix of `trajectory` (stops at the first zero). Returns the
+/// per-iteration decay factor μ ∈ (0, 1] — smaller is faster; returns 1.0
+/// when fewer than 2 usable points exist.
+double FitDecayRate(const std::vector<double>& trajectory);
+
+/// Capacity-violation summary for Proposition 3.
+struct ViolationStats {
+  /// (iteration, partition) pairs checked.
+  int64_t observations = 0;
+  /// Pairs with b(l) > C_l = c·total/k.
+  int64_t violations = 0;
+  /// max_l,t b_t(l)/C_l (1.0 when never exceeded and loads touch C).
+  double worst_ratio = 0.0;
+
+  double ViolationRate() const {
+    return observations == 0
+               ? 0.0
+               : static_cast<double>(violations) /
+                     static_cast<double>(observations);
+  }
+};
+
+/// Counts how often per-iteration loads exceeded the capacity c·total/k.
+/// The paper's bound says this should be rare and small (§IV.A.3).
+ViolationStats CountCapacityViolations(
+    const std::vector<IterationPoint>& history, double c);
+
+}  // namespace spinner::theory
+
+#endif  // SPINNER_SPINNER_THEORY_H_

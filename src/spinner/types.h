@@ -1,0 +1,60 @@
+// Vertex/edge/message types of the Spinner Pregel program.
+#ifndef SPINNER_SPINNER_TYPES_H_
+#define SPINNER_SPINNER_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace spinner {
+
+/// Per-vertex state (paper §IV.A): current label, plus the migration
+/// candidacy chosen by ComputeScores and consumed by ComputeMigrations.
+struct SpinnerVertexValue {
+  /// Current partition label α(v).
+  PartitionId label = kNoPartition;
+  /// Label this vertex wants to migrate to (valid iff is_candidate).
+  PartitionId candidate = kNoPartition;
+  /// Flagged by ComputeScores when a better label was found.
+  bool is_candidate = false;
+  /// Cached weighted degree Σ_u w(v,u): the load this vertex contributes to
+  /// its partition. Computed once at initialization.
+  int64_t weighted_degree = 0;
+};
+
+/// Per-edge state: the conversion weight w(u,v) ∈ {1,2} (Eq. 3) and the
+/// last known label of the neighbor, updated via messages — "each vertex
+/// stores the label of a neighbor in the value of the edge" (§IV.A.2).
+struct SpinnerEdgeValue {
+  EdgeWeight weight = 1;
+  PartitionId neighbor_label = kNoPartition;
+};
+
+/// The only message Spinner exchanges: "vertex `source` now has `label`".
+/// Also reused (with label unused) for NeighborPropagation.
+struct LabelMessage {
+  VertexId source = 0;
+  PartitionId label = kNoPartition;
+};
+
+/// One point of the per-iteration evolution curves (paper Fig. 4).
+struct IterationPoint {
+  int iteration = 0;
+  /// Weighted ratio of local (intra-partition) edges φ.
+  double phi = 0.0;
+  /// Maximum normalized load ρ.
+  double rho = 0.0;
+  /// Normalized global score: score(G)/|V| (Eq. 10 scaled to [-1, 1]).
+  double score = 0.0;
+  /// Vertices that migrated in this iteration's ComputeMigrations step.
+  int64_t migrations = 0;
+  /// Snapshot of the per-partition loads b(l) at this iteration — the load
+  /// vector x_t of the paper's convergence analysis (§III.C); consumed by
+  /// spinner/theory.h.
+  std::vector<int64_t> loads;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_SPINNER_TYPES_H_

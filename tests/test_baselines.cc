@@ -1,0 +1,167 @@
+// Streaming and trivial baselines: validity, balance caps, determinism,
+// and the locality ordering the paper's Table I rests on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/fennel_partitioner.h"
+#include "baselines/hash_partitioner.h"
+#include "baselines/ldg_partitioner.h"
+#include "graph/conversion.h"
+#include "graph/generators.h"
+#include "spinner/metrics.h"
+
+namespace spinner {
+namespace {
+
+CsrGraph CommunityGraph() {
+  auto pp = PlantedPartition(8, 50, 0.25, 0.01, 31);
+  SPINNER_CHECK(pp.ok());
+  auto g = BuildSymmetric(pp->num_vertices, pp->edges);
+  SPINNER_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+std::vector<int64_t> PartitionSizes(const std::vector<PartitionId>& labels,
+                                    int k) {
+  std::vector<int64_t> sizes(k, 0);
+  for (PartitionId l : labels) ++sizes[l];
+  return sizes;
+}
+
+TEST(HashPartitionerTest, ValidBalancedDeterministic) {
+  CsrGraph g = CommunityGraph();
+  HashPartitioner hash;
+  auto a = hash.Partition(g, 8);
+  auto b = hash.Partition(g, 8);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  auto sizes = PartitionSizes(*a, 8);
+  for (int64_t s : sizes) EXPECT_NEAR(s, 50, 25);
+  EXPECT_FALSE(hash.Partition(g, 0).ok());
+}
+
+TEST(RandomPartitionerTest, SeedControlsResult) {
+  CsrGraph g = CommunityGraph();
+  RandomPartitioner r1(1);
+  RandomPartitioner r2(2);
+  auto a = r1.Partition(g, 4);
+  auto b = r2.Partition(g, 4);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(LdgPartitionerTest, RespectsVertexCapacity) {
+  CsrGraph g = CommunityGraph();  // 400 vertices
+  LdgPartitioner ldg;
+  auto labels = ldg.Partition(g, 8);
+  ASSERT_TRUE(labels.ok());
+  auto sizes = PartitionSizes(*labels, 8);
+  for (int64_t s : sizes) {
+    EXPECT_LE(s, 400 / 8 + 1);  // capacity n/k + 1
+  }
+}
+
+TEST(LdgPartitionerTest, LocalityAboveHash) {
+  CsrGraph g = CommunityGraph();
+  LdgPartitioner ldg;
+  HashPartitioner hash;
+  auto ldg_labels = ldg.Partition(g, 8);
+  auto hash_labels = hash.Partition(g, 8);
+  ASSERT_TRUE(ldg_labels.ok() && hash_labels.ok());
+  auto ldg_m = ComputeMetrics(g, *ldg_labels, 8, 1.05);
+  auto hash_m = ComputeMetrics(g, *hash_labels, 8, 1.05);
+  ASSERT_TRUE(ldg_m.ok() && hash_m.ok());
+  EXPECT_GT(ldg_m->phi, 1.5 * hash_m->phi);
+}
+
+TEST(LdgPartitionerTest, StreamOrderChangesResult) {
+  CsrGraph g = CommunityGraph();
+  LdgPartitioner natural(0);
+  LdgPartitioner shuffled(77);
+  auto a = natural.Partition(g, 4);
+  auto b = shuffled.Partition(g, 4);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST(FennelPartitionerTest, ValidAndWithinBalanceCap) {
+  CsrGraph g = CommunityGraph();
+  FennelPartitioner fennel;
+  auto labels = fennel.Partition(g, 8);
+  ASSERT_TRUE(labels.ok());
+  auto sizes = PartitionSizes(*labels, 8);
+  for (int64_t s : sizes) {
+    EXPECT_LE(static_cast<double>(s), 1.1 * 400.0 / 8.0 + 1.0);
+  }
+}
+
+TEST(FennelPartitionerTest, LocalityAboveHash) {
+  CsrGraph g = CommunityGraph();
+  FennelPartitioner fennel;
+  HashPartitioner hash;
+  auto f_labels = fennel.Partition(g, 8);
+  auto h_labels = hash.Partition(g, 8);
+  ASSERT_TRUE(f_labels.ok() && h_labels.ok());
+  auto f_m = ComputeMetrics(g, *f_labels, 8, 1.05);
+  auto h_m = ComputeMetrics(g, *h_labels, 8, 1.05);
+  ASSERT_TRUE(f_m.ok() && h_m.ok());
+  EXPECT_GT(f_m->phi, 2.0 * h_m->phi);
+}
+
+TEST(LdgPartitionerTest, EdgeBalanceModeCapsWeightedLoad) {
+  // Hub-heavy graph: vertex-balanced LDG blows up edge balance; the
+  // edge-balance variant must keep rho near 1.
+  auto ba = BarabasiAlbert(2000, 6, 6, 55);
+  ASSERT_TRUE(ba.ok());
+  auto g = BuildSymmetric(ba->num_vertices, ba->edges);
+  ASSERT_TRUE(g.ok());
+  LdgPartitioner vertex_mode(0, /*balance_on_edges=*/false);
+  LdgPartitioner edge_mode(0, /*balance_on_edges=*/true);
+  auto vm = ComputeMetrics(*g, *vertex_mode.Partition(*g, 8), 8, 1.05);
+  auto em = ComputeMetrics(*g, *edge_mode.Partition(*g, 8), 8, 1.05);
+  ASSERT_TRUE(vm.ok() && em.ok());
+  EXPECT_LT(em->rho, 1.25);
+  EXPECT_LT(em->rho, vm->rho);
+}
+
+TEST(FennelPartitionerTest, EdgeBalanceModeCapsWeightedLoad) {
+  auto ba = BarabasiAlbert(2000, 6, 6, 55);
+  ASSERT_TRUE(ba.ok());
+  auto g = BuildSymmetric(ba->num_vertices, ba->edges);
+  ASSERT_TRUE(g.ok());
+  FennelPartitioner edge_mode(1.5, 1.1, 0, /*balance_on_edges=*/true);
+  auto em = ComputeMetrics(*g, *edge_mode.Partition(*g, 8), 8, 1.05);
+  ASSERT_TRUE(em.ok());
+  EXPECT_LT(em->rho, 1.30);
+}
+
+TEST(FennelPartitionerTest, ParameterValidation) {
+  CsrGraph g = CommunityGraph();
+  EXPECT_FALSE(FennelPartitioner(1.0).Partition(g, 4).ok());   // gamma
+  EXPECT_FALSE(FennelPartitioner(1.5, 0.9).Partition(g, 4).ok());  // cap
+  EXPECT_FALSE(FennelPartitioner().Partition(g, 0).ok());      // k
+}
+
+TEST(BaselinesTest, EmptyGraphHandled) {
+  auto g = CsrGraph::FromEdges(0, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(HashPartitioner().Partition(*g, 4)->empty());
+  EXPECT_TRUE(LdgPartitioner().Partition(*g, 4)->empty());
+  EXPECT_TRUE(FennelPartitioner().Partition(*g, 4)->empty());
+}
+
+TEST(BaselinesTest, SinglePartitionAssignsZero) {
+  CsrGraph g = CommunityGraph();
+  LdgPartitioner ldg;
+  auto labels = ldg.Partition(g, 1);
+  ASSERT_TRUE(labels.ok());
+  for (PartitionId l : *labels) EXPECT_EQ(l, 0);
+  FennelPartitioner fennel;
+  auto f = fennel.Partition(g, 1);
+  ASSERT_TRUE(f.ok());
+  for (PartitionId l : *f) EXPECT_EQ(l, 0);
+}
+
+}  // namespace
+}  // namespace spinner

@@ -1,0 +1,109 @@
+#include "graph/conversion.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace spinner {
+namespace {
+
+TEST(ConversionTest, PaperFigure1Semantics) {
+  // One single-direction edge and one reciprocal pair:
+  //   0 -> 1            (one direction: weight 1)
+  //   1 -> 2, 2 -> 1    (reciprocal: weight 2)
+  auto g = ConvertToWeightedUndirected(3, {{0, 1}, {1, 2}, {2, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->IsSymmetric());
+  EXPECT_EQ(g->NumArcs(), 4);  // 2 undirected edges, stored both ways
+  // Arc 0->1 weight 1, arcs 1<->2 weight 2.
+  ASSERT_EQ(g->OutDegree(0), 1);
+  EXPECT_EQ(g->Weights(0)[0], 1u);
+  ASSERT_EQ(g->OutDegree(2), 1);
+  EXPECT_EQ(g->Weights(2)[0], 2u);
+  EXPECT_EQ(g->WeightedDegree(1), 3);  // 1 (to 0) + 2 (to 2)
+}
+
+TEST(ConversionTest, TotalWeightEqualsTwiceDirectedEdges) {
+  // Every directed edge contributes exactly 2 to the total arc weight:
+  // singles give two weight-1 arcs; reciprocal pairs two weight-2 arcs.
+  const EdgeList directed = {{0, 1}, {1, 0}, {1, 2}, {3, 2}, {0, 3}};
+  auto g = ConvertToWeightedUndirected(4, directed);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->TotalArcWeight(),
+            2 * static_cast<int64_t>(directed.size()));
+}
+
+TEST(ConversionTest, DropsSelfLoops) {
+  auto g = ConvertToWeightedUndirected(2, {{0, 0}, {0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumArcs(), 2);
+  EXPECT_FALSE(g->HasArc(0, 0));
+}
+
+TEST(ConversionTest, DuplicateDirectedEdgesCollapse) {
+  auto g = ConvertToWeightedUndirected(2, {{0, 1}, {0, 1}, {0, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumArcs(), 2);
+  EXPECT_EQ(g->Weights(0)[0], 1u);  // still one-directional
+}
+
+TEST(ConversionTest, RejectsOutOfRange) {
+  EXPECT_FALSE(ConvertToWeightedUndirected(2, {{0, 5}}).ok());
+}
+
+TEST(ConversionTest, EmptyGraph) {
+  auto g = ConvertToWeightedUndirected(4, {});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumArcs(), 0);
+  EXPECT_EQ(g->NumVertices(), 4);
+}
+
+TEST(BuildSymmetricTest, DoublesUndirectedEdges) {
+  auto g = BuildSymmetric(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->IsSymmetric());
+  EXPECT_EQ(g->NumArcs(), 4);
+  EXPECT_EQ(g->TotalArcWeight(), 4);
+}
+
+TEST(BuildSymmetricTest, DedupsAndDropsLoops) {
+  auto g = BuildSymmetric(3, {{0, 1}, {1, 0}, {0, 1}, {2, 2}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->NumArcs(), 2);  // single undirected edge 0-1
+}
+
+TEST(ConversionTest, AllReciprocalMatchesBuildSymmetricTimesTwo) {
+  // For a graph listed with both directions, conversion gives weight-2 arcs
+  // over the same adjacency BuildSymmetric produces with weight 1.
+  const EdgeList both = {{0, 1}, {1, 0}, {1, 2}, {2, 1}};
+  auto conv = ConvertToWeightedUndirected(3, both);
+  auto sym = BuildSymmetric(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(conv.ok() && sym.ok());
+  ASSERT_EQ(conv->NumArcs(), sym->NumArcs());
+  for (VertexId v = 0; v < 3; ++v) {
+    auto cn = conv->Neighbors(v);
+    auto sn = sym->Neighbors(v);
+    ASSERT_EQ(cn.size(), sn.size());
+    for (size_t i = 0; i < cn.size(); ++i) {
+      EXPECT_EQ(cn[i], sn[i]);
+      EXPECT_EQ(conv->Weights(v)[i], 2u * sym->Weights(v)[i]);
+    }
+  }
+}
+
+TEST(ConversionTest, RandomDirectedGraphInvariants) {
+  auto rmat = RMat(8, 4, 0.45, 0.2, 0.2, /*seed=*/7);
+  ASSERT_TRUE(rmat.ok());
+  auto g = ConvertToWeightedUndirected(rmat->num_vertices, rmat->edges);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->IsSymmetric());
+  // Weights are only ever 1 or 2.
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    for (EdgeWeight w : g->Weights(v)) {
+      EXPECT_TRUE(w == 1 || w == 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spinner

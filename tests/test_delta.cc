@@ -1,0 +1,94 @@
+#include "graph/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/edge_list.h"
+
+namespace spinner {
+namespace {
+
+TEST(ApplyDeltaTest, AddsEdges) {
+  const EdgeList base = {{0, 1}};
+  GraphDelta delta;
+  delta.added_edges = {{1, 2}};
+  auto out = ApplyDelta(3, base, delta);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(*out, (EdgeList{{0, 1}, {1, 2}}));
+}
+
+TEST(ApplyDeltaTest, AddsVerticesAndEdgesToThem) {
+  const EdgeList base = {{0, 1}};
+  GraphDelta delta;
+  delta.num_new_vertices = 2;
+  delta.added_edges = {{1, 3}};  // vertex 3 exists only after the delta
+  auto out = ApplyDelta(2, base, delta);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+}
+
+TEST(ApplyDeltaTest, RejectsEdgeBeyondGrownRange) {
+  GraphDelta delta;
+  delta.num_new_vertices = 1;
+  delta.added_edges = {{0, 5}};
+  EXPECT_FALSE(ApplyDelta(2, {{0, 1}}, delta).ok());
+}
+
+TEST(ApplyDeltaTest, RemovesEdges) {
+  const EdgeList base = {{0, 1}, {1, 2}, {2, 0}};
+  GraphDelta delta;
+  delta.removed_edges = {{1, 2}};
+  auto out = ApplyDelta(3, base, delta);
+  ASSERT_TRUE(out.ok());
+  EdgeList got = *out;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (EdgeList{{0, 1}, {2, 0}}));
+}
+
+TEST(ApplyDeltaTest, RemovalIsMultisetStyle) {
+  const EdgeList base = {{0, 1}, {0, 1}};
+  GraphDelta delta;
+  delta.removed_edges = {{0, 1}};
+  auto out = ApplyDelta(2, base, delta);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);  // one of the two parallel edges survives
+}
+
+TEST(ApplyDeltaTest, RemovingAbsentEdgeFails) {
+  GraphDelta delta;
+  delta.removed_edges = {{1, 0}};
+  EXPECT_FALSE(ApplyDelta(2, {{0, 1}}, delta).ok());
+}
+
+TEST(ApplyDeltaTest, NegativeNewVerticesFails) {
+  GraphDelta delta;
+  delta.num_new_vertices = -1;
+  EXPECT_FALSE(ApplyDelta(2, {}, delta).ok());
+}
+
+TEST(RandomEdgeAdditionsTest, CountNoveltyAndDeterminism) {
+  const EdgeList existing = {{0, 1}, {1, 2}};
+  auto delta = RandomEdgeAdditions(50, existing, 30, 5);
+  EXPECT_EQ(delta.added_edges.size(), 30u);
+
+  // No self-loops, nothing already present (in either direction), no dups.
+  EdgeList canon = delta.added_edges;
+  for (Edge& e : canon) {
+    EXPECT_NE(e.src, e.dst);
+    if (e.src > e.dst) std::swap(e.src, e.dst);
+  }
+  canon.push_back({0, 1});
+  canon.push_back({1, 2});
+  const size_t before = canon.size();
+  SortAndDedup(&canon);
+  EXPECT_EQ(canon.size(), before);
+
+  auto again = RandomEdgeAdditions(50, existing, 30, 5);
+  EXPECT_EQ(delta.added_edges, again.added_edges);
+  auto other = RandomEdgeAdditions(50, existing, 30, 6);
+  EXPECT_NE(delta.added_edges, other.added_edges);
+}
+
+}  // namespace
+}  // namespace spinner

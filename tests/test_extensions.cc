@@ -1,0 +1,132 @@
+// Generalizations the paper sketches but does not evaluate (§II.A
+// "although our approach is general", §III.B homogeneity assumption):
+// vertex-balanced mode and heterogeneous partition capacities.
+#include <gtest/gtest.h>
+
+#include "graph/conversion.h"
+#include "graph/generators.h"
+#include "spinner/partitioner.h"
+
+namespace spinner {
+namespace {
+
+CsrGraph HubGraph() {
+  // Power-law graph where vertex- and edge-balance objectives diverge.
+  auto ba = BarabasiAlbert(3000, 6, 6, 77);
+  SPINNER_CHECK(ba.ok());
+  auto g = BuildSymmetric(ba->num_vertices, ba->edges);
+  SPINNER_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST(VertexBalanceModeTest, BalancesVertexCountsInsteadOfEdges) {
+  CsrGraph g = HubGraph();
+  SpinnerConfig config;
+  config.num_partitions = 8;
+  config.balance_mode = BalanceMode::kVertices;
+  config.num_workers = 4;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  ASSERT_TRUE(result.ok());
+
+  // metrics.loads count vertices in this mode and must respect c.
+  int64_t total = 0;
+  for (int64_t l : result->metrics.loads) total += l;
+  EXPECT_EQ(total, g.NumVertices());
+  EXPECT_LE(result->metrics.rho, config.additional_capacity + 0.12);
+
+  // The same run measured on *edges* may be (and typically is) less
+  // balanced — the paper's point about Wang et al.'s vertex balancing.
+  auto edge_metrics = ComputeMetrics(g, result->assignment, 8, 1.05);
+  ASSERT_TRUE(edge_metrics.ok());
+  EXPECT_GE(edge_metrics->rho, result->metrics.rho - 0.05);
+}
+
+TEST(VertexBalanceModeTest, StillImprovesLocality) {
+  CsrGraph g = HubGraph();
+  SpinnerConfig config;
+  config.num_partitions = 8;
+  config.balance_mode = BalanceMode::kVertices;
+  config.num_workers = 4;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->metrics.phi, 0.25);  // hash floor is 1/8
+}
+
+TEST(HeterogeneousCapacityTest, LoadsFollowPartitionWeights) {
+  auto ws = WattsStrogatz(2000, 5, 0.3, 5);
+  ASSERT_TRUE(ws.ok());
+  auto g = BuildSymmetric(ws->num_vertices, ws->edges);
+  ASSERT_TRUE(g.ok());
+
+  // One double-size machine plus three regular ones.
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.partition_weights = {2.0, 1.0, 1.0, 1.0};
+  config.num_workers = 4;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(*g);
+  ASSERT_TRUE(result.ok());
+
+  const auto& loads = result->metrics.loads;
+  ASSERT_EQ(loads.size(), 4u);
+  const double total = static_cast<double>(g->TotalArcWeight());
+  // Partition 0 should carry ~2/5 of the load; the others ~1/5 each.
+  EXPECT_NEAR(static_cast<double>(loads[0]) / total, 0.4, 0.08);
+  for (int l = 1; l < 4; ++l) {
+    EXPECT_NEAR(static_cast<double>(loads[l]) / total, 0.2, 0.06);
+  }
+  // rho is measured against each partition's own share: still ≤ c-ish.
+  EXPECT_LE(result->metrics.rho, config.additional_capacity + 0.12);
+}
+
+TEST(HeterogeneousCapacityTest, RejectsBadWeights) {
+  auto ws = WattsStrogatz(200, 3, 0.3, 5);
+  ASSERT_TRUE(ws.ok());
+  auto g = BuildSymmetric(ws->num_vertices, ws->edges);
+  ASSERT_TRUE(g.ok());
+
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.partition_weights = {1.0, 1.0};  // wrong size
+  SpinnerPartitioner partitioner(config);
+  EXPECT_FALSE(partitioner.Partition(*g).ok());
+}
+
+TEST(MetricsExTest, VertexModeLoads) {
+  auto g = BuildSymmetric(4, {{0, 1}, {0, 2}, {0, 3}});
+  ASSERT_TRUE(g.ok());
+  const std::vector<PartitionId> labels = {0, 1, 1, 1};
+  BalanceSpec spec;
+  spec.mode = BalanceMode::kVertices;
+  auto m = ComputeMetricsEx(*g, labels, 2, 1.05, spec);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->loads, (std::vector<int64_t>{1, 3}));
+  EXPECT_DOUBLE_EQ(m->rho, 1.5);  // 3 vertices vs ideal 2
+}
+
+TEST(MetricsExTest, WeightedRho) {
+  auto g = BuildSymmetric(4, {{0, 1}, {2, 3}});
+  ASSERT_TRUE(g.ok());
+  // loads (edge mode): each vertex deg 1 → partition loads {2, 2}.
+  const std::vector<PartitionId> labels = {0, 0, 1, 1};
+  BalanceSpec spec;
+  spec.partition_weights = {3.0, 1.0};  // ideal shares {3, 1}
+  auto m = ComputeMetricsEx(*g, labels, 2, 1.05, spec);
+  ASSERT_TRUE(m.ok());
+  // Partition 1 holds 2 of 4 units against an ideal of 1 → rho = 2.
+  EXPECT_DOUBLE_EQ(m->rho, 2.0);
+}
+
+TEST(MetricsExTest, RejectsNonPositiveWeights) {
+  auto g = BuildSymmetric(2, {{0, 1}});
+  ASSERT_TRUE(g.ok());
+  const std::vector<PartitionId> labels = {0, 1};
+  BalanceSpec spec;
+  spec.partition_weights = {1.0, 0.0};
+  EXPECT_FALSE(ComputeMetricsEx(*g, labels, 2, 1.05, spec).ok());
+}
+
+}  // namespace
+}  // namespace spinner

@@ -1,0 +1,118 @@
+// Community detection (classic LPA) and triangle counting.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/community_lpa.h"
+#include "apps/triangle_count.h"
+#include "graph/conversion.h"
+#include "graph/generators.h"
+
+namespace spinner::apps {
+namespace {
+
+CsrGraph Sym(const GeneratedGraph& g) {
+  auto converted = BuildSymmetric(g.num_vertices, g.edges);
+  SPINNER_CHECK(converted.ok());
+  return std::move(converted).value();
+}
+
+// --- Community LPA --------------------------------------------------------
+
+TEST(CommunityLpaTest, RecoversPlantedBlocks) {
+  auto pp = PlantedPartition(4, 40, 0.45, 0.002, 3);
+  ASSERT_TRUE(pp.ok());
+  CsrGraph g = Sym(*pp);
+  auto labels = DetectCommunities(g);
+
+  // Within each planted block, one label should strongly dominate, and
+  // dominant labels should differ across blocks.
+  std::set<VertexId> dominant_labels;
+  for (int block = 0; block < 4; ++block) {
+    std::map<VertexId, int> counts;
+    for (int i = 0; i < 40; ++i) ++counts[labels[block * 40 + i]];
+    auto best = std::max_element(
+        counts.begin(), counts.end(),
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    EXPECT_GE(best->second, 30) << "block " << block;  // ≥75% agreement
+    dominant_labels.insert(best->first);
+  }
+  EXPECT_EQ(dominant_labels.size(), 4u);
+}
+
+TEST(CommunityLpaTest, DisconnectedComponentsGetDistinctLabels) {
+  // Two disjoint triangles.
+  auto g = BuildSymmetric(6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5},
+                              {5, 3}});
+  ASSERT_TRUE(g.ok());
+  auto labels = DetectCommunities(*g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_EQ(labels[4], labels[5]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(CommunityLpaTest, CompleteGraphConvergesToOneLabel) {
+  CsrGraph g = Sym(Complete(12));
+  auto labels = DetectCommunities(g);
+  for (VertexId v = 0; v < 12; ++v) EXPECT_EQ(labels[v], labels[0]);
+}
+
+TEST(CommunityLpaTest, DeterministicAcrossWorkerCounts) {
+  auto ws = WattsStrogatz(300, 4, 0.1, 9);
+  ASSERT_TRUE(ws.ok());
+  CsrGraph g = Sym(*ws);
+  EXPECT_EQ(DetectCommunities(g, /*num_workers=*/1),
+            DetectCommunities(g, /*num_workers=*/7));
+}
+
+// --- Triangle counting ------------------------------------------------------
+
+TEST(TriangleCountTest, KnownShapes) {
+  // A single triangle.
+  auto tri = BuildSymmetric(3, {{0, 1}, {1, 2}, {2, 0}});
+  ASSERT_TRUE(tri.ok());
+  EXPECT_EQ(CountTriangles(*tri), 1);
+
+  // A ring of 6 has none.
+  CsrGraph ring = Sym(Ring(6));
+  EXPECT_EQ(CountTriangles(ring), 0);
+
+  // K5 has C(5,3) = 10.
+  CsrGraph k5 = Sym(Complete(5));
+  EXPECT_EQ(CountTriangles(k5), 10);
+
+  // A star has none.
+  CsrGraph star = Sym(Star(10));
+  EXPECT_EQ(CountTriangles(star), 0);
+}
+
+TEST(TriangleCountTest, MatchesReferenceOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto er = ErdosRenyi(200, 1500, seed);
+    ASSERT_TRUE(er.ok());
+    CsrGraph g = Sym(*er);
+    EXPECT_EQ(CountTriangles(g), CountTrianglesReference(g))
+        << "seed " << seed;
+  }
+  auto ba = BarabasiAlbert(400, 5, 5, 4);
+  ASSERT_TRUE(ba.ok());
+  CsrGraph g = Sym(*ba);
+  const int64_t reference = CountTrianglesReference(g);
+  EXPECT_GT(reference, 0);
+  EXPECT_EQ(CountTriangles(g), reference);
+}
+
+TEST(TriangleCountTest, WorkerCountInvariant) {
+  auto ws = WattsStrogatz(300, 5, 0.2, 6);
+  ASSERT_TRUE(ws.ok());
+  CsrGraph g = Sym(*ws);
+  const int64_t one = CountTriangles(g, 1);
+  EXPECT_EQ(one, CountTriangles(g, 6));
+  EXPECT_EQ(one, CountTrianglesReference(g));
+}
+
+}  // namespace
+}  // namespace spinner::apps

@@ -1,0 +1,50 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/conversion.h"
+#include "graph/generators.h"
+
+namespace spinner {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  auto g = CsrGraph::FromEdges(0, {});
+  ASSERT_TRUE(g.ok());
+  auto s = ComputeGraphStats(*g);
+  EXPECT_EQ(s.num_vertices, 0);
+  EXPECT_EQ(s.num_arcs, 0);
+}
+
+TEST(GraphStatsTest, StarGraphDegrees) {
+  auto star = Star(9);  // hub 0 with 9 leaves
+  auto g = BuildSymmetric(star.num_vertices, star.edges);
+  ASSERT_TRUE(g.ok());
+  auto s = ComputeGraphStats(*g);
+  EXPECT_EQ(s.num_vertices, 10);
+  EXPECT_EQ(s.num_arcs, 18);
+  EXPECT_EQ(s.min_degree, 1);
+  EXPECT_EQ(s.max_degree, 9);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 1.8);
+}
+
+TEST(GraphStatsTest, RegularGraphPercentile) {
+  auto ring = Ring(100);
+  auto g = BuildSymmetric(ring.num_vertices, ring.edges);
+  ASSERT_TRUE(g.ok());
+  auto s = ComputeGraphStats(*g);
+  EXPECT_EQ(s.min_degree, 2);
+  EXPECT_EQ(s.max_degree, 2);
+  EXPECT_EQ(s.p99_degree, 2);
+}
+
+TEST(GraphStatsTest, ToStringMentionsCounts) {
+  auto g = BuildSymmetric(3, {{0, 1}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  const std::string s = ToString(ComputeGraphStats(*g));
+  EXPECT_NE(s.find("|V|=3"), std::string::npos);
+  EXPECT_NE(s.find("arcs=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spinner

@@ -1,0 +1,73 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spinner {
+namespace {
+
+TEST(SampleStatsTest, EmptyIsAllZero) {
+  SampleStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(SampleStatsTest, SingleSample) {
+  SampleStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 3.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 3.5);
+}
+
+TEST(SampleStatsTest, KnownMoments) {
+  SampleStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+  // Sample stddev with n-1: variance = 32/7.
+  EXPECT_NEAR(s.StdDev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(SampleStatsTest, PercentileInterpolates) {
+  SampleStats s;
+  for (double v : {10.0, 20.0, 30.0, 40.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 25.0);
+  // Adding after a percentile query must invalidate the sort cache.
+  s.Add(0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 0.0);
+}
+
+TEST(SampleStatsTest, ClearResets) {
+  SampleStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Clear();
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(SampleStatsTest, NegativeValues) {
+  SampleStats s;
+  s.Add(-5.0);
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+}
+
+}  // namespace
+}  // namespace spinner

@@ -1,0 +1,132 @@
+// Id remapping and the binary graph format, including corruption paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/binary_io.h"
+#include "graph/remap.h"
+
+namespace spinner {
+namespace {
+
+TEST(CompactVertexIdsTest, DensifiesSparseIds) {
+  EdgeList edges = {{100, 7}, {7, 100000}, {100000, 100}};
+  auto mapping = CompactVertexIds(&edges);
+  ASSERT_EQ(mapping.num_vertices(), 3);
+  // Dense ids assigned by ascending original id: 7→0, 100→1, 100000→2.
+  EXPECT_EQ(mapping.original_id, (std::vector<VertexId>{7, 100, 100000}));
+  EXPECT_EQ(edges, (EdgeList{{1, 0}, {0, 2}, {2, 1}}));
+}
+
+TEST(CompactVertexIdsTest, AlreadyDenseIsIdentity) {
+  EdgeList edges = {{0, 1}, {1, 2}};
+  auto mapping = CompactVertexIds(&edges);
+  EXPECT_EQ(mapping.num_vertices(), 3);
+  EXPECT_EQ(edges, (EdgeList{{0, 1}, {1, 2}}));
+}
+
+TEST(CompactVertexIdsTest, EmptyEdgeList) {
+  EdgeList edges;
+  auto mapping = CompactVertexIds(&edges);
+  EXPECT_EQ(mapping.num_vertices(), 0);
+}
+
+TEST(MapToOriginalIdsTest, RoundTripsAssignments) {
+  EdgeList edges = {{50, 10}, {10, 90}};
+  auto mapping = CompactVertexIds(&edges);
+  // Dense: 10→0, 50→1, 90→2.
+  const std::vector<PartitionId> assignment = {2, 0, 1};
+  auto pairs = MapToOriginalIds(mapping, assignment);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0], (std::pair<VertexId, PartitionId>{10, 2}));
+  EXPECT_EQ(pairs[1], (std::pair<VertexId, PartitionId>{50, 0}));
+  EXPECT_EQ(pairs[2], (std::pair<VertexId, PartitionId>{90, 1}));
+}
+
+class BinaryIoTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    return testing::TempDir() + "/" + name;
+  }
+};
+
+TEST_F(BinaryIoTest, RoundTrip) {
+  const EdgeList edges = {{0, 1}, {1, 2}, {2, 0}, {3, 1}};
+  const std::string path = TempPath("graph.spnb");
+  ASSERT_TRUE(graph_io::WriteBinaryGraph(path, 4, edges).ok());
+  auto read = graph_io::ReadBinaryGraph(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->num_vertices, 4);
+  EXPECT_EQ(read->edges, edges);
+  std::remove(path.c_str());
+}
+
+TEST_F(BinaryIoTest, EmptyGraphRoundTrip) {
+  const std::string path = TempPath("empty.spnb");
+  ASSERT_TRUE(graph_io::WriteBinaryGraph(path, 0, {}).ok());
+  auto read = graph_io::ReadBinaryGraph(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->num_vertices, 0);
+  EXPECT_TRUE(read->edges.empty());
+  std::remove(path.c_str());
+}
+
+TEST_F(BinaryIoTest, WriteRejectsOutOfRangeEdges) {
+  EXPECT_FALSE(
+      graph_io::WriteBinaryGraph(TempPath("x.spnb"), 2, {{0, 5}}).ok());
+  EXPECT_FALSE(graph_io::WriteBinaryGraph(TempPath("x.spnb"), -1, {}).ok());
+}
+
+TEST_F(BinaryIoTest, MissingFileIsIOError) {
+  auto read = graph_io::ReadBinaryGraph("/nonexistent/g.spnb");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(BinaryIoTest, BadMagicRejected) {
+  const std::string path = TempPath("bad_magic.spnb");
+  std::ofstream(path, std::ios::binary) << "NOPE garbage";
+  auto read = graph_io::ReadBinaryGraph(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST_F(BinaryIoTest, TruncatedFileRejected) {
+  const EdgeList edges = {{0, 1}, {1, 2}};
+  const std::string path = TempPath("trunc.spnb");
+  ASSERT_TRUE(graph_io::WriteBinaryGraph(path, 3, edges).ok());
+  // Chop the last 8 bytes off.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(),
+            static_cast<std::streamsize>(content.size() - 8));
+  out.close();
+  auto read = graph_io::ReadBinaryGraph(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST_F(BinaryIoTest, CorruptEdgeRangeRejected) {
+  const std::string path = TempPath("corrupt_edge.spnb");
+  ASSERT_TRUE(graph_io::WriteBinaryGraph(path, 3, {{0, 1}}).ok());
+  // Overwrite the edge target with an out-of-range id (offset: 4 magic +
+  // 4 version + 8 n + 8 m + 8 src = 32).
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(32);
+  const int64_t bogus = 999;
+  f.write(reinterpret_cast<const char*>(&bogus), sizeof(bogus));
+  f.close();
+  auto read = graph_io::ReadBinaryGraph(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace spinner

@@ -1,0 +1,126 @@
+#include "spinner/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/conversion.h"
+#include "graph/generators.h"
+
+namespace spinner {
+namespace {
+
+CsrGraph TwoTriangles() {
+  // Two triangles {0,1,2} and {3,4,5} joined by the bridge 2-3.
+  auto g = BuildSymmetric(
+      6, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}});
+  SPINNER_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST(MetricsTest, PerfectSplitOfTwoTriangles) {
+  CsrGraph g = TwoTriangles();
+  const std::vector<PartitionId> split = {0, 0, 0, 1, 1, 1};
+  auto m = ComputeMetrics(g, split, 2, 1.05);
+  ASSERT_TRUE(m.ok());
+  // 7 undirected edges = 14 arc weight; only the bridge (2 arcs) is cut.
+  EXPECT_EQ(m->total_weight, 14);
+  EXPECT_EQ(m->cut_weight, 2);
+  EXPECT_DOUBLE_EQ(m->phi, 12.0 / 14.0);
+  // Loads: triangle vertices have degrees {2,2,3} per side = 7 each.
+  EXPECT_EQ(m->loads, (std::vector<int64_t>{7, 7}));
+  EXPECT_DOUBLE_EQ(m->rho, 1.0);
+}
+
+TEST(MetricsTest, AllInOnePartition) {
+  CsrGraph g = TwoTriangles();
+  const std::vector<PartitionId> one(6, 0);
+  auto m = ComputeMetrics(g, one, 2, 1.05);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->phi, 1.0);
+  EXPECT_EQ(m->cut_weight, 0);
+  EXPECT_DOUBLE_EQ(m->rho, 2.0);  // one partition holds all, ideal is half
+}
+
+TEST(MetricsTest, WeightedCut) {
+  // Reciprocal pair 0<->1 (weight 2), single edges 1->2 (weight 1).
+  auto g = ConvertToWeightedUndirected(3, {{0, 1}, {1, 0}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  // Cut the heavy edge.
+  const std::vector<PartitionId> a = {0, 1, 1};
+  auto ma = ComputeMetrics(*g, a, 2, 1.05);
+  ASSERT_TRUE(ma.ok());
+  EXPECT_EQ(ma->cut_weight, 4);  // weight-2 edge, both arcs
+  // Cut the light edge instead: better phi.
+  const std::vector<PartitionId> b = {0, 0, 1};
+  auto mb = ComputeMetrics(*g, b, 2, 1.05);
+  ASSERT_TRUE(mb.ok());
+  EXPECT_EQ(mb->cut_weight, 2);
+  EXPECT_GT(mb->phi, ma->phi);
+}
+
+TEST(MetricsTest, ScoreHigherForBetterPartitioning) {
+  CsrGraph g = TwoTriangles();
+  const std::vector<PartitionId> good_split = {0, 0, 0, 1, 1, 1};
+  const std::vector<PartitionId> bad_split = {0, 1, 0, 1, 0, 1};
+  auto good = ComputeMetrics(g, good_split, 2, 1.05);
+  auto bad = ComputeMetrics(g, bad_split, 2, 1.05);
+  ASSERT_TRUE(good.ok() && bad.ok());
+  EXPECT_GT(good->score, bad->score);
+}
+
+TEST(MetricsTest, IsolatedVerticesAreNeutral) {
+  auto g = BuildSymmetric(4, {{0, 1}});  // vertices 2, 3 isolated
+  ASSERT_TRUE(g.ok());
+  const std::vector<PartitionId> labels = {0, 0, 1, 1};
+  auto m = ComputeMetrics(*g, labels, 2, 1.05);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->phi, 1.0);
+  EXPECT_EQ(m->loads, (std::vector<int64_t>{2, 0}));
+}
+
+TEST(MetricsTest, RejectsBadInputs) {
+  CsrGraph g = TwoTriangles();
+  const std::vector<PartitionId> short_labels = {0, 0, 0};
+  const std::vector<PartitionId> bad_label = {0, 0, 0, 1, 1, 7};
+  const std::vector<PartitionId> valid = {0, 0, 0, 1, 1, 1};
+  EXPECT_FALSE(ComputeMetrics(g, short_labels, 2, 1.05).ok());  // size
+  EXPECT_FALSE(ComputeMetrics(g, bad_label, 2, 1.05).ok());  // label range
+  EXPECT_FALSE(ComputeMetrics(g, valid, 0, 1.05).ok());      // k
+  EXPECT_FALSE(ComputeMetrics(g, valid, 2, 0.0).ok());       // capacity
+}
+
+TEST(ComputeLoadsTest, MatchesWeightedDegrees) {
+  auto g = ConvertToWeightedUndirected(3, {{0, 1}, {1, 0}, {1, 2}});
+  ASSERT_TRUE(g.ok());
+  const std::vector<PartitionId> labels = {0, 1, 0};
+  auto loads = ComputeLoads(*g, labels, 2);
+  ASSERT_TRUE(loads.ok());
+  // deg_w: v0=2, v1=3, v2=1 → loads {3, 3}.
+  EXPECT_EQ(*loads, (std::vector<int64_t>{3, 3}));
+}
+
+TEST(PartitioningDifferenceTest, CountsChangedVertices) {
+  const std::vector<PartitionId> a = {0, 1, 2, 0};
+  const std::vector<PartitionId> b = {0, 1, 0, 0};
+  auto d = PartitioningDifference(a, b);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.25);
+  auto same = PartitioningDifference(a, a);
+  ASSERT_TRUE(same.ok());
+  EXPECT_DOUBLE_EQ(*same, 0.0);
+}
+
+TEST(PartitioningDifferenceTest, SizeMismatchFails) {
+  const std::vector<PartitionId> a = {0, 1};
+  const std::vector<PartitionId> b = {0};
+  EXPECT_FALSE(PartitioningDifference(a, b).ok());
+}
+
+TEST(PartitioningDifferenceTest, EmptyIsZero) {
+  auto d = PartitioningDifference(std::vector<PartitionId>{},
+                                  std::vector<PartitionId>{});
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ(*d, 0.0);
+}
+
+}  // namespace
+}  // namespace spinner

@@ -1,0 +1,165 @@
+// Property-based sweeps (TEST_P over seeds): structural invariants that
+// must hold on arbitrary random inputs, complementing the example-based
+// suites.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/hash_partitioner.h"
+#include "graph/conversion.h"
+#include "graph/delta.h"
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+#include "pregel/topology.h"
+#include "spinner/initial_assignment.h"
+#include "spinner/metrics.h"
+
+namespace spinner {
+namespace {
+
+class SeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1, 7, 42, 1337, 90210));
+
+TEST_P(SeedSweep, ConversionInvariants) {
+  const uint64_t seed = GetParam();
+  auto rmat = RMat(9, 4, 0.45, 0.25, 0.15, seed);
+  ASSERT_TRUE(rmat.ok());
+  EdgeList directed = rmat->edges;
+  RemoveSelfLoops(&directed);
+  SortAndDedup(&directed);
+
+  auto g = ConvertToWeightedUndirected(rmat->num_vertices, directed);
+  ASSERT_TRUE(g.ok());
+  // 1. Symmetric with matching weights.
+  EXPECT_TRUE(g->IsSymmetric());
+  // 2. Every directed edge contributes exactly 2 to the total weight.
+  EXPECT_EQ(g->TotalArcWeight(),
+            2 * static_cast<int64_t>(directed.size()));
+  // 3. Weights are only 1 or 2; no self-loops survive.
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    for (EdgeWeight w : g->Weights(v)) EXPECT_TRUE(w == 1 || w == 2);
+    EXPECT_FALSE(g->HasArc(v, v));
+  }
+  // 4. Weighted degrees sum to the total weight.
+  int64_t degree_sum = 0;
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    degree_sum += g->WeightedDegree(v);
+  }
+  EXPECT_EQ(degree_sum, g->TotalArcWeight());
+}
+
+TEST_P(SeedSweep, MetricsIdentities) {
+  const uint64_t seed = GetParam();
+  auto ws = WattsStrogatz(500, 4, 0.3, seed);
+  ASSERT_TRUE(ws.ok());
+  auto g = BuildSymmetric(ws->num_vertices, ws->edges);
+  ASSERT_TRUE(g.ok());
+
+  for (int k : {2, 5, 16}) {
+    auto labels = RandomAssignment(g->NumVertices(), k, seed ^ k);
+    auto m = ComputeMetrics(*g, labels, k, 1.05);
+    ASSERT_TRUE(m.ok());
+    // Σ loads = total weight; φ = 1 − cut/total; ρ ≥ 1; φ ∈ [0,1].
+    EXPECT_EQ(std::accumulate(m->loads.begin(), m->loads.end(), int64_t{0}),
+              m->total_weight);
+    EXPECT_NEAR(m->phi,
+                1.0 - static_cast<double>(m->cut_weight) /
+                          static_cast<double>(m->total_weight),
+                1e-12);
+    EXPECT_GE(m->rho, 1.0);
+    EXPECT_GE(m->phi, 0.0);
+    EXPECT_LE(m->phi, 1.0);
+  }
+}
+
+TEST_P(SeedSweep, PartitioningDifferenceIsAMetric) {
+  const uint64_t seed = GetParam();
+  const int64_t n = 300;
+  auto a = RandomAssignment(n, 8, seed);
+  auto b = RandomAssignment(n, 8, seed + 1);
+  auto c = RandomAssignment(n, 8, seed + 2);
+  const double dab = *PartitioningDifference(a, b);
+  const double dba = *PartitioningDifference(b, a);
+  const double dac = *PartitioningDifference(a, c);
+  const double dbc = *PartitioningDifference(b, c);
+  EXPECT_DOUBLE_EQ(dab, dba);                       // symmetry
+  EXPECT_DOUBLE_EQ(*PartitioningDifference(a, a), 0.0);  // identity
+  EXPECT_LE(dac, dab + dbc + 1e-12);                // triangle inequality
+  EXPECT_GE(dab, 0.0);
+  EXPECT_LE(dab, 1.0);
+}
+
+TEST_P(SeedSweep, ElasticExpandThenShrinkStaysValid) {
+  const uint64_t seed = GetParam();
+  const int64_t n = 1000;
+  auto initial = RandomAssignment(n, 6, seed);
+  auto expanded = ElasticExpand(initial, 6, 10, seed);
+  ASSERT_TRUE(expanded.ok());
+  auto shrunk = ElasticShrink(*expanded, 10, 4, seed);
+  ASSERT_TRUE(shrunk.ok());
+  for (PartitionId l : *shrunk) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 4);
+  }
+  // Vertices that never migrated out of [0, 4) kept their label.
+  for (int64_t v = 0; v < n; ++v) {
+    if ((*expanded)[v] == initial[v] && initial[v] < 4) {
+      EXPECT_EQ((*shrunk)[v], initial[v]);
+    }
+  }
+}
+
+TEST_P(SeedSweep, DeltaApplicationPreservesEdgeAccounting) {
+  const uint64_t seed = GetParam();
+  auto er = ErdosRenyi(200, 900, seed);
+  ASSERT_TRUE(er.ok());
+  auto delta = RandomEdgeAdditions(200, er->edges, 50, seed + 9);
+  auto applied = ApplyDelta(200, er->edges, delta);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->size(), er->edges.size() + 50);
+
+  // Removing what was added restores the original multiset.
+  GraphDelta removal;
+  removal.removed_edges = delta.added_edges;
+  auto restored = ApplyDelta(200, *applied, removal);
+  ASSERT_TRUE(restored.ok());
+  EdgeList x = *restored;
+  EdgeList y = er->edges;
+  std::sort(x.begin(), x.end());
+  std::sort(y.begin(), y.end());
+  EXPECT_EQ(x, y);
+}
+
+TEST_P(SeedSweep, HashPlacementCoversAllWorkers) {
+  const uint64_t seed = GetParam();
+  const int workers = 3 + static_cast<int>(seed % 6);
+  auto placement = pregel::HashPlacement(workers);
+  std::vector<int64_t> counts(workers, 0);
+  for (VertexId v = 0; v < 5000; ++v) {
+    const pregel::WorkerId w = placement(v);
+    ASSERT_GE(w, 0);
+    ASSERT_LT(w, workers);
+    ++counts[w];
+  }
+  for (int64_t count : counts) {
+    EXPECT_NEAR(count, 5000 / workers, 5000 / workers / 2);
+  }
+}
+
+TEST_P(SeedSweep, GeneratorsProduceValidEdgeLists) {
+  const uint64_t seed = GetParam();
+  auto ws = WattsStrogatz(400, 3, 0.4, seed);
+  auto ba = BarabasiAlbert(400, 4, 3, seed);
+  auto er = ErdosRenyi(400, 1000, seed);
+  ASSERT_TRUE(ws.ok() && ba.ok() && er.ok());
+  for (const GeneratedGraph* g :
+       {&ws.value(), &ba.value(), &er.value()}) {
+    EXPECT_TRUE(EdgesInRange(g->edges, g->num_vertices));
+    for (const Edge& e : g->edges) EXPECT_NE(e.src, e.dst);
+  }
+}
+
+}  // namespace
+}  // namespace spinner

@@ -1,0 +1,118 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace spinner {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndMixing) {
+  EXPECT_EQ(SplitMix64(1), SplitMix64(1));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+  // Adjacent inputs must differ in many bits (avalanche sanity check).
+  const uint64_t diff = SplitMix64(100) ^ SplitMix64(101);
+  EXPECT_GE(__builtin_popcountll(diff), 16);
+}
+
+TEST(HashCombineTest, OrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+  EXPECT_NE(HashCombine(1, 2, 3), HashCombine(3, 2, 1));
+  EXPECT_EQ(HashCombine(7, 9), HashCombine(7, 9));
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LE(same, 1);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(99);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(5);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(10));
+  EXPECT_EQ(seen.size(), 10u);  // all 10 values hit in 1000 draws
+}
+
+TEST(RngTest, UniformIsRoughlyUnbiased) {
+  Rng rng(7);
+  std::vector<int> counts(4, 0);
+  const int draws = 40000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.Uniform(4)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 4, draws / 40);  // within 10% of expectation
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-1.0));
+    EXPECT_TRUE(rng.Bernoulli(2.0));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / draws, 0.3, 0.02);
+}
+
+TEST(HashUniformTest, DeterministicBoundedUnbiased) {
+  EXPECT_EQ(HashUniform(42, 10), HashUniform(42, 10));
+  std::vector<int> counts(8, 0);
+  for (uint64_t key = 0; key < 8000; ++key) {
+    const uint64_t v = HashUniform(key, 8);
+    ASSERT_LT(v, 8u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(HashUniformDoubleTest, UnitIntervalAndMean) {
+  double sum = 0;
+  for (uint64_t key = 0; key < 10000; ++key) {
+    const double d = HashUniformDouble(key);
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace spinner

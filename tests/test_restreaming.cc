@@ -1,0 +1,84 @@
+#include "baselines/restreaming_partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/ldg_partitioner.h"
+#include "graph/conversion.h"
+#include "graph/generators.h"
+#include "spinner/metrics.h"
+
+namespace spinner {
+namespace {
+
+CsrGraph CommunityGraph() {
+  auto pp = PlantedPartition(8, 50, 0.25, 0.01, 31);
+  SPINNER_CHECK(pp.ok());
+  auto g = BuildSymmetric(pp->num_vertices, pp->edges);
+  SPINNER_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST(RestreamingTest, ValidAssignment) {
+  CsrGraph g = CommunityGraph();
+  RestreamingPartitioner restream(5);
+  auto labels = restream.Partition(g, 8);
+  ASSERT_TRUE(labels.ok());
+  ASSERT_EQ(labels->size(), 400u);
+  for (PartitionId l : *labels) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 8);
+  }
+}
+
+TEST(RestreamingTest, ImprovesOverSinglePassLdg) {
+  CsrGraph g = CommunityGraph();
+  const int k = 8;
+  LdgPartitioner single(/*stream_seed=*/0, /*balance_on_edges=*/true);
+  RestreamingPartitioner multi(10, /*stream_seed=*/0,
+                               /*balance_on_edges=*/true);
+  auto single_m = ComputeMetrics(g, *single.Partition(g, k), k, 1.05);
+  auto multi_m = ComputeMetrics(g, *multi.Partition(g, k), k, 1.05);
+  ASSERT_TRUE(single_m.ok() && multi_m.ok());
+  // The whole point of restreaming ([19]): later passes see full
+  // neighborhoods and improve locality.
+  EXPECT_GT(multi_m->phi, single_m->phi);
+}
+
+TEST(RestreamingTest, KeepsBalance) {
+  CsrGraph g = CommunityGraph();
+  RestreamingPartitioner restream(10);
+  auto labels = restream.Partition(g, 8);
+  ASSERT_TRUE(labels.ok());
+  auto m = ComputeMetrics(g, *labels, 8, 1.05);
+  ASSERT_TRUE(m.ok());
+  EXPECT_LE(m->rho, 1.15);
+}
+
+TEST(RestreamingTest, RestreamFromPreviousIsStable) {
+  CsrGraph g = CommunityGraph();
+  RestreamingPartitioner restream(10);
+  auto initial = restream.Partition(g, 8);
+  ASSERT_TRUE(initial.ok());
+  // One more pass from the converged state barely changes anything.
+  auto again = restream.Restream(g, 8, *initial, 1);
+  ASSERT_TRUE(again.ok());
+  auto diff = PartitioningDifference(*initial, *again);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_LT(*diff, 0.10);
+}
+
+TEST(RestreamingTest, Validation) {
+  CsrGraph g = CommunityGraph();
+  RestreamingPartitioner restream;
+  EXPECT_FALSE(restream.Partition(g, 0).ok());
+  std::vector<PartitionId> wrong_size(10, 0);
+  EXPECT_FALSE(restream.Restream(g, 8, wrong_size, 3).ok());
+  std::vector<PartitionId> bad_label(g.NumVertices(), 0);
+  bad_label[0] = 99;
+  EXPECT_FALSE(restream.Restream(g, 8, bad_label, 3).ok());
+  std::vector<PartitionId> ok_labels(g.NumVertices(), 0);
+  EXPECT_FALSE(restream.Restream(g, 8, ok_labels, 0).ok());
+}
+
+}  // namespace
+}  // namespace spinner

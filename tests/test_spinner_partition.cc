@@ -1,0 +1,310 @@
+// End-to-end partitioning: invariants, quality, determinism, and a
+// parameterized property sweep across graph families, k and c (the paper's
+// central claims — ρ ≤ c w.h.p., φ far above hash — as properties).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/hash_partitioner.h"
+#include "graph/conversion.h"
+#include "graph/generators.h"
+#include "spinner/partitioner.h"
+
+namespace spinner {
+namespace {
+
+CsrGraph MakeConverted(const GeneratedGraph& g) {
+  auto converted = g.directed
+                       ? ConvertToWeightedUndirected(g.num_vertices, g.edges)
+                       : BuildSymmetric(g.num_vertices, g.edges);
+  SPINNER_CHECK(converted.ok());
+  return std::move(converted).value();
+}
+
+TEST(SpinnerPartitionTest, AssignsEveryVertexAValidLabel) {
+  auto ws = WattsStrogatz(500, 4, 0.3, 1);
+  ASSERT_TRUE(ws.ok());
+  CsrGraph g = MakeConverted(*ws);
+  SpinnerConfig config;
+  config.num_partitions = 8;
+  config.num_workers = 4;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(static_cast<int64_t>(result->assignment.size()), 500);
+  for (PartitionId l : result->assignment) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 8);
+  }
+  // All partitions should be populated on a graph this size.
+  std::set<PartitionId> used(result->assignment.begin(),
+                             result->assignment.end());
+  EXPECT_EQ(used.size(), 8u);
+}
+
+TEST(SpinnerPartitionTest, DeterministicForSeedAndWorkers) {
+  auto ws = WattsStrogatz(400, 3, 0.3, 2);
+  ASSERT_TRUE(ws.ok());
+  CsrGraph g = MakeConverted(*ws);
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.num_workers = 3;
+  config.seed = 99;
+  SpinnerPartitioner partitioner(config);
+  auto a = partitioner.Partition(g);
+  auto b = partitioner.Partition(g);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->iterations, b->iterations);
+
+  config.seed = 100;
+  SpinnerPartitioner other(config);
+  auto c = other.Partition(g);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->assignment, c->assignment);
+}
+
+TEST(SpinnerPartitionTest, RecoversPlantedCommunities) {
+  // 8 dense communities, k=8: Spinner should align partitions with
+  // communities and achieve locality far above the random baseline 1/8.
+  auto pp = PlantedPartition(8, 40, 0.35, 0.005, 5);
+  ASSERT_TRUE(pp.ok());
+  CsrGraph g = MakeConverted(*pp);
+  SpinnerConfig config;
+  config.num_partitions = 8;
+  config.num_workers = 4;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->metrics.phi, 0.7);
+  EXPECT_LE(result->metrics.rho, config.additional_capacity + 0.12);
+}
+
+TEST(SpinnerPartitionTest, BeatsHashPartitioningOnLocality) {
+  auto ws = WattsStrogatz(1000, 5, 0.2, 3);
+  ASSERT_TRUE(ws.ok());
+  CsrGraph g = MakeConverted(*ws);
+  const int k = 16;
+
+  SpinnerConfig config;
+  config.num_partitions = k;
+  config.num_workers = 4;
+  SpinnerPartitioner partitioner(config);
+  auto spinner_result = partitioner.Partition(g);
+  ASSERT_TRUE(spinner_result.ok());
+
+  HashPartitioner hash;
+  auto hash_labels = hash.Partition(g, k);
+  ASSERT_TRUE(hash_labels.ok());
+  auto hash_metrics = ComputeMetrics(g, *hash_labels, k, 1.05);
+  ASSERT_TRUE(hash_metrics.ok());
+
+  // Hash locality ≈ 1/k; Spinner must be at least 3× better here.
+  EXPECT_GT(spinner_result->metrics.phi, 3.0 * hash_metrics->phi);
+}
+
+TEST(SpinnerPartitionTest, HaltsByConvergenceBeforeCap) {
+  auto ws = WattsStrogatz(600, 4, 0.3, 8);
+  ASSERT_TRUE(ws.ok());
+  CsrGraph g = MakeConverted(*ws);
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.num_workers = 4;
+  config.max_iterations = 500;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_LT(result->iterations, 500);
+  EXPECT_GE(result->iterations, config.halt_window);
+}
+
+TEST(SpinnerPartitionTest, HaltingDisabledRunsExactlyMaxIterations) {
+  auto ws = WattsStrogatz(200, 3, 0.3, 8);
+  ASSERT_TRUE(ws.ok());
+  CsrGraph g = MakeConverted(*ws);
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.num_workers = 2;
+  config.use_halting = false;
+  config.max_iterations = 17;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->converged);
+  EXPECT_EQ(result->iterations, 17);
+}
+
+TEST(SpinnerPartitionTest, SinglePartitionIsTrivial) {
+  auto ring = Ring(50);
+  CsrGraph g = MakeConverted(ring);
+  SpinnerConfig config;
+  config.num_partitions = 1;
+  config.num_workers = 2;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  ASSERT_TRUE(result.ok());
+  for (PartitionId l : result->assignment) EXPECT_EQ(l, 0);
+  EXPECT_DOUBLE_EQ(result->metrics.phi, 1.0);
+  EXPECT_DOUBLE_EQ(result->metrics.rho, 1.0);
+}
+
+TEST(SpinnerPartitionTest, EmptyGraphIsRejected) {
+  auto g = CsrGraph::FromEdges(0, {});
+  ASSERT_TRUE(g.ok());
+  SpinnerPartitioner partitioner(SpinnerConfig{});
+  EXPECT_FALSE(partitioner.Partition(*g).ok());
+}
+
+TEST(SpinnerPartitionTest, IsolatedVerticesGetLabels) {
+  // 10 ring vertices + 5 isolated ones.
+  auto ring = Ring(10);
+  auto g = BuildSymmetric(15, ring.edges);
+  ASSERT_TRUE(g.ok());
+  SpinnerConfig config;
+  config.num_partitions = 3;
+  config.num_workers = 2;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(*g);
+  ASSERT_TRUE(result.ok());
+  for (PartitionId l : result->assignment) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 3);
+  }
+}
+
+TEST(SpinnerPartitionTest, PartitionDirectedHandlesRawEdgeLists) {
+  auto rmat = RMat(9, 6, 0.5, 0.2, 0.2, 21);
+  ASSERT_TRUE(rmat.ok());
+  SpinnerConfig config;
+  config.num_partitions = 8;
+  config.num_workers = 4;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.PartitionDirected(rmat->num_vertices,
+                                              rmat->edges);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(static_cast<int64_t>(result->assignment.size()),
+            rmat->num_vertices);
+  EXPECT_GT(result->metrics.phi, 0.2);  // far above hash's 1/8
+}
+
+TEST(SpinnerPartitionTest, InEngineConversionReachesSameQuality) {
+  auto rmat = RMat(8, 5, 0.5, 0.2, 0.2, 23);
+  ASSERT_TRUE(rmat.ok());
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.num_workers = 4;
+  SpinnerPartitioner offline(config);
+  config.in_engine_conversion = true;
+  SpinnerPartitioner in_engine(config);
+  auto a = offline.PartitionDirected(rmat->num_vertices, rmat->edges);
+  auto b = in_engine.PartitionDirected(rmat->num_vertices, rmat->edges);
+  ASSERT_TRUE(a.ok() && b.ok());
+  // Different random streams (superstep offset), same algorithm: the
+  // quality must match closely even though assignments differ.
+  EXPECT_NEAR(a->metrics.phi, b->metrics.phi, 0.1);
+  EXPECT_NEAR(a->metrics.rho, b->metrics.rho, 0.1);
+}
+
+TEST(SpinnerPartitionTest, PerWorkerAsyncAblationStillValid) {
+  auto ws = WattsStrogatz(400, 4, 0.3, 4);
+  ASSERT_TRUE(ws.ok());
+  CsrGraph g = MakeConverted(*ws);
+  SpinnerConfig config;
+  config.num_partitions = 8;
+  config.num_workers = 4;
+  config.per_worker_async = false;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->metrics.rho, config.additional_capacity + 0.15);
+  EXPECT_GT(result->metrics.phi, 0.3);
+}
+
+// --- Property sweep: ρ ≤ c (w.h.p.) and φ ≥ hash across families ---------
+
+struct SweepCase {
+  const char* family;
+  int k;
+  double c;
+};
+
+class SpinnerPropertyTest : public ::testing::TestWithParam<SweepCase> {};
+
+GeneratedGraph MakeFamily(const std::string& family) {
+  if (family == "ws") {
+    auto g = WattsStrogatz(600, 4, 0.3, 42);
+    SPINNER_CHECK(g.ok());
+    return std::move(g).value();
+  }
+  if (family == "ba") {
+    // Hub-heavy families need n ≫ k·max_degree for ρ ≤ c to be achievable
+    // at all (a vertex is atomic); match the paper's n/k regime.
+    auto g = BarabasiAlbert(3000, 4, 4, 42);
+    SPINNER_CHECK(g.ok());
+    return std::move(g).value();
+  }
+  if (family == "er") {
+    auto g = ErdosRenyi(600, 2400, 42);
+    SPINNER_CHECK(g.ok());
+    return std::move(g).value();
+  }
+  if (family == "pp") {
+    auto g = PlantedPartition(6, 100, 0.15, 0.005, 42);
+    SPINNER_CHECK(g.ok());
+    return std::move(g).value();
+  }
+  auto g = RMat(12, 5, 0.5, 0.2, 0.2, 42);  // "rmat"
+  SPINNER_CHECK(g.ok());
+  return std::move(g).value();
+}
+
+TEST_P(SpinnerPropertyTest, BalanceRespectsCapacityAndLocalityBeatsHash) {
+  const SweepCase param = GetParam();
+  const GeneratedGraph raw = MakeFamily(param.family);
+  const CsrGraph g = MakeConverted(raw);
+
+  SpinnerConfig config;
+  config.num_partitions = param.k;
+  config.additional_capacity = param.c;
+  config.num_workers = 4;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(g);
+  ASSERT_TRUE(result.ok());
+
+  // Every vertex labeled in range.
+  for (PartitionId l : result->assignment) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, param.k);
+  }
+  // ρ ≤ c holds w.h.p. (Proposition 3); allow the small probabilistic
+  // overshoot the paper itself observes in Fig. 5a.
+  EXPECT_LE(result->metrics.rho, param.c + 0.15)
+      << param.family << " k=" << param.k << " c=" << param.c;
+
+  // Locality at least double hash partitioning's.
+  HashPartitioner hash;
+  auto hash_labels = hash.Partition(g, param.k);
+  ASSERT_TRUE(hash_labels.ok());
+  auto hash_metrics = ComputeMetrics(g, *hash_labels, param.k, param.c);
+  ASSERT_TRUE(hash_metrics.ok());
+  EXPECT_GT(result->metrics.phi, 2.0 * hash_metrics->phi)
+      << param.family << " k=" << param.k << " c=" << param.c;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndParameters, SpinnerPropertyTest,
+    ::testing::Values(SweepCase{"ws", 4, 1.05}, SweepCase{"ws", 16, 1.05},
+                      SweepCase{"ws", 8, 1.20}, SweepCase{"ba", 4, 1.05},
+                      SweepCase{"ba", 16, 1.10}, SweepCase{"er", 8, 1.05},
+                      SweepCase{"pp", 6, 1.05}, SweepCase{"pp", 12, 1.10},
+                      SweepCase{"rmat", 8, 1.05},
+                      SweepCase{"rmat", 16, 1.20}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.family) + "_k" +
+             std::to_string(info.param.k) + "_c" +
+             std::to_string(static_cast<int>(info.param.c * 100));
+    });
+
+}  // namespace
+}  // namespace spinner

@@ -1,0 +1,174 @@
+// SpinnerProgram internals: the in-engine conversion phases must reproduce
+// the offline conversion exactly, initialization must respect provided
+// labels and aggregate loads correctly, and the per-iteration history must
+// reflect a hill-climbing run.
+#include "spinner/program.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "graph/conversion.h"
+#include "graph/edge_list.h"
+#include "graph/generators.h"
+#include "pregel/topology.h"
+#include "spinner/partitioner.h"
+
+namespace spinner {
+namespace {
+
+/// Runs SpinnerProgram on the raw directed graph with in-engine conversion
+/// and returns each vertex's final (target, weight) edge set.
+std::map<VertexId, std::vector<std::pair<VertexId, EdgeWeight>>>
+RunInEngineConversion(int64_t n, const EdgeList& directed, int k) {
+  auto raw = CsrGraph::FromEdges(n, directed);
+  SPINNER_CHECK(raw.ok());
+  pregel::EngineConfig config;
+  config.num_workers = 3;
+  SpinnerEngine engine(
+      *raw, config, pregel::HashPlacement(3),
+      [](VertexId) { return SpinnerVertexValue{}; },
+      [](VertexId, VertexId, EdgeWeight w) {
+        return SpinnerEdgeValue{w, kNoPartition};
+      });
+  SpinnerConfig sc;
+  sc.num_partitions = k;
+  sc.max_iterations = 1;
+  sc.use_halting = false;
+  SpinnerProgram program(sc, std::vector<PartitionId>(n, kNoPartition),
+                         /*start_with_conversion=*/true);
+  engine.Run(program);
+
+  std::map<VertexId, std::vector<std::pair<VertexId, EdgeWeight>>> result;
+  for (VertexId v = 0; v < n; ++v) {
+    for (const auto& e : engine.EdgesOf(v)) {
+      result[v].emplace_back(e.target, e.value.weight);
+    }
+    std::sort(result[v].begin(), result[v].end());
+  }
+  return result;
+}
+
+TEST(SpinnerConversionTest, InEngineMatchesOfflineConversion) {
+  auto rmat = RMat(7, 6, 0.5, 0.2, 0.2, /*seed=*/3);
+  ASSERT_TRUE(rmat.ok());
+  EdgeList directed = rmat->edges;
+  RemoveSelfLoops(&directed);
+  SortAndDedup(&directed);
+
+  auto offline = ConvertToWeightedUndirected(rmat->num_vertices, directed);
+  ASSERT_TRUE(offline.ok());
+  auto in_engine = RunInEngineConversion(rmat->num_vertices, directed, 4);
+
+  for (VertexId v = 0; v < rmat->num_vertices; ++v) {
+    auto nbrs = offline->Neighbors(v);
+    auto wts = offline->Weights(v);
+    const auto& got = in_engine[v];
+    ASSERT_EQ(got.size(), nbrs.size()) << "vertex " << v;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      EXPECT_EQ(got[i].first, nbrs[i]) << "vertex " << v;
+      EXPECT_EQ(got[i].second, wts[i]) << "vertex " << v;
+    }
+  }
+}
+
+TEST(SpinnerConversionTest, ReciprocalPairGetsWeightTwoBothSides) {
+  auto edges = RunInEngineConversion(2, {{0, 1}, {1, 0}}, 2);
+  ASSERT_EQ(edges[0].size(), 1u);
+  ASSERT_EQ(edges[1].size(), 1u);
+  EXPECT_EQ(edges[0][0], (std::pair<VertexId, EdgeWeight>{1, 2}));
+  EXPECT_EQ(edges[1][0], (std::pair<VertexId, EdgeWeight>{0, 2}));
+}
+
+TEST(SpinnerConversionTest, SingleDirectionCreatesReverseWeightOne) {
+  auto edges = RunInEngineConversion(2, {{0, 1}}, 2);
+  ASSERT_EQ(edges[0].size(), 1u);
+  ASSERT_EQ(edges[1].size(), 1u);  // reverse edge materialized
+  EXPECT_EQ(edges[0][0], (std::pair<VertexId, EdgeWeight>{1, 1}));
+  EXPECT_EQ(edges[1][0], (std::pair<VertexId, EdgeWeight>{0, 1}));
+}
+
+TEST(SpinnerProgramTest, InitializationRespectsProvidedLabels) {
+  auto ring = Ring(8);
+  auto g = BuildSymmetric(ring.num_vertices, ring.edges);
+  ASSERT_TRUE(g.ok());
+  pregel::EngineConfig config;
+  config.num_workers = 2;
+  SpinnerEngine engine(
+      *g, config, pregel::HashPlacement(2),
+      [](VertexId) { return SpinnerVertexValue{}; },
+      [](VertexId, VertexId, EdgeWeight w) {
+        return SpinnerEdgeValue{w, kNoPartition};
+      });
+  SpinnerConfig sc;
+  sc.num_partitions = 4;
+  sc.max_iterations = 1;  // stop right after the first ComputeScores
+  sc.use_halting = false;
+  std::vector<PartitionId> fixed = {3, 3, 2, 2, 1, 1, 0, 0};
+  SpinnerProgram program(sc, fixed, /*start_with_conversion=*/false);
+  engine.Run(program);
+
+  // After Initialize + one ComputeScores (no migrations yet), labels are
+  // exactly the provided ones and the loads aggregator reflects them.
+  engine.ForEachVertex([&](VertexId v, const SpinnerVertexValue& val) {
+    EXPECT_EQ(val.label, fixed[v]);
+    EXPECT_EQ(val.weighted_degree, 2);
+  });
+  const auto& loads =
+      engine.aggregators()
+          .Get<pregel::VectorSumAggregator>(SpinnerProgram::kLoadsAgg)
+          ->values();
+  EXPECT_EQ(loads, (std::vector<int64_t>{4, 4, 4, 4}));
+}
+
+TEST(SpinnerProgramTest, HistoryTracksHillClimb) {
+  auto pp = PlantedPartition(4, 32, 0.3, 0.01, 11);
+  ASSERT_TRUE(pp.ok());
+  auto g = BuildSymmetric(pp->num_vertices, pp->edges);
+  ASSERT_TRUE(g.ok());
+
+  SpinnerConfig sc;
+  sc.num_partitions = 4;
+  sc.max_iterations = 60;
+  sc.use_halting = false;
+  sc.num_workers = 4;
+  SpinnerPartitioner partitioner(sc);
+  auto result = partitioner.Partition(*g);
+  ASSERT_TRUE(result.ok());
+
+  ASSERT_EQ(static_cast<int>(result->history.size()), result->iterations);
+  EXPECT_EQ(result->iterations, 60);
+  // Hill climbing: late iterations must beat the random start decisively.
+  const auto& h = result->history;
+  EXPECT_GT(h.back().phi, h.front().phi);
+  EXPECT_GT(h.back().score, h.front().score);
+  // Final history point agrees with the final metrics within one
+  // migration step (history φ is computed from the last ComputeScores).
+  EXPECT_NEAR(h.back().phi, result->metrics.phi, 0.05);
+}
+
+TEST(SpinnerProgramTest, ScoreAggregationIndependentOfWorkerCount) {
+  // The halting signal (global score) must not depend on how vertices are
+  // spread across workers, even though per-worker async decisions do.
+  auto ws = WattsStrogatz(200, 3, 0.2, 6);
+  ASSERT_TRUE(ws.ok());
+  auto g = BuildSymmetric(ws->num_vertices, ws->edges);
+  ASSERT_TRUE(g.ok());
+
+  auto first_iteration_score = [&](int workers) {
+    SpinnerConfig sc;
+    sc.num_partitions = 8;
+    sc.max_iterations = 1;  // single ComputeScores, no migrations yet
+    sc.use_halting = false;
+    sc.num_workers = workers;
+    SpinnerPartitioner partitioner(sc);
+    auto result = partitioner.Partition(*g);
+    SPINNER_CHECK(result.ok());
+    return result->history.front().score;
+  };
+  EXPECT_DOUBLE_EQ(first_iteration_score(1), first_iteration_score(7));
+}
+
+}  // namespace
+}  // namespace spinner

@@ -1,0 +1,99 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace spinner {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(SplitTest, NoSeparatorYieldsWhole) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitTest, EmptyString) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWhitespaceTest, DropsRuns) {
+  auto parts = SplitWhitespace("  12\t 34  56 ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "12");
+  EXPECT_EQ(parts[1], "34");
+  EXPECT_EQ(parts[2], "56");
+}
+
+TEST(SplitWhitespaceTest, AllWhitespaceIsEmpty) {
+  EXPECT_TRUE(SplitWhitespace(" \t ").empty());
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.0 / 3.0), "0.33");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(ParseInt64Test, ValidInputs) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("123", &v));
+  EXPECT_EQ(v, 123);
+  EXPECT_TRUE(ParseInt64("-5", &v));
+  EXPECT_EQ(v, -5);
+  EXPECT_TRUE(ParseInt64("  42  ", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+}
+
+TEST(ParseInt64Test, RejectsMalformed) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", &v));  // overflow
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("1.5", &v));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(ParseDouble("-2e3", &v));
+  EXPECT_DOUBLE_EQ(v, -2000.0);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("x", &v));
+  EXPECT_FALSE(ParseDouble("1.5junk", &v));
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(WithCommasTest, GroupsThousands) {
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(1000), "1,000");
+  EXPECT_EQ(WithCommas(1234567), "1,234,567");
+  EXPECT_EQ(WithCommas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace spinner

@@ -1,0 +1,118 @@
+#include "spinner/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+#include "graph/conversion.h"
+#include "graph/generators.h"
+#include "spinner/partitioner.h"
+
+namespace spinner::theory {
+namespace {
+
+IterationPoint MakePoint(int iter, std::vector<int64_t> loads) {
+  IterationPoint pt;
+  pt.iteration = iter;
+  pt.loads = std::move(loads);
+  return pt;
+}
+
+TEST(ImbalanceTrajectoryTest, KnownVectors) {
+  std::vector<IterationPoint> history;
+  history.push_back(MakePoint(1, {40, 0}));   // even = 20, dev = 20
+  history.push_back(MakePoint(2, {30, 10}));  // dev = 10
+  history.push_back(MakePoint(3, {20, 20}));  // dev = 0
+  auto traj = ImbalanceTrajectory(history);
+  ASSERT_EQ(traj.size(), 3u);
+  // Normalized by ‖x_0‖∞ = 40.
+  EXPECT_DOUBLE_EQ(traj[0], 0.5);
+  EXPECT_DOUBLE_EQ(traj[1], 0.25);
+  EXPECT_DOUBLE_EQ(traj[2], 0.0);
+}
+
+TEST(ImbalanceTrajectoryTest, EmptyInputs) {
+  EXPECT_TRUE(ImbalanceTrajectory({}).empty());
+  std::vector<IterationPoint> no_loads(3);
+  EXPECT_TRUE(ImbalanceTrajectory(no_loads).empty());
+}
+
+TEST(FitDecayRateTest, ExactGeometricSequence) {
+  std::vector<double> traj;
+  for (int t = 0; t < 10; ++t) traj.push_back(std::pow(0.5, t));
+  EXPECT_NEAR(FitDecayRate(traj), 0.5, 1e-9);
+}
+
+TEST(FitDecayRateTest, StopsAtFirstZero) {
+  std::vector<double> traj = {1.0, 0.1, 0.0, 0.5, 0.5};
+  const double mu = FitDecayRate(traj);
+  EXPECT_NEAR(mu, 0.1, 1e-9);  // only the first two points count
+}
+
+TEST(FitDecayRateTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(FitDecayRate({}), 1.0);
+  EXPECT_DOUBLE_EQ(FitDecayRate({0.5}), 1.0);
+  EXPECT_DOUBLE_EQ(FitDecayRate({0.0, 0.0}), 1.0);
+}
+
+TEST(CountCapacityViolationsTest, CountsAndWorstRatio) {
+  std::vector<IterationPoint> history;
+  // total = 100, k = 2, capacity at c=1.05 is 52.5.
+  history.push_back(MakePoint(1, {60, 40}));  // 60 > 52.5: violation
+  history.push_back(MakePoint(2, {52, 48}));  // fine
+  auto stats = CountCapacityViolations(history, 1.05);
+  EXPECT_EQ(stats.observations, 4);
+  EXPECT_EQ(stats.violations, 1);
+  EXPECT_NEAR(stats.worst_ratio, 60.0 / 52.5, 1e-12);
+  EXPECT_NEAR(stats.ViolationRate(), 0.25, 1e-12);
+}
+
+TEST(TheoryIntegrationTest, SpinnerRunDecaysImbalanceExponentially) {
+  // Proposition 1's regime: a well-connected graph where every partition
+  // exchanges load with every other. Start from a heavily skewed state
+  // (half the vertices piled on one partition — a uniform random start is
+  // already balanced and shows nothing) and verify the imbalance decays
+  // at a sub-unit fitted rate.
+  auto er = ErdosRenyi(4000, 40000, 3);
+  ASSERT_TRUE(er.ok());
+  auto g = BuildSymmetric(er->num_vertices, er->edges);
+  ASSERT_TRUE(g.ok());
+
+  const int k = 16;
+  std::vector<PartitionId> skewed(g->NumVertices());
+  for (VertexId v = 0; v < g->NumVertices(); ++v) {
+    const uint64_t key = HashCombine(99, static_cast<uint64_t>(v));
+    skewed[v] = HashUniformDouble(key) < 0.5
+                    ? k - 1
+                    : static_cast<PartitionId>(
+                          HashUniform(SplitMix64(key), k));
+  }
+
+  SpinnerConfig config;
+  config.num_partitions = k;
+  config.use_halting = false;
+  config.max_iterations = 25;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Repartition(*g, skewed);
+  ASSERT_TRUE(result.ok());
+
+  auto traj = ImbalanceTrajectory(result->history);
+  ASSERT_EQ(traj.size(), 25u);
+  EXPECT_LT(traj.back(), 0.5 * traj.front());
+  const double mu = FitDecayRate(traj);
+  EXPECT_LT(mu, 0.9);  // genuinely exponential, not flat
+  EXPECT_GT(mu, 0.0);
+
+  // Proposition 3: violations of the capacity are rare and small, once
+  // the deliberately overfull start has drained (skip early iterations).
+  std::vector<IterationPoint> tail(result->history.begin() + 10,
+                                   result->history.end());
+  auto stats = CountCapacityViolations(tail, 1.05);
+  EXPECT_LT(stats.ViolationRate(), 0.2);
+  EXPECT_LT(stats.worst_ratio, 1.15);
+}
+
+}  // namespace
+}  // namespace spinner::theory

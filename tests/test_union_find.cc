@@ -1,0 +1,48 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace spinner {
+namespace {
+
+TEST(UnionFindTest, SingletonsInitially) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(uf.Find(v), v);
+    EXPECT_EQ(uf.SetSize(v), 1);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(0, 1));  // already merged
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.NumSets(), 3);
+  EXPECT_EQ(uf.SetSize(1), 2);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SetSize(0), 4);
+  EXPECT_EQ(uf.NumSets(), 3);  // {0,1,2,3}, {4}, {5}
+}
+
+TEST(UnionFindTest, ChainCollapsesToOneSet) {
+  const int n = 1000;
+  UnionFind uf(n);
+  for (VertexId v = 0; v + 1 < n; ++v) uf.Union(v, v + 1);
+  EXPECT_EQ(uf.NumSets(), 1);
+  EXPECT_EQ(uf.SetSize(0), n);
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+}
+
+}  // namespace
+}  // namespace spinner
