@@ -3,73 +3,89 @@
 // partitions. Compares elastic adaptation against re-partitioning from
 // scratch on (a) time/message savings and (b) partitioning stability.
 //
+// Driven end-to-end by PartitioningSession: the k=32 steady state is
+// captured once with Snapshot() and every resize restores it and calls
+// Rescale(new_k) — the session tracks the current k itself.
+//
 // Expected shapes: savings positive but shrinking as more partitions are
 // added (paper: 74% faster for +1); vertices moved grows with the number
 // of added partitions (probabilistic migration rate n/(k+n)) but stays far
 // below scratch (paper: <17% vs 96% for +1).
+#include <unistd.h>
+
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "spinner/partitioner.h"
+#include "spinner/session.h"
 
 namespace spinner::bench {
 namespace {
 
 void Run() {
+  // Per-process path: concurrent runs (or other users' leftovers) must
+  // not collide on the checkpoint file.
+  const std::string snapshot_path =
+      "/tmp/spinner_bench_fig8." + std::to_string(getpid()) + ".spns";
   PrintBanner(
       "FIGURE 8 — adapting to resource changes (Tuenti stand-in, k=32)",
       "elastic adaptation cheaper and far more stable than scratch; "
       "stability cost grows with #new partitions");
   StandIn tu = MakeStandIn("TU");
-  CsrGraph g = Convert(tu.graph);
-  PrintStandIn(tu, g);
   const int k = 32;
 
   SpinnerConfig config;
   config.num_partitions = k;
-  SpinnerPartitioner partitioner(config);
-  auto initial = partitioner.Partition(g);
-  SPINNER_CHECK(initial.ok());
+  PartitioningSession session(config);
+  SPINNER_CHECK_OK(session.Open(tu.graph.num_vertices, tu.graph.edges,
+                                tu.graph.directed));
+  PrintStandIn(tu, session.converted());
+  const std::vector<PartitionId> initial = session.assignment();
   std::printf("initial partitioning (k=32): phi=%.3f rho=%.3f\n",
-              initial->metrics.phi, initial->metrics.rho);
+              session.last_result().metrics.phi,
+              session.last_result().metrics.rho);
+  SPINNER_CHECK_OK(session.Snapshot(snapshot_path));
 
   std::printf("\n%-6s | %-12s %-12s | %-12s %-12s | %-9s %-9s\n",
               "+parts", "time save%", "msg save%", "moved adpt%",
               "moved scr%", "rho adpt", "phi adpt");
   for (int added : {1, 2, 4, 8}) {
     const int new_k = k + added;
-    auto adapted = partitioner.Rescale(g, initial->assignment, new_k);
-    SPINNER_CHECK(adapted.ok());
+    SPINNER_CHECK_OK(session.Restore(snapshot_path));
+    SPINNER_CHECK_OK(session.Rescale(new_k));
+    const PartitionResult& adapted = session.last_result();
 
     SpinnerConfig scratch_config = config;
     scratch_config.num_partitions = new_k;
     scratch_config.seed = 4242;
-    SpinnerPartitioner scratch_partitioner(scratch_config);
-    auto scratch = scratch_partitioner.Partition(g);
-    SPINNER_CHECK(scratch.ok());
+    PartitioningSession scratch_session(scratch_config);
+    SPINNER_CHECK_OK(scratch_session.Open(
+        tu.graph.num_vertices, tu.graph.edges, tu.graph.directed));
+    const PartitionResult& scratch = scratch_session.last_result();
 
     const double time_save =
-        100.0 * (1.0 - adapted->run_stats.total_wall_seconds /
-                           scratch->run_stats.total_wall_seconds);
+        100.0 * (1.0 - adapted.run_stats.total_wall_seconds /
+                           scratch.run_stats.total_wall_seconds);
     const double msg_save =
         100.0 * (1.0 - static_cast<double>(
-                           adapted->run_stats.TotalMessages()) /
+                           adapted.run_stats.TotalMessages()) /
                            static_cast<double>(
-                               scratch->run_stats.TotalMessages()));
+                               scratch.run_stats.TotalMessages()));
     auto moved_adapted =
-        PartitioningDifference(initial->assignment, adapted->assignment);
+        PartitioningDifference(initial, adapted.assignment);
     auto moved_scratch =
-        PartitioningDifference(initial->assignment, scratch->assignment);
+        PartitioningDifference(initial, scratch.assignment);
     SPINNER_CHECK(moved_adapted.ok() && moved_scratch.ok());
 
     std::printf("%-6d | %-12.1f %-12.1f | %-12.1f %-12.1f | %-9.3f %-9.3f\n",
                 added, time_save, msg_save, 100.0 * *moved_adapted,
-                100.0 * *moved_scratch, adapted->metrics.rho,
-                adapted->metrics.phi);
+                100.0 * *moved_scratch, adapted.metrics.rho,
+                adapted.metrics.phi);
   }
   std::printf("\n(shape check: moved-adaptive grows with +parts but stays "
               "well below moved-scratch; balance recovered at new k)\n");
+  std::remove(snapshot_path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification matrix: Debug + Release, warnings as errors, tests
+# labeled tier1 (benches build but are excluded from the gate).
+# Mirrors .github/workflows/ci.yml so the gate is reproducible locally.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+for build_type in Debug Release; do
+  build_dir="build-ci-${build_type,,}"
+  echo "=== ${build_type} (-Werror) ==="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE="${build_type}" \
+    -DSPINNER_WERROR=ON
+  cmake --build "${build_dir}" -j "${JOBS}"
+  ctest --test-dir "${build_dir}" -L tier1 --output-on-failure -j "${JOBS}"
+done
+
+echo "ci.sh: all configurations passed"

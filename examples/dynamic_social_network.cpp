@@ -3,14 +3,18 @@
 // the partitioning incrementally instead of repartitioning from scratch,
 // keeping locality high while barely shuffling vertices.
 //
+// Written against PartitioningSession: the session owns the edge list and
+// the assignment, so a day's churn is one GraphDelta + one ApplyDelta()
+// call instead of hand-threading edge lists, conversions and labels.
+//
 //   ./dynamic_social_network [--days=5] [--k=16] [--daily-edges-pct=2]
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.h"
-#include "graph/conversion.h"
 #include "graph/delta.h"
 #include "graph/generators.h"
-#include "spinner/partitioner.h"
+#include "spinner/session.h"
 
 using namespace spinner;
 
@@ -24,63 +28,48 @@ int main(int argc, char** argv) {
   // Day 0: the social network as it exists today.
   auto social = WattsStrogatz(10000, 8, 0.3, 7);
   SPINNER_CHECK_OK(social.status());
-  EdgeList edges = social->edges;
-  int64_t num_vertices = social->num_vertices;
-
-  auto converted = BuildSymmetric(num_vertices, edges);
-  SPINNER_CHECK_OK(converted.status());
 
   SpinnerConfig config;
   config.num_partitions = k;
-  SpinnerPartitioner partitioner(config);
-  auto current = partitioner.Partition(*converted);
-  SPINNER_CHECK_OK(current.status());
+  PartitioningSession session(config);
+  SPINNER_CHECK_OK(session.Open(social->num_vertices, social->edges,
+                                social->directed));
   std::printf("day 0: |V|=%lld |E|=%zu phi=%.3f rho=%.3f (%d iterations "
               "from scratch)\n",
-              static_cast<long long>(num_vertices), edges.size(),
-              current->metrics.phi, current->metrics.rho,
-              current->iterations);
+              static_cast<long long>(session.num_vertices()),
+              session.edges().size(), session.last_result().metrics.phi,
+              session.last_result().metrics.rho,
+              session.last_result().iterations);
 
   for (int day = 1; day <= days; ++day) {
     // New friendships form (daily_pct% of the current edge count) and a
     // few hundred new users join, each befriending existing users.
+    const int64_t n = session.num_vertices();
     GraphDelta delta = RandomEdgeAdditions(
-        num_vertices, edges,
-        static_cast<int64_t>(static_cast<double>(edges.size()) * daily_pct /
-                             100.0),
+        n, session.edges(),
+        static_cast<int64_t>(
+            static_cast<double>(session.edges().size()) * daily_pct / 100.0),
         1000 + day);
-    delta.num_new_vertices = 200;
+    delta.AddVertex(200);
     for (int64_t i = 0; i < 200; ++i) {
-      delta.added_edges.push_back(
-          {num_vertices + i, (i * 37 + day * 811) % num_vertices});
+      delta.AddEdge(n + i, (i * 37 + day * 811) % n);
     }
 
-    auto new_edges = ApplyDelta(num_vertices, edges, delta);
-    SPINNER_CHECK_OK(new_edges.status());
-    edges = std::move(new_edges).value();
-    num_vertices += delta.num_new_vertices;
-
-    auto new_converted = BuildSymmetric(num_vertices, edges);
-    SPINNER_CHECK_OK(new_converted.status());
-
-    auto adapted =
-        partitioner.Repartition(*new_converted, current->assignment);
-    SPINNER_CHECK_OK(adapted.status());
+    const std::vector<PartitionId> before = session.assignment();
+    SPINNER_CHECK_OK(session.ApplyDelta(delta));
 
     // How many existing vertices had to move to a different machine?
-    const std::span<const PartitionId> old_span(
-        current->assignment.data(), current->assignment.size());
-    const std::span<const PartitionId> new_span(
-        adapted->assignment.data(), current->assignment.size());
-    auto moved = PartitioningDifference(old_span, new_span);
+    const std::span<const PartitionId> new_span(session.assignment().data(),
+                                                before.size());
+    auto moved = PartitioningDifference(before, new_span);
     SPINNER_CHECK_OK(moved.status());
 
     std::printf("day %d: |V|=%lld |E|=%zu phi=%.3f rho=%.3f | %d "
                 "iterations, %.1f%% of existing vertices moved\n",
-                day, static_cast<long long>(num_vertices), edges.size(),
-                adapted->metrics.phi, adapted->metrics.rho,
-                adapted->iterations, 100.0 * *moved);
-    current = std::move(adapted);
+                day, static_cast<long long>(session.num_vertices()),
+                session.edges().size(), session.last_result().metrics.phi,
+                session.last_result().metrics.rho,
+                session.last_result().iterations, 100.0 * *moved);
   }
   std::printf("\nadaptation kept locality near the from-scratch level while "
               "moving only a small fraction of vertices each day.\n");

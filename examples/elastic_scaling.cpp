@@ -3,22 +3,27 @@
 // partitioning follows the machine count without ever repartitioning from
 // scratch.
 //
+// Written against PartitioningSession: the session tracks the current k,
+// so each transition is one Rescale() call — no manual bookkeeping of
+// which k the previous assignment was computed for.
+//
 //   ./elastic_scaling [--initial-k=8]
 #include <cstdio>
+#include <vector>
 
 #include "common/cli.h"
-#include "graph/conversion.h"
 #include "graph/generators.h"
-#include "spinner/partitioner.h"
+#include "spinner/session.h"
 
 using namespace spinner;
 
 namespace {
 
-void Report(const char* phase, const PartitionResult& result,
+void Report(const char* phase, const PartitioningSession& session,
             double moved_pct) {
+  const PartitionResult& result = session.last_result();
   std::printf("%-28s k=%-3d phi=%.3f rho=%.3f iterations=%-3d moved=%.1f%%\n",
-              phase, result.num_partitions, result.metrics.phi,
+              phase, session.num_partitions(), result.metrics.phi,
               result.metrics.rho, result.iterations, moved_pct);
 }
 
@@ -38,35 +43,30 @@ int main(int argc, char** argv) {
 
   auto graph = WattsStrogatz(12000, 8, 0.25, 3);
   SPINNER_CHECK_OK(graph.status());
-  auto converted = BuildSymmetric(graph->num_vertices, graph->edges);
-  SPINNER_CHECK_OK(converted.status());
 
   // Morning: steady state on `initial_k` machines.
   SpinnerConfig config;
   config.num_partitions = initial_k;
-  SpinnerPartitioner partitioner(config);
-  auto steady = partitioner.Partition(*converted);
-  SPINNER_CHECK_OK(steady.status());
-  Report("morning steady state", *steady, 0.0);
+  PartitioningSession session(config);
+  SPINNER_CHECK_OK(
+      session.Open(graph->num_vertices, graph->edges, graph->directed));
+  Report("morning steady state", session, 0.0);
 
   // Peak: scale out to 12 machines. Vertices migrate to the new
   // partitions with probability n/(k+n) (paper Eq. 11), then label
   // propagation re-optimizes.
-  auto scaled_out = partitioner.Rescale(*converted, steady->assignment, 12);
-  SPINNER_CHECK_OK(scaled_out.status());
-  Report("peak: scale out to 12", *scaled_out,
-         MovedPct(steady->assignment, scaled_out->assignment));
+  std::vector<PartitionId> before = session.assignment();
+  SPINNER_CHECK_OK(session.Rescale(12));
+  Report("peak: scale out to 12", session,
+         MovedPct(before, session.assignment()));
 
   // Night: scale in to 6 machines. Partitions 6..11 are evacuated
-  // uniformly at random, then re-optimized.
-  SpinnerConfig night_config = config;
-  night_config.num_partitions = 12;  // previous k
-  SpinnerPartitioner night_partitioner(night_config);
-  auto scaled_in =
-      night_partitioner.Rescale(*converted, scaled_out->assignment, 6);
-  SPINNER_CHECK_OK(scaled_in.status());
-  Report("night: scale in to 6", *scaled_in,
-         MovedPct(scaled_out->assignment, scaled_in->assignment));
+  // uniformly at random, then re-optimized. The session remembers the
+  // current k, so no fresh partitioner configuration is needed.
+  before = session.assignment();
+  SPINNER_CHECK_OK(session.Rescale(6));
+  Report("night: scale in to 6", session,
+         MovedPct(before, session.assignment()));
 
   std::printf("\nevery transition reused the previous assignment: balance "
               "recovered at each new k with far fewer moves than a "

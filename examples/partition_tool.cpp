@@ -1,8 +1,13 @@
 // partition_tool: a complete command-line front end to the library — the
-// utility an operator would script against.
+// utility an operator would script against. Any registered partitioner can
+// be selected by name; the adapt/rescale lifecycle commands require the
+// matching capability (spinner has all of them).
 //
 //   # Partition an edge-list file (sparse ids fine; they are compacted):
 //   ./partition_tool partition --input=edges.txt --k=32 --out=parts.txt
+//
+//   # Sweep a baseline instead of Spinner:
+//   ./partition_tool partition --input=edges.txt --k=32 --partitioner=fennel
 //
 //   # The graph changed: adapt the existing partitioning.
 //   ./partition_tool adapt --input=new_edges.txt --previous=parts.txt
@@ -15,11 +20,17 @@
 //   # Score any partition file:
 //   ./partition_tool metrics --input=edges.txt --parts=parts.txt --k=32
 //
-// Common flags: --c (capacity slack), --seed, --workers,
+//   # List the registered partitioners:
+//   ./partition_tool list
+//
+// Common flags: --partitioner (default "spinner"), --c (capacity slack),
+// --seed (label-drawing partitioners), --stream-seed (arrival order of the
+// streaming baselines; 0 = natural id order), --workers,
 // --balance=edges|vertices.
 #include <cstdio>
 #include <string>
 
+#include "baselines/partitioner_registry.h"
 #include "common/cli.h"
 #include "graph/conversion.h"
 #include "graph/edge_list.h"
@@ -27,7 +38,6 @@
 #include "graph/remap.h"
 #include "graph/stats.h"
 #include "spinner/metrics.h"
-#include "spinner/partitioner.h"
 
 using namespace spinner;
 
@@ -40,7 +50,7 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: partition_tool <partition|adapt|rescale|metrics> "
+               "usage: partition_tool <partition|adapt|rescale|metrics|list> "
                "--input=<edges.txt> [flags]\n"
                "see the header of examples/partition_tool.cpp for the "
                "full flag list\n");
@@ -64,23 +74,31 @@ Result<LoadedGraph> Load(const std::string& path) {
   return out;
 }
 
-SpinnerConfig ConfigFrom(const CommandLine& cli) {
-  SpinnerConfig config;
-  config.num_partitions = static_cast<int>(cli.GetInt("k", 32));
-  config.additional_capacity = cli.GetDouble("c", 1.05);
-  config.seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
-  config.num_workers = static_cast<int>(cli.GetInt("workers", 0));
+PartitionerOptions OptionsFrom(const CommandLine& cli) {
+  PartitionerOptions options;
+  options.seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
+  // Streaming partitioners are seeded by arrival order; 0 (the default)
+  // keeps the natural vertex-id order.
+  options.stream_seed =
+      static_cast<uint64_t>(cli.GetInt("stream-seed", 0));
+  options.spinner.num_partitions = static_cast<int>(cli.GetInt("k", 32));
+  options.spinner.additional_capacity = cli.GetDouble("c", 1.05);
+  options.spinner.num_workers = static_cast<int>(cli.GetInt("workers", 0));
   if (cli.GetString("balance", "edges") == "vertices") {
-    config.balance_mode = BalanceMode::kVertices;
+    options.spinner.balance_mode = BalanceMode::kVertices;
+    options.balance_on_edges = false;
   }
-  return config;
+  return options;
 }
 
-void Report(const PartitionResult& result) {
-  std::printf("k=%d iterations=%d converged=%s phi=%.4f rho=%.4f\n",
-              result.num_partitions, result.iterations,
-              result.converged ? "yes" : "no", result.metrics.phi,
-              result.metrics.rho);
+int Report(const CsrGraph& g, const std::vector<PartitionId>& labels, int k,
+           double c) {
+  auto m = ComputeMetrics(g, labels, k, c);
+  if (!m.ok()) return Fail(m.status());
+  std::printf("k=%d phi=%.4f rho=%.4f cut=%lld total=%lld\n", k, m->phi,
+              m->rho, static_cast<long long>(m->cut_weight),
+              static_cast<long long>(m->total_weight));
+  return 0;
 }
 
 }  // namespace
@@ -90,6 +108,17 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   CommandLine cli;
   if (!cli.Parse(argc, argv).ok()) return Usage();
+
+  if (command == "list") {
+    for (const std::string& name : PartitionerRegistry::Names()) {
+      auto p = PartitionerRegistry::Create(name);
+      std::printf("%-12s%s%s\n", name.c_str(),
+                  p.ok() && (*p)->SupportsRepartition() ? " [adapt]" : "",
+                  p.ok() && (*p)->SupportsRescale() ? " [rescale]" : "");
+    }
+    return 0;
+  }
+
   const std::string input = cli.GetString("input", "");
   if (input.empty()) return Usage();
 
@@ -97,44 +126,54 @@ int main(int argc, char** argv) {
   if (!loaded.ok()) return Fail(loaded.status());
   std::printf("graph: %s\n",
               ToString(ComputeGraphStats(loaded->converted)).c_str());
-  const SpinnerConfig config = ConfigFrom(cli);
-  SpinnerPartitioner partitioner(config);
 
-  Result<PartitionResult> result = Status::Unimplemented("no command");
+  const PartitionerOptions options = OptionsFrom(cli);
+  const int k = options.spinner.num_partitions;
+  const double c = options.spinner.additional_capacity;
+  const std::string partitioner_name =
+      cli.GetString("partitioner", "spinner");
+  auto partitioner = PartitionerRegistry::Create(partitioner_name, options);
+  if (!partitioner.ok()) return Fail(partitioner.status());
+
+  Result<std::vector<PartitionId>> labels =
+      Status::Unimplemented("no command");
+  int result_k = k;  // rescale reports against the new partition count
   if (command == "partition") {
-    result = partitioner.Partition(loaded->converted);
+    labels = (*partitioner)->Partition(loaded->converted, k);
   } else if (command == "adapt" || command == "rescale") {
     auto previous = graph_io::ReadPartitioning(
         cli.GetString("previous", ""), loaded->num_vertices);
     if (!previous.ok()) return Fail(previous.status());
     if (command == "adapt") {
-      result = partitioner.Repartition(loaded->converted, *previous);
+      if (!(*partitioner)->SupportsRepartition()) {
+        return Fail(Status::Unimplemented(
+            partitioner_name + " does not support adapt"));
+      }
+      labels = (*partitioner)->Repartition(loaded->converted, k, *previous);
     } else {
-      const int new_k = static_cast<int>(
-          cli.GetInt("new-k", config.num_partitions));
-      result = partitioner.Rescale(loaded->converted, *previous, new_k);
+      if (!(*partitioner)->SupportsRescale()) {
+        return Fail(Status::Unimplemented(
+            partitioner_name + " does not support rescale"));
+      }
+      result_k = static_cast<int>(cli.GetInt("new-k", k));
+      labels = (*partitioner)->Rescale(loaded->converted, *previous, k,
+                                       result_k);
     }
   } else if (command == "metrics") {
     auto parts = graph_io::ReadPartitioning(cli.GetString("parts", ""),
                                             loaded->num_vertices);
     if (!parts.ok()) return Fail(parts.status());
-    auto m = ComputeMetrics(loaded->converted, *parts,
-                            config.num_partitions,
-                            config.additional_capacity);
-    if (!m.ok()) return Fail(m.status());
-    std::printf("phi=%.4f rho=%.4f cut=%lld total=%lld\n", m->phi, m->rho,
-                static_cast<long long>(m->cut_weight),
-                static_cast<long long>(m->total_weight));
-    return 0;
+    return Report(loaded->converted, *parts, k, c);
   } else {
     return Usage();
   }
 
-  if (!result.ok()) return Fail(result.status());
-  Report(*result);
+  if (!labels.ok()) return Fail(labels.status());
+  const int code = Report(loaded->converted, *labels, result_k, c);
+  if (code != 0) return code;
   const std::string out = cli.GetString("out", "");
   if (!out.empty()) {
-    Status s = graph_io::WritePartitioning(out, result->assignment);
+    Status s = graph_io::WritePartitioning(out, *labels);
     if (!s.ok()) return Fail(s);
     std::printf("wrote %s\n", out.c_str());
   }

@@ -1,5 +1,12 @@
 // Quickstart: partition a graph with Spinner in ~20 lines.
 //
+// The idiom: open a PartitioningSession on a raw edge list. The session
+// converts (paper Eq. 3), partitions, and then *owns* the assignment — as
+// the graph changes call session.ApplyDelta(), as the cluster resizes call
+// session.Rescale(), and session.Snapshot() persists the whole state. For
+// a one-shot sweep of any other algorithm ("hash", "ldg", "fennel", ...)
+// see PartitionerRegistry::Create in baselines/partitioner_registry.h.
+//
 //   ./quickstart [--k=8] [--c=1.05] [--seed=42] [--input=edges.txt]
 //                [--output=partition.txt]
 //
@@ -8,12 +15,11 @@
 #include <cstdio>
 
 #include "common/cli.h"
-#include "graph/conversion.h"
 #include "graph/edge_list.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/stats.h"
-#include "spinner/partitioner.h"
+#include "spinner/session.h"
 
 using namespace spinner;
 
@@ -24,6 +30,7 @@ int main(int argc, char** argv) {
   // --- 1. Load or generate a graph. ---
   EdgeList edges;
   int64_t num_vertices = 0;
+  bool directed = true;
   const std::string input = cli.GetString("input", "");
   if (!input.empty()) {
     auto loaded = graph_io::ReadEdgeList(input);
@@ -38,42 +45,44 @@ int main(int argc, char** argv) {
     SPINNER_CHECK_OK(demo.status());
     edges = demo->edges;
     num_vertices = demo->num_vertices;
+    directed = demo->directed;
     std::printf("no --input given; generated a small-world demo graph\n");
   }
 
-  // --- 2. Convert to the weighted undirected form (paper Eq. 3). ---
-  auto converted = ConvertToWeightedUndirected(num_vertices, edges);
-  SPINNER_CHECK_OK(converted.status());
-  std::printf("graph: %s\n", ToString(ComputeGraphStats(*converted)).c_str());
-
-  // --- 3. Configure and run Spinner. ---
+  // --- 2. Configure and open a partitioning session. The session
+  //        converts to the weighted undirected form (paper Eq. 3) and
+  //        computes the initial partitioning. ---
   SpinnerConfig config;
   config.num_partitions = static_cast<int>(cli.GetInt("k", 8));
   config.additional_capacity = cli.GetDouble("c", 1.05);
   config.seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
-  SpinnerPartitioner partitioner(config);
-  auto result = partitioner.Partition(*converted);
-  if (!result.ok()) {
-    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+  PartitioningSession session(config);
+  Status opened = session.Open(num_vertices, std::move(edges), directed);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.ToString().c_str());
     return 1;
   }
+  std::printf("graph: %s\n",
+              ToString(ComputeGraphStats(session.converted())).c_str());
 
-  // --- 4. Inspect the result. ---
+  // --- 3. Inspect the result. ---
+  const PartitionResult& result = session.last_result();
   std::printf("partitioned into k=%d in %d iterations (%s)\n",
-              result->num_partitions, result->iterations,
-              result->converged ? "converged" : "iteration cap");
+              session.num_partitions(), result.iterations,
+              result.converged ? "converged" : "iteration cap");
   std::printf("locality phi = %.3f (fraction of message traffic kept "
-              "local)\n", result->metrics.phi);
+              "local)\n", result.metrics.phi);
   std::printf("balance  rho = %.3f (max load / ideal; target <= c = %.2f)\n",
-              result->metrics.rho, config.additional_capacity);
-  for (size_t l = 0; l < result->metrics.loads.size(); ++l) {
+              result.metrics.rho, config.additional_capacity);
+  for (size_t l = 0; l < result.metrics.loads.size(); ++l) {
     std::printf("  partition %zu: load %lld\n", l,
-                static_cast<long long>(result->metrics.loads[l]));
+                static_cast<long long>(result.metrics.loads[l]));
   }
 
-  // --- 5. Persist the assignment. ---
+  // --- 4. Persist the assignment (the session itself can also be
+  //        checkpointed with session.Snapshot(path)). ---
   const std::string output = cli.GetString("output", "partition.txt");
-  SPINNER_CHECK_OK(graph_io::WritePartitioning(output, result->assignment));
+  SPINNER_CHECK_OK(graph_io::WritePartitioning(output, session.assignment()));
   std::printf("assignment written to %s\n", output.c_str());
   return 0;
 }

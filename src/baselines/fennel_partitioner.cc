@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
+#include "baselines/partitioner_registry.h"
 #include "common/random.h"
 
 namespace spinner {
@@ -76,6 +78,18 @@ Result<std::vector<PartitionId>> FennelPartitioner::Partition(
     sizes[best_part] += unit;
   }
   return labels;
+}
+
+bool RegisterFennelPartitioner() {
+  return PartitionerRegistry::Register(
+      "fennel",
+      [](const PartitionerOptions& options)
+          -> Result<std::unique_ptr<GraphPartitioner>> {
+        return std::unique_ptr<GraphPartitioner>(
+            std::make_unique<FennelPartitioner>(
+                options.fennel_gamma, options.fennel_balance_cap,
+                options.stream_seed, options.balance_on_edges));
+      });
 }
 
 }  // namespace spinner

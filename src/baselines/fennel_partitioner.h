@@ -37,6 +37,9 @@ class FennelPartitioner : public GraphPartitioner {
   bool balance_on_edges_;
 };
 
+/// Registry hook: adds "fennel". Called by PartitionerRegistry.
+bool RegisterFennelPartitioner();
+
 }  // namespace spinner
 
 #endif  // SPINNER_BASELINES_FENNEL_PARTITIONER_H_

@@ -1,5 +1,8 @@
 #include "baselines/hash_partitioner.h"
 
+#include <memory>
+
+#include "baselines/partitioner_registry.h"
 #include "common/random.h"
 #include "spinner/initial_assignment.h"
 
@@ -20,6 +23,24 @@ Result<std::vector<PartitionId>> RandomPartitioner::Partition(
     const CsrGraph& converted, int k) const {
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   return RandomAssignment(converted.NumVertices(), k, seed_);
+}
+
+bool RegisterHashPartitioners() {
+  const bool hash_ok = PartitionerRegistry::Register(
+      "hash",
+      [](const PartitionerOptions&)
+          -> Result<std::unique_ptr<GraphPartitioner>> {
+        return std::unique_ptr<GraphPartitioner>(
+            std::make_unique<HashPartitioner>());
+      });
+  const bool random_ok = PartitionerRegistry::Register(
+      "random",
+      [](const PartitionerOptions& options)
+          -> Result<std::unique_ptr<GraphPartitioner>> {
+        return std::unique_ptr<GraphPartitioner>(
+            std::make_unique<RandomPartitioner>(options.seed));
+      });
+  return hash_ok && random_ok;
 }
 
 }  // namespace spinner

@@ -29,6 +29,9 @@ class RandomPartitioner : public GraphPartitioner {
   uint64_t seed_;
 };
 
+/// Registry hook: adds "hash" and "random". Called by PartitionerRegistry.
+bool RegisterHashPartitioners();
+
 }  // namespace spinner
 
 #endif  // SPINNER_BASELINES_HASH_PARTITIONER_H_

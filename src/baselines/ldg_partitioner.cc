@@ -1,8 +1,10 @@
 #include "baselines/ldg_partitioner.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
+#include "baselines/partitioner_registry.h"
 #include "common/random.h"
 
 namespace spinner {
@@ -64,6 +66,17 @@ Result<std::vector<PartitionId>> LdgPartitioner::Partition(
     sizes[best_part] += unit;
   }
   return labels;
+}
+
+bool RegisterLdgPartitioner() {
+  return PartitionerRegistry::Register(
+      "ldg",
+      [](const PartitionerOptions& options)
+          -> Result<std::unique_ptr<GraphPartitioner>> {
+        return std::unique_ptr<GraphPartitioner>(
+            std::make_unique<LdgPartitioner>(options.stream_seed,
+                                             options.balance_on_edges));
+      });
 }
 
 }  // namespace spinner

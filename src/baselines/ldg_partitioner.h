@@ -32,6 +32,9 @@ class LdgPartitioner : public GraphPartitioner {
   bool balance_on_edges_;
 };
 
+/// Registry hook: adds "ldg". Called by PartitionerRegistry.
+bool RegisterLdgPartitioner();
+
 }  // namespace spinner
 
 #endif  // SPINNER_BASELINES_LDG_PARTITIONER_H_

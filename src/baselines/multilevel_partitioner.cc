@@ -1,9 +1,11 @@
 #include "baselines/multilevel_partitioner.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 #include <unordered_map>
 
+#include "baselines/partitioner_registry.h"
 #include "common/logging.h"
 #include "common/random.h"
 
@@ -338,6 +340,21 @@ Result<std::vector<PartitionId>> MultilevelPartitioner::Partition(
     Refine(fine, k, options_.balance, options_.refine_passes, &labels);
   }
   return labels;
+}
+
+bool RegisterMultilevelPartitioner() {
+  return PartitionerRegistry::Register(
+      "multilevel",
+      [](const PartitionerOptions& options)
+          -> Result<std::unique_ptr<GraphPartitioner>> {
+        MultilevelOptions ml;
+        ml.coarsen_until_factor = options.multilevel_coarsen_until_factor;
+        ml.balance = options.multilevel_balance;
+        ml.refine_passes = options.multilevel_refine_passes;
+        ml.seed = options.seed;
+        return std::unique_ptr<GraphPartitioner>(
+            std::make_unique<MultilevelPartitioner>(ml));
+      });
 }
 
 }  // namespace spinner

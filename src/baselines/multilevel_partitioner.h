@@ -47,6 +47,9 @@ class MultilevelPartitioner : public GraphPartitioner {
   MultilevelOptions options_;
 };
 
+/// Registry hook: adds "multilevel". Called by PartitionerRegistry.
+bool RegisterMultilevelPartitioner();
+
 }  // namespace spinner
 
 #endif  // SPINNER_BASELINES_MULTILEVEL_PARTITIONER_H_

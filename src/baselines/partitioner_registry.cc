@@ -1,0 +1,84 @@
+#include "baselines/partitioner_registry.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "baselines/fennel_partitioner.h"
+#include "baselines/hash_partitioner.h"
+#include "baselines/ldg_partitioner.h"
+#include "baselines/multilevel_partitioner.h"
+#include "baselines/restreaming_partitioner.h"
+#include "common/string_util.h"
+#include "spinner/spinner_graph_partitioner.h"
+
+namespace spinner {
+
+namespace {
+
+struct RegistryState {
+  std::mutex mu;
+  std::map<std::string, PartitionerRegistry::Factory> factories;
+};
+
+RegistryState& State() {
+  static auto* state = new RegistryState();
+  return *state;
+}
+
+/// Triggers the self-registration hook of every built-in module exactly
+/// once. Explicit calls (instead of static initializers in each .cc) keep
+/// registration immune to static-library dead-stripping.
+void EnsureBuiltins() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    RegisterHashPartitioners();
+    RegisterLdgPartitioner();
+    RegisterFennelPartitioner();
+    RegisterRestreamingPartitioner();
+    RegisterMultilevelPartitioner();
+    RegisterSpinnerGraphPartitioner();
+  });
+}
+
+}  // namespace
+
+Result<std::unique_ptr<GraphPartitioner>> PartitionerRegistry::Create(
+    const std::string& name, const PartitionerOptions& options) {
+  EnsureBuiltins();
+  Factory factory;
+  {
+    RegistryState& state = State();
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto it = state.factories.find(name);
+    if (it == state.factories.end()) {
+      std::string known;
+      for (const auto& [known_name, unused] : state.factories) {
+        if (!known.empty()) known += ", ";
+        known += known_name;
+      }
+      return Status::NotFound("no partitioner named \"" + name +
+                              "\" (known: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory(options);
+}
+
+bool PartitionerRegistry::Register(const std::string& name, Factory factory) {
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.factories.emplace(name, std::move(factory)).second;
+}
+
+std::vector<std::string> PartitionerRegistry::Names() {
+  EnsureBuiltins();
+  RegistryState& state = State();
+  std::lock_guard<std::mutex> lock(state.mu);
+  std::vector<std::string> names;
+  names.reserve(state.factories.size());
+  for (const auto& [name, unused] : state.factories) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace spinner

@@ -1,0 +1,47 @@
+// PartitionerRegistry: constructs any partitioner in the library by name,
+// so benches and the CLI sweep implementations uniformly:
+//
+//   auto p = PartitionerRegistry::Create("fennel", options);
+//   if (p.ok()) auto labels = (*p)->Partition(graph, k);
+//
+// Built-in names: "hash", "random", "ldg", "fennel", "restreaming",
+// "multilevel", "spinner". Each implementation registers itself (its .cc
+// file defines a Register<Name>Partitioner() hook the registry triggers on
+// first use); user code can add factories with Register().
+#ifndef SPINNER_BASELINES_PARTITIONER_REGISTRY_H_
+#define SPINNER_BASELINES_PARTITIONER_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/partitioner_interface.h"
+#include "common/result.h"
+
+namespace spinner {
+
+/// Process-wide name → factory map. Thread-safe; factories run with no
+/// lock held.
+class PartitionerRegistry {
+ public:
+  using Factory = std::function<Result<std::unique_ptr<GraphPartitioner>>(
+      const PartitionerOptions&)>;
+
+  /// Instantiates the partitioner registered under `name`. Returns
+  /// NotFound (message lists the known names) for unknown names, or
+  /// whatever error the factory reports for bad options.
+  static Result<std::unique_ptr<GraphPartitioner>> Create(
+      const std::string& name, const PartitionerOptions& options = {});
+
+  /// Adds a factory. Returns false (and leaves the registry unchanged) if
+  /// the name is already taken.
+  static bool Register(const std::string& name, Factory factory);
+
+  /// All registered names, sorted — the sweep order of the benches.
+  static std::vector<std::string> Names();
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_BASELINES_PARTITIONER_REGISTRY_H_

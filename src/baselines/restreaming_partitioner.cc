@@ -1,8 +1,10 @@
 #include "baselines/restreaming_partitioner.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
 
+#include "baselines/partitioner_registry.h"
 #include "common/random.h"
 
 namespace spinner {
@@ -105,6 +107,30 @@ Result<std::vector<PartitionId>> RestreamingPartitioner::Restream(
     if (labels == before) break;  // converged
   }
   return labels;
+}
+
+Result<std::vector<PartitionId>> RestreamingPartitioner::Repartition(
+    const CsrGraph& converted, int k,
+    std::span<const PartitionId> previous) const {
+  if (static_cast<int64_t>(previous.size()) > converted.NumVertices()) {
+    return Status::InvalidArgument(
+        "previous assignment covers more vertices than the graph");
+  }
+  std::vector<PartitionId> padded(previous.begin(), previous.end());
+  padded.resize(converted.NumVertices(), kNoPartition);
+  return Restream(converted, k, padded, num_passes_);
+}
+
+bool RegisterRestreamingPartitioner() {
+  return PartitionerRegistry::Register(
+      "restreaming",
+      [](const PartitionerOptions& options)
+          -> Result<std::unique_ptr<GraphPartitioner>> {
+        return std::unique_ptr<GraphPartitioner>(
+            std::make_unique<RestreamingPartitioner>(
+                options.restream_passes, options.stream_seed,
+                options.balance_on_edges));
+      });
 }
 
 }  // namespace spinner

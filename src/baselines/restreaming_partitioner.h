@@ -27,6 +27,14 @@ class RestreamingPartitioner : public GraphPartitioner {
   Result<std::vector<PartitionId>> Partition(const CsrGraph& converted,
                                              int k) const override;
 
+  /// Incremental adaptation capability: restreams from `previous`, padding
+  /// vertices beyond its range (graph growth) with kNoPartition so the
+  /// first pass places them greedily.
+  bool SupportsRepartition() const override { return true; }
+  Result<std::vector<PartitionId>> Repartition(
+      const CsrGraph& converted, int k,
+      std::span<const PartitionId> previous) const override;
+
   /// Restream starting from an existing assignment (the incremental
   /// adaptation usage; compare SpinnerPartitioner::Repartition).
   Result<std::vector<PartitionId>> Restream(
@@ -38,6 +46,9 @@ class RestreamingPartitioner : public GraphPartitioner {
   uint64_t stream_seed_;
   bool balance_on_edges_;
 };
+
+/// Registry hook: adds "restreaming". Called by PartitionerRegistry.
+bool RegisterRestreamingPartitioner();
 
 }  // namespace spinner
 

@@ -1,5 +1,6 @@
 #include "graph/binary_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
@@ -12,6 +13,8 @@ namespace spinner::graph_io {
 namespace {
 constexpr char kMagic[4] = {'S', 'P', 'N', 'B'};
 constexpr uint32_t kVersion = 1;
+constexpr char kSnapshotMagic[4] = {'S', 'P', 'N', 'S'};
+constexpr uint32_t kSnapshotVersion = 1;
 
 template <typename T>
 void PutRaw(std::ofstream& out, const T& value) {
@@ -23,6 +26,12 @@ bool GetRaw(std::ifstream& in, T* value) {
   in.read(reinterpret_cast<char*>(value), sizeof(T));
   return static_cast<bool>(in);
 }
+
+/// Reservation clamp for header counts: they are untrusted until the
+/// elements actually arrive, so never pre-allocate more than this many —
+/// a corrupt count then fails with a clean truncation error instead of
+/// an uncatchable std::length_error from reserve().
+constexpr int64_t kMaxReserve = 1 << 20;
 }  // namespace
 
 Status WriteBinaryGraph(const std::string& path, int64_t num_vertices,
@@ -73,7 +82,7 @@ Result<BinaryGraph> ReadBinaryGraph(const std::string& path) {
   if (graph.num_vertices < 0 || num_edges < 0) {
     return Status::InvalidArgument("negative counts in header");
   }
-  graph.edges.reserve(num_edges);
+  graph.edges.reserve(std::min(num_edges, kMaxReserve));
   for (int64_t i = 0; i < num_edges; ++i) {
     Edge e;
     if (!GetRaw(in, &e.src) || !GetRaw(in, &e.dst)) {
@@ -89,6 +98,112 @@ Result<BinaryGraph> ReadBinaryGraph(const std::string& path) {
     graph.edges.push_back(e);
   }
   return graph;
+}
+
+Status WriteSessionSnapshot(const std::string& path,
+                            const SessionSnapshot& snapshot) {
+  if (snapshot.num_vertices < 0) {
+    return Status::InvalidArgument("negative vertex count");
+  }
+  if (!EdgesInRange(snapshot.edges, snapshot.num_vertices)) {
+    return Status::InvalidArgument("edge endpoint outside the vertex range");
+  }
+  if (snapshot.num_partitions < 0) {
+    return Status::InvalidArgument("negative partition count");
+  }
+  if (snapshot.num_partitions > 0) {
+    if (static_cast<int64_t>(snapshot.assignment.size()) !=
+        snapshot.num_vertices) {
+      return Status::InvalidArgument(
+          "assignment must cover every vertex");
+    }
+    for (PartitionId l : snapshot.assignment) {
+      if (l < 0 || l >= snapshot.num_partitions) {
+        return Status::InvalidArgument("assignment label out of range");
+      }
+    }
+  } else if (!snapshot.assignment.empty()) {
+    return Status::InvalidArgument(
+        "assignment present but num_partitions is 0");
+  }
+
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutRaw(out, kSnapshotVersion);
+  PutRaw(out, snapshot.num_vertices);
+  PutRaw(out, static_cast<int64_t>(snapshot.edges.size()));
+  PutRaw(out, snapshot.num_partitions);
+  PutRaw(out, static_cast<uint32_t>(snapshot.directed ? 1 : 0));
+  for (const Edge& e : snapshot.edges) {
+    PutRaw(out, e.src);
+    PutRaw(out, e.dst);
+  }
+  for (PartitionId l : snapshot.assignment) PutRaw(out, l);
+  out.flush();
+  if (!out) return Status::IOError("write error on: " + path);
+  return Status::OK();
+}
+
+Result<SessionSnapshot> ReadSessionSnapshot(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open: " + path);
+
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("bad magic (not a SPNS file): " + path);
+  }
+  uint32_t version = 0;
+  if (!GetRaw(in, &version)) return Status::IOError("truncated header");
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported snapshot version %u", version));
+  }
+
+  SessionSnapshot snapshot;
+  int64_t num_edges = 0;
+  uint32_t flags = 0;
+  if (!GetRaw(in, &snapshot.num_vertices) || !GetRaw(in, &num_edges) ||
+      !GetRaw(in, &snapshot.num_partitions) || !GetRaw(in, &flags)) {
+    return Status::IOError("truncated header");
+  }
+  snapshot.directed = (flags & 1u) != 0;
+  if (snapshot.num_vertices < 0 || num_edges < 0 ||
+      snapshot.num_partitions < 0) {
+    return Status::InvalidArgument("negative counts in header");
+  }
+  snapshot.edges.reserve(std::min(num_edges, kMaxReserve));
+  for (int64_t i = 0; i < num_edges; ++i) {
+    Edge e;
+    if (!GetRaw(in, &e.src) || !GetRaw(in, &e.dst)) {
+      return Status::IOError(StrFormat(
+          "truncated edge section at edge %lld of %lld",
+          static_cast<long long>(i), static_cast<long long>(num_edges)));
+    }
+    if (e.src < 0 || e.src >= snapshot.num_vertices || e.dst < 0 ||
+        e.dst >= snapshot.num_vertices) {
+      return Status::InvalidArgument(StrFormat(
+          "edge %lld endpoint out of range", static_cast<long long>(i)));
+    }
+    snapshot.edges.push_back(e);
+  }
+  if (snapshot.num_partitions > 0) {
+    snapshot.assignment.reserve(std::min(snapshot.num_vertices, kMaxReserve));
+    for (int64_t v = 0; v < snapshot.num_vertices; ++v) {
+      PartitionId l;
+      if (!GetRaw(in, &l)) {
+        return Status::IOError("truncated assignment section");
+      }
+      if (l < 0 || l >= snapshot.num_partitions) {
+        return Status::InvalidArgument(StrFormat(
+            "assignment label out of range at vertex %lld",
+            static_cast<long long>(v)));
+      }
+      snapshot.assignment.push_back(l);
+    }
+  }
+  return snapshot;
 }
 
 }  // namespace spinner::graph_io

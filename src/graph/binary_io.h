@@ -29,6 +29,32 @@ Status WriteBinaryGraph(const std::string& path, int64_t num_vertices,
 /// out-of-range endpoints.
 Result<BinaryGraph> ReadBinaryGraph(const std::string& path);
 
+/// A partitioning-session checkpoint: the raw edge list plus the current
+/// assignment and partition count. Layout (little-endian):
+///   magic "SPNS" (4 bytes) | version u32 | num_vertices i64 |
+///   num_edges i64 | num_partitions i32 | flags u32 (bit 0: directed) |
+///   edges (num_edges × {i64, i64}) | assignment (num_vertices × i32)
+struct SessionSnapshot {
+  int64_t num_vertices = 0;
+  EdgeList edges;
+  /// True if `edges` are directed (conversion weights per paper Eq. 3).
+  bool directed = false;
+  /// k of the assignment; 0 when no assignment has been computed yet.
+  int32_t num_partitions = 0;
+  /// One label per vertex in [0, num_partitions), or empty when
+  /// num_partitions is 0.
+  std::vector<PartitionId> assignment;
+};
+
+/// Writes a session snapshot. Fails with InvalidArgument on out-of-range
+/// edges or an assignment inconsistent with num_vertices/num_partitions.
+Status WriteSessionSnapshot(const std::string& path,
+                            const SessionSnapshot& snapshot);
+
+/// Reads a session snapshot, validating every invariant WriteSessionSnapshot
+/// enforces.
+Result<SessionSnapshot> ReadSessionSnapshot(const std::string& path);
+
 }  // namespace spinner::graph_io
 
 #endif  // SPINNER_GRAPH_BINARY_IO_H_

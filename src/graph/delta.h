@@ -20,6 +20,21 @@ struct GraphDelta {
   EdgeList added_edges;
   /// Edges to remove (matched exactly against existing edges).
   EdgeList removed_edges;
+
+  /// Chainable builders, so a delta reads as the change it describes:
+  ///   GraphDelta{}.AddVertex(2).AddEdge(0, n).AddEdge(n, n + 1)
+  GraphDelta& AddVertex(int64_t count = 1) {
+    num_new_vertices += count;
+    return *this;
+  }
+  GraphDelta& AddEdge(VertexId src, VertexId dst) {
+    added_edges.push_back({src, dst});
+    return *this;
+  }
+  GraphDelta& RemoveEdge(VertexId src, VertexId dst) {
+    removed_edges.push_back({src, dst});
+    return *this;
+  }
 };
 
 /// Applies `delta` to (num_vertices, edges): appends vertices, removes then

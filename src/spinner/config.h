@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
+
 namespace spinner {
 
 /// What quantity partition loads count (paper §II.A: "although our
@@ -77,6 +79,13 @@ struct SpinnerConfig {
   /// When false, ignore the halting heuristic and run exactly
   /// max_iterations iterations (paper Fig. 4 runs 115 iterations this way).
   bool use_halting = true;
+
+  /// Checks the configuration for internal consistency: k ≥ 1, c > 1
+  /// (Eq. 5 needs spare capacity), ε ≥ 0, halt_window ≥ 1,
+  /// max_iterations ≥ 1, and — when partition_weights is non-empty — one
+  /// strictly positive weight per partition. Called by the partitioner
+  /// before every run and by PartitioningSession at construction.
+  Status Validate() const;
 };
 
 }  // namespace spinner

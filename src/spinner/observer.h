@@ -1,0 +1,51 @@
+// Progress observation and cancellation for long partitioning runs.
+//
+// The master invokes the observer once per LPA iteration with the same
+// φ/ρ/score point that record_history collects, so interactive consumers
+// (progress bars, early-stopping policies, the session API) no longer need
+// to wait for the run to finish and mine PartitionResult::history.
+#ifndef SPINNER_SPINNER_OBSERVER_H_
+#define SPINNER_SPINNER_OBSERVER_H_
+
+#include <atomic>
+#include <functional>
+
+#include "spinner/types.h"
+
+namespace spinner {
+
+/// Cooperative cancellation flag, safe to set from another thread while a
+/// run is in flight. The master checks it after every iteration, so a run
+/// stops within one iteration of Cancel().
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool IsCancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Per-iteration progress callback plus an optional cancellation token.
+/// Both are optional; an empty observer is a no-op.
+struct ProgressObserver {
+  /// Called by the master after every LPA iteration (single-threaded, so
+  /// the callback needs no synchronization with the run itself). Return
+  /// false to stop the run after this iteration.
+  std::function<bool(const IterationPoint&)> on_iteration;
+
+  /// Checked after every iteration when non-null; not owned.
+  const CancellationToken* cancel = nullptr;
+
+  /// True iff this observer needs per-iteration points computed.
+  bool active() const {
+    return static_cast<bool>(on_iteration) || cancel != nullptr;
+  }
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_SPINNER_OBSERVER_H_

@@ -77,18 +77,12 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
     const CsrGraph& engine_graph, const CsrGraph& converted,
     std::vector<PartitionId> initial_labels, int k,
     bool with_conversion) const {
-  if (k < 1) return Status::InvalidArgument("num_partitions must be >= 1");
+  SpinnerConfig run_config = config_;
+  run_config.num_partitions = k;
+  SPINNER_RETURN_IF_ERROR(run_config.Validate());
   if (engine_graph.NumVertices() == 0) {
     return Status::InvalidArgument("cannot partition an empty graph");
   }
-  if (!config_.partition_weights.empty() &&
-      static_cast<int>(config_.partition_weights.size()) != k) {
-    return Status::InvalidArgument(
-        "partition_weights size must equal the number of partitions");
-  }
-
-  SpinnerConfig run_config = config_;
-  run_config.num_partitions = k;
 
   pregel::EngineConfig engine_config;
   engine_config.num_workers =
@@ -111,12 +105,14 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
 
   SpinnerProgram program(run_config, std::move(initial_labels),
                          with_conversion);
+  if (observer_.active()) program.set_observer(&observer_);
   pregel::RunStats run_stats = engine.Run(program);
 
   PartitionResult result;
   result.num_partitions = k;
   result.iterations = program.iterations();
   result.converged = program.converged();
+  result.cancelled = program.cancelled();
   result.history = program.history();
   result.run_stats = std::move(run_stats);
   result.assignment.resize(engine_graph.NumVertices());

@@ -1,4 +1,7 @@
-// SpinnerPartitioner: the public facade of the library.
+// SpinnerPartitioner: the low-level, stateless entry points of the Spinner
+// algorithm. Entry points map to the paper's three modes: Partition /
+// PartitionDirected (scratch), Repartition (incremental, §III.D) and
+// Rescale (elastic, §III.E).
 //
 //   SpinnerConfig config;
 //   config.num_partitions = 32;
@@ -6,9 +9,13 @@
 //   auto result = partitioner.Partition(converted_graph);
 //   if (result.ok()) use(result->assignment);
 //
-// Entry points map to the paper's three modes: Partition /
-// PartitionDirected (scratch), Repartition (incremental, §III.D) and
-// Rescale (elastic, §III.E).
+// DEPRECATION NOTE: new code should prefer the maintained-lifecycle API —
+// PartitioningSession (spinner/session.h) owns the graph + assignment and
+// composes delta application, conversion and adaptation; the
+// PartitionerRegistry (baselines/partitioner_registry.h) constructs any
+// partitioner, Spinner included, behind the uniform GraphPartitioner
+// interface. These free-standing entry points remain as thin shims for
+// callers that manage graph state themselves.
 #ifndef SPINNER_SPINNER_PARTITIONER_H_
 #define SPINNER_SPINNER_PARTITIONER_H_
 
@@ -21,6 +28,7 @@
 #include "pregel/stats.h"
 #include "spinner/config.h"
 #include "spinner/metrics.h"
+#include "spinner/observer.h"
 #include "spinner/types.h"
 
 namespace spinner {
@@ -37,6 +45,9 @@ struct PartitionResult {
   int iterations = 0;
   /// True iff halted by the score-convergence criterion (not the cap).
   bool converged = false;
+  /// True iff stopped early by a ProgressObserver or cancellation token;
+  /// the assignment is still complete and valid, just less optimized.
+  bool cancelled = false;
   /// Final quality (computed on the converted graph).
   PartitionMetrics metrics;
   /// Per-iteration evolution (Fig. 4 curves); empty if record_history off.
@@ -45,7 +56,8 @@ struct PartitionResult {
   pregel::RunStats run_stats;
 };
 
-/// Stateless facade; safe to reuse and to share across threads.
+/// Stateless facade; safe to reuse and — observer mutation aside — to
+/// share across threads.
 class SpinnerPartitioner {
  public:
   explicit SpinnerPartitioner(const SpinnerConfig& config);
@@ -79,6 +91,13 @@ class SpinnerPartitioner {
   /// The configuration this partitioner runs with.
   const SpinnerConfig& config() const { return config_; }
 
+  /// Installs a per-iteration progress observer used by every subsequent
+  /// run (see spinner/observer.h). Pass {} to clear. Setting the observer
+  /// is not thread-safe with respect to in-flight runs.
+  void set_progress_observer(ProgressObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   Result<PartitionResult> RunOnGraph(const CsrGraph& engine_graph,
                                      const CsrGraph& converted,
@@ -86,6 +105,7 @@ class SpinnerPartitioner {
                                      int k, bool with_conversion) const;
 
   SpinnerConfig config_;
+  ProgressObserver observer_;
 };
 
 }  // namespace spinner

@@ -375,7 +375,8 @@ bool SpinnerProgram::MasterCompute(pregel::MasterContext& ctx) {
                            .Get<pregel::DoubleSumAggregator>(kScoreAgg)
                            ->value() /
                        n;
-      if (config_.record_history) {
+      const bool observing = observer_ != nullptr && observer_->active();
+      if (config_.record_history || observing) {
         IterationPoint pt;
         pt.iteration = iteration_;
         pt.score = score;
@@ -407,8 +408,19 @@ bool SpinnerProgram::MasterCompute(pregel::MasterContext& ctx) {
         }
         pt.rho = rho == 0.0 ? 1.0 : rho;
         pt.loads = loads;
-        history_.push_back(pt);
+        if (observing) {
+          // Observer decisions stop the run within this iteration.
+          bool keep_going = true;
+          if (observer_->on_iteration) keep_going = observer_->on_iteration(pt);
+          if (observer_->cancel != nullptr &&
+              observer_->cancel->IsCancelled()) {
+            keep_going = false;
+          }
+          if (!keep_going) cancelled_ = true;
+        }
+        if (config_.record_history) history_.push_back(std::move(pt));
       }
+      if (cancelled_) return false;
 
       // Halting heuristic (§III.C): a steady state is w consecutive
       // iterations that each improve the normalized score by less than ε.

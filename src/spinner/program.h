@@ -22,6 +22,7 @@
 
 #include "pregel/engine.h"
 #include "spinner/config.h"
+#include "spinner/observer.h"
 #include "spinner/types.h"
 
 namespace spinner {
@@ -88,6 +89,12 @@ class SpinnerProgram : public pregel::VertexProgram<SpinnerVertexValue,
                  std::vector<PartitionId> initial_labels,
                  bool start_with_conversion);
 
+  /// Installs a per-iteration observer (not owned; may be null). Must be
+  /// set before the engine run starts.
+  void set_observer(const ProgressObserver* observer) {
+    observer_ = observer;
+  }
+
   // --- VertexProgram interface -------------------------------------------
   void RegisterAggregators(pregel::AggregatorRegistry* registry) override;
   std::unique_ptr<pregel::WorkerContextBase> CreateWorkerContext() override;
@@ -103,6 +110,8 @@ class SpinnerProgram : public pregel::VertexProgram<SpinnerVertexValue,
   /// True iff the run halted via the score-convergence criterion rather
   /// than the max_iterations cap.
   bool converged() const { return converged_; }
+  /// True iff the run was stopped by the observer or cancellation token.
+  bool cancelled() const { return cancelled_; }
   /// Per-iteration φ/ρ/score/migrations curves (paper Fig. 4).
   const std::vector<IterationPoint>& history() const { return history_; }
 
@@ -132,10 +141,12 @@ class SpinnerProgram : public pregel::VertexProgram<SpinnerVertexValue,
   SpinnerConfig config_;
   std::vector<PartitionId> initial_labels_;
   Phase phase_;
+  const ProgressObserver* observer_ = nullptr;
 
   // Master-side convergence tracking.
   int iteration_ = 0;
   bool converged_ = false;
+  bool cancelled_ = false;
   double best_score_ = -1e300;
   int low_improvement_streak_ = 0;
   int64_t total_load_ = 0;

@@ -1,0 +1,153 @@
+#include "spinner/session.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "graph/binary_io.h"
+#include "graph/conversion.h"
+
+namespace spinner {
+
+PartitioningSession::PartitioningSession(const SpinnerConfig& config)
+    : config_(config),
+      init_status_(config.Validate()),
+      current_k_(config.num_partitions) {}
+
+Result<CsrGraph> PartitioningSession::Convert(int64_t num_vertices,
+                                              const EdgeList& edges) const {
+  return directed_ ? ConvertToWeightedUndirected(num_vertices, edges)
+                   : BuildSymmetric(num_vertices, edges);
+}
+
+Status PartitioningSession::CheckReady() const {
+  SPINNER_RETURN_IF_ERROR(init_status_);
+  if (!open_) {
+    return Status::FailedPrecondition(
+        "session is not open; call Open() or Restore() first");
+  }
+  return Status::OK();
+}
+
+SpinnerPartitioner PartitioningSession::MakePartitioner() const {
+  SpinnerPartitioner partitioner(config_);
+  if (observer_.active()) partitioner.set_progress_observer(observer_);
+  return partitioner;
+}
+
+Status PartitioningSession::Open(int64_t num_vertices, EdgeList edges,
+                                 bool directed) {
+  SPINNER_RETURN_IF_ERROR(init_status_);
+  if (open_) {
+    return Status::FailedPrecondition(
+        "session is already open; use a fresh session per graph");
+  }
+  directed_ = directed;
+  SPINNER_ASSIGN_OR_RETURN(CsrGraph converted,
+                           Convert(num_vertices, edges));
+  SPINNER_ASSIGN_OR_RETURN(PartitionResult result,
+                           MakePartitioner().Partition(converted));
+
+  num_vertices_ = num_vertices;
+  edges_ = std::move(edges);
+  converted_ = std::move(converted);
+  assignment_ = result.assignment;
+  last_result_ = std::move(result);
+  open_ = true;
+  return Status::OK();
+}
+
+Status PartitioningSession::ApplyDelta(const GraphDelta& delta) {
+  SPINNER_RETURN_IF_ERROR(CheckReady());
+  SPINNER_ASSIGN_OR_RETURN(EdgeList new_edges,
+                           spinner::ApplyDelta(num_vertices_, edges_, delta));
+  const int64_t new_num_vertices = num_vertices_ + delta.num_new_vertices;
+  SPINNER_ASSIGN_OR_RETURN(CsrGraph new_converted,
+                           Convert(new_num_vertices, new_edges));
+  SPINNER_ASSIGN_OR_RETURN(
+      PartitionResult result,
+      MakePartitioner().Repartition(new_converted, assignment_));
+
+  num_vertices_ = new_num_vertices;
+  edges_ = std::move(new_edges);
+  converted_ = std::move(new_converted);
+  assignment_ = result.assignment;
+  last_result_ = std::move(result);
+  return Status::OK();
+}
+
+Status PartitioningSession::Rescale(int new_k) {
+  SPINNER_RETURN_IF_ERROR(CheckReady());
+  if (new_k < 1) {
+    return Status::InvalidArgument(
+        StrFormat("new_k must be >= 1 (got %d)", new_k));
+  }
+  SPINNER_ASSIGN_OR_RETURN(
+      PartitionResult result,
+      MakePartitioner().Rescale(converted_, assignment_, new_k));
+
+  current_k_ = new_k;
+  config_.num_partitions = new_k;
+  assignment_ = result.assignment;
+  last_result_ = std::move(result);
+  return Status::OK();
+}
+
+Status PartitioningSession::Refine() {
+  SPINNER_RETURN_IF_ERROR(CheckReady());
+  SPINNER_ASSIGN_OR_RETURN(
+      PartitionResult result,
+      MakePartitioner().Repartition(converted_, assignment_));
+  assignment_ = result.assignment;
+  last_result_ = std::move(result);
+  return Status::OK();
+}
+
+Status PartitioningSession::Snapshot(const std::string& path) const {
+  SPINNER_RETURN_IF_ERROR(CheckReady());
+  graph_io::SessionSnapshot snapshot;
+  snapshot.num_vertices = num_vertices_;
+  snapshot.edges = edges_;
+  snapshot.directed = directed_;
+  snapshot.num_partitions = current_k_;
+  snapshot.assignment = assignment_;
+  return graph_io::WriteSessionSnapshot(path, snapshot);
+}
+
+Status PartitioningSession::Restore(const std::string& path) {
+  SPINNER_RETURN_IF_ERROR(init_status_);
+  SPINNER_ASSIGN_OR_RETURN(graph_io::SessionSnapshot snapshot,
+                           graph_io::ReadSessionSnapshot(path));
+  if (snapshot.num_partitions < 1) {
+    return Status::InvalidArgument(
+        "snapshot carries no assignment; cannot restore a session from it");
+  }
+  directed_ = snapshot.directed;
+  SPINNER_ASSIGN_OR_RETURN(
+      CsrGraph converted,
+      Convert(snapshot.num_vertices, snapshot.edges));
+
+  num_vertices_ = snapshot.num_vertices;
+  edges_ = std::move(snapshot.edges);
+  converted_ = std::move(converted);
+  assignment_ = std::move(snapshot.assignment);
+  current_k_ = snapshot.num_partitions;
+  config_.num_partitions = current_k_;
+  last_result_ = PartitionResult{};
+  open_ = true;
+  return Status::OK();
+}
+
+void PartitioningSession::SetProgressObserver(ProgressObserver observer) {
+  observer_ = std::move(observer);
+}
+
+Result<PartitionMetrics> PartitioningSession::Metrics() const {
+  SPINNER_RETURN_IF_ERROR(CheckReady());
+  BalanceSpec spec;
+  spec.mode = config_.balance_mode;
+  spec.partition_weights = config_.partition_weights;
+  return ComputeMetricsEx(converted_, assignment_, current_k_,
+                          config_.additional_capacity, spec);
+}
+
+}  // namespace spinner

@@ -1,0 +1,142 @@
+// PartitioningSession: the stateful, maintained-partitioning API.
+//
+// The paper's central claim is that Spinner is not a one-shot partitioner
+// but a partitioning that is *kept* good as the graph changes (§III.D) and
+// the cluster resizes (§III.E). This class owns that lifecycle: the raw
+// edge list, the converted graph and the current assignment live here, so
+// callers express intent ("the graph changed", "we have 4 more machines")
+// instead of re-wiring delta application, conversion and label threading
+// by hand.
+//
+//   PartitioningSession session(config);              // k = config value
+//   SPINNER_CHECK_OK(session.Open(n, edges, /*directed=*/true));
+//   ...
+//   GraphDelta delta;                                  // graph changed
+//   delta.AddVertex(200).AddEdge(5, n + 10);
+//   SPINNER_CHECK_OK(session.ApplyDelta(delta));       // adapt, not redo
+//   ...
+//   SPINNER_CHECK_OK(session.Rescale(40));             // cluster grew
+//   SPINNER_CHECK_OK(session.Snapshot("state.spns"));  // persist
+//
+// Every mutation runs label propagation from the previous assignment and
+// commits atomically: on error the session keeps its pre-call state.
+#ifndef SPINNER_SPINNER_SESSION_H_
+#define SPINNER_SPINNER_SESSION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/csr_graph.h"
+#include "graph/delta.h"
+#include "graph/types.h"
+#include "spinner/config.h"
+#include "spinner/metrics.h"
+#include "spinner/observer.h"
+#include "spinner/partitioner.h"
+
+namespace spinner {
+
+/// Owns one graph and its maintained partitioning. Not thread-safe; one
+/// session per partitioned graph.
+class PartitioningSession {
+ public:
+  /// `config.num_partitions` is the initial k; Rescale() changes it.
+  /// An invalid config (see SpinnerConfig::Validate) is reported by the
+  /// first lifecycle call rather than by crashing the constructor.
+  explicit PartitioningSession(const SpinnerConfig& config);
+
+  // --- Lifecycle ---------------------------------------------------------
+
+  /// Takes ownership of `edges` over `num_vertices` vertices and computes
+  /// the initial partitioning from scratch. `directed` selects the
+  /// conversion: true applies the paper's Eq. 3 weighting, false treats
+  /// `edges` as an undirected edge list (each edge listed once).
+  /// Fails (FailedPrecondition) if the session is already open.
+  Status Open(int64_t num_vertices, EdgeList edges, bool directed = true);
+
+  /// Applies `delta` to the owned edge list, reconverts, and adapts the
+  /// partitioning incrementally (§III.D): existing vertices keep their
+  /// labels as the starting point, new vertices join the least-loaded
+  /// partition, then label propagation re-optimizes.
+  Status ApplyDelta(const GraphDelta& delta);
+
+  /// Elastic adaptation (§III.E) to `new_k` partitions. The probabilistic
+  /// expand/shrink re-labeling seeds label propagation; after success
+  /// num_partitions() == new_k.
+  Status Rescale(int new_k);
+
+  /// Runs additional label-propagation iterations from the current
+  /// assignment without changing the graph or k — e.g. after a cancelled
+  /// run or to tighten a restored snapshot.
+  Status Refine();
+
+  // --- Persistence -------------------------------------------------------
+
+  /// Writes graph + assignment + k to `path` (binary SPNS format).
+  Status Snapshot(const std::string& path) const;
+
+  /// Replaces the session state with a snapshot, without re-running label
+  /// propagation. A session can Restore() whether or not it was open.
+  Status Restore(const std::string& path);
+
+  // --- Observation -------------------------------------------------------
+
+  /// Installs a per-iteration observer (φ/ρ/score callback + cancellation
+  /// token) used by every subsequent lifecycle call. Pass {} to clear.
+  void SetProgressObserver(ProgressObserver observer);
+
+  // --- Introspection -----------------------------------------------------
+
+  /// True after a successful Open() or Restore().
+  bool is_open() const { return open_; }
+
+  /// Current partition count (k). Tracks Rescale().
+  int num_partitions() const { return current_k_; }
+
+  int64_t num_vertices() const { return num_vertices_; }
+  const EdgeList& edges() const { return edges_; }
+  const CsrGraph& converted() const { return converted_; }
+
+  /// The maintained assignment: one label in [0, num_partitions()) per
+  /// vertex.
+  const std::vector<PartitionId>& assignment() const { return assignment_; }
+
+  /// Full result (iterations, history, run stats, metrics) of the last
+  /// lifecycle call that ran label propagation. Empty default after
+  /// Restore() — quality is available via Metrics().
+  const PartitionResult& last_result() const { return last_result_; }
+
+  /// Quality of the current assignment, computed on demand.
+  Result<PartitionMetrics> Metrics() const;
+
+  /// The session's configuration (num_partitions reflects the current k).
+  const SpinnerConfig& config() const { return config_; }
+
+ private:
+  /// Builds the converted graph for the owned edge list.
+  Result<CsrGraph> Convert(int64_t num_vertices,
+                           const EdgeList& edges) const;
+
+  /// Fails unless the session is open and the config is valid.
+  Status CheckReady() const;
+
+  /// A SpinnerPartitioner for the current config with the observer wired.
+  SpinnerPartitioner MakePartitioner() const;
+
+  SpinnerConfig config_;   // num_partitions kept equal to current_k_
+  Status init_status_;     // config validation outcome, reported lazily
+  bool open_ = false;
+  bool directed_ = false;
+  int current_k_ = 0;
+  int64_t num_vertices_ = 0;
+  EdgeList edges_;
+  CsrGraph converted_;
+  std::vector<PartitionId> assignment_;
+  PartitionResult last_result_;
+  ProgressObserver observer_;
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_SPINNER_SESSION_H_

@@ -1,0 +1,98 @@
+// SpinnerConfig::Validate: each rejection the session/partitioner relies
+// on, plus propagation through the run entry points.
+#include <gtest/gtest.h>
+
+#include "graph/conversion.h"
+#include "graph/generators.h"
+#include "spinner/partitioner.h"
+#include "spinner/session.h"
+
+namespace spinner {
+namespace {
+
+TEST(ConfigValidateTest, DefaultConfigIsValid) {
+  EXPECT_TRUE(SpinnerConfig{}.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsNonPositivePartitionCount) {
+  SpinnerConfig config;
+  config.num_partitions = 0;
+  Status s = config.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  config.num_partitions = -3;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsCapacityNotAboveOne) {
+  SpinnerConfig config;
+  config.additional_capacity = 1.0;  // Eq. 5 needs spare capacity
+  EXPECT_FALSE(config.Validate().ok());
+  config.additional_capacity = 0.9;
+  EXPECT_FALSE(config.Validate().ok());
+  config.additional_capacity = 1.0001;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsNegativeEpsilon) {
+  SpinnerConfig config;
+  config.halt_epsilon = -0.001;
+  EXPECT_FALSE(config.Validate().ok());
+  config.halt_epsilon = 0.0;  // "never improve" halting is legal
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsNonPositiveHaltWindowAndIterationCap) {
+  SpinnerConfig config;
+  config.halt_window = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.halt_window = 5;
+  config.max_iterations = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsNonPositivePartitionWeights) {
+  SpinnerConfig config;
+  config.num_partitions = 2;
+  config.partition_weights = {1.0, 0.0};
+  EXPECT_FALSE(config.Validate().ok());
+  config.partition_weights = {1.0, -2.0};
+  EXPECT_FALSE(config.Validate().ok());
+  config.partition_weights = {1.0, 2.0};
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsWeightsSizeMismatch) {
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.partition_weights = {1.0, 1.0};
+  Status s = config.Validate();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigValidateTest, PartitionerRejectsInvalidConfigAtRunTime) {
+  auto ring = Ring(24);
+  auto g = BuildSymmetric(ring.num_vertices, ring.edges);
+  ASSERT_TRUE(g.ok());
+  SpinnerConfig config;
+  config.additional_capacity = 0.5;
+  SpinnerPartitioner partitioner(config);
+  auto result = partitioner.Partition(*g);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConfigValidateTest, SessionReportsInvalidConfigOnFirstUse) {
+  SpinnerConfig config;
+  config.num_partitions = 0;
+  PartitioningSession session(config);
+  auto ring = Ring(24);
+  Status s = session.Open(ring.num_vertices, ring.edges, ring.directed);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(session.is_open());
+}
+
+}  // namespace
+}  // namespace spinner

@@ -67,6 +67,71 @@ TEST(ApplyDeltaTest, NegativeNewVerticesFails) {
   EXPECT_FALSE(ApplyDelta(2, {}, delta).ok());
 }
 
+TEST(GraphDeltaBuilderTest, BuildersChainAndAccumulate) {
+  GraphDelta delta =
+      GraphDelta{}.AddVertex(2).AddEdge(0, 2).AddEdge(2, 3).RemoveEdge(0, 1);
+  EXPECT_EQ(delta.num_new_vertices, 2);
+  EXPECT_EQ(delta.added_edges, (EdgeList{{0, 2}, {2, 3}}));
+  EXPECT_EQ(delta.removed_edges, (EdgeList{{0, 1}}));
+
+  delta.AddVertex();  // default: one vertex
+  EXPECT_EQ(delta.num_new_vertices, 3);
+}
+
+TEST(GraphDeltaBuilderTest, BuiltDeltaAppliesLikeManualDelta) {
+  const EdgeList base = {{0, 1}, {1, 2}};
+  auto out = ApplyDelta(
+      3, base, GraphDelta{}.AddVertex(1).AddEdge(2, 3).RemoveEdge(0, 1));
+  ASSERT_TRUE(out.ok());
+  EdgeList got = *out;
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (EdgeList{{1, 2}, {2, 3}}));
+}
+
+// --- Exactness of the failure paths: code and message, not just !ok ------
+
+TEST(ApplyDeltaTest, EdgeOutsideGrownRangeReportsTheRange) {
+  // 2 existing + 1 new vertex = ids [0, 3); endpoint 5 is out of range
+  // even after growth.
+  auto out = ApplyDelta(2, {{0, 1}}, GraphDelta{}.AddVertex(1).AddEdge(0, 5));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(out.status().message().find("[0,3)"), std::string::npos)
+      << out.status();
+}
+
+TEST(ApplyDeltaTest, EdgeInsideGrownRangeIsAccepted) {
+  // The same endpoint is valid once enough vertices are added: the check
+  // must be against the *grown* range, not the old one.
+  auto out = ApplyDelta(2, {{0, 1}}, GraphDelta{}.AddVertex(4).AddEdge(0, 5));
+  EXPECT_TRUE(out.ok()) << out.status();
+}
+
+TEST(ApplyDeltaTest, RemovingAbsentEdgeNamesTheEdge) {
+  auto out = ApplyDelta(3, {{0, 1}}, GraphDelta{}.RemoveEdge(1, 2));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(out.status().message().find("(1,2)"), std::string::npos)
+      << out.status();
+}
+
+TEST(ApplyDeltaTest, ReversedEdgeDoesNotMatchForRemoval) {
+  // Removal matches exactly: (1,0) is not (0,1).
+  auto out = ApplyDelta(2, {{0, 1}}, GraphDelta{}.RemoveEdge(1, 0));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApplyDeltaTest, FailedApplyLeavesNoPartialResult) {
+  // A delta that removes an existing edge *and* a missing one must fail
+  // atomically — the Result carries only the error.
+  const EdgeList base = {{0, 1}, {1, 2}};
+  auto out = ApplyDelta(
+      3, base, GraphDelta{}.RemoveEdge(0, 1).RemoveEdge(2, 0));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(RandomEdgeAdditionsTest, CountNoveltyAndDeterminism) {
   const EdgeList existing = {{0, 1}, {1, 2}};
   auto delta = RandomEdgeAdditions(50, existing, 30, 5);

@@ -112,6 +112,49 @@ TEST_F(BinaryIoTest, TruncatedFileRejected) {
   std::remove(path.c_str());
 }
 
+TEST_F(BinaryIoTest, SessionSnapshotRoundTrip) {
+  graph_io::SessionSnapshot snapshot;
+  snapshot.num_vertices = 4;
+  snapshot.edges = {{0, 1}, {1, 2}, {2, 3}};
+  snapshot.directed = true;
+  snapshot.num_partitions = 2;
+  snapshot.assignment = {0, 0, 1, 1};
+  const std::string path = TempPath("session.spns");
+  ASSERT_TRUE(graph_io::WriteSessionSnapshot(path, snapshot).ok());
+  auto read = graph_io::ReadSessionSnapshot(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->num_vertices, 4);
+  EXPECT_EQ(read->edges, snapshot.edges);
+  EXPECT_TRUE(read->directed);
+  EXPECT_EQ(read->num_partitions, 2);
+  EXPECT_EQ(read->assignment, snapshot.assignment);
+  std::remove(path.c_str());
+}
+
+TEST_F(BinaryIoTest, SessionSnapshotRejectsInconsistentAssignment) {
+  graph_io::SessionSnapshot snapshot;
+  snapshot.num_vertices = 3;
+  snapshot.edges = {{0, 1}};
+  snapshot.num_partitions = 2;
+  snapshot.assignment = {0, 1};  // covers 2 of 3 vertices
+  EXPECT_FALSE(
+      graph_io::WriteSessionSnapshot(TempPath("bad1.spns"), snapshot).ok());
+  snapshot.assignment = {0, 1, 2};  // label 2 out of range for k=2
+  EXPECT_FALSE(
+      graph_io::WriteSessionSnapshot(TempPath("bad2.spns"), snapshot).ok());
+}
+
+TEST_F(BinaryIoTest, SessionSnapshotRejectsGraphMagic) {
+  // A SPNB graph file is not a SPNS snapshot; the magic keeps the two
+  // formats from being confused for one another.
+  const std::string path = TempPath("graph_as_session.spnb");
+  ASSERT_TRUE(graph_io::WriteBinaryGraph(path, 2, {{0, 1}}).ok());
+  auto read = graph_io::ReadSessionSnapshot(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
 TEST_F(BinaryIoTest, CorruptEdgeRangeRejected) {
   const std::string path = TempPath("corrupt_edge.spnb");
   ASSERT_TRUE(graph_io::WriteBinaryGraph(path, 3, {{0, 1}}).ok());

@@ -1,0 +1,280 @@
+// PartitioningSession: the full adapt/rescale lifecycle, equivalence with
+// the low-level entry points, snapshot/restore round-trips, and observer
+// cancellation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "graph/conversion.h"
+#include "graph/delta.h"
+#include "graph/generators.h"
+#include "spinner/partitioner.h"
+#include "spinner/session.h"
+
+namespace spinner {
+namespace {
+
+SpinnerConfig SmallConfig(int k = 4) {
+  SpinnerConfig config;
+  config.num_partitions = k;
+  config.num_workers = 2;
+  return config;
+}
+
+GeneratedGraph SmallWorld(uint64_t seed = 9) {
+  auto ws = WattsStrogatz(400, 3, 0.3, seed);
+  SPINNER_CHECK(ws.ok());
+  return std::move(ws).value();
+}
+
+/// RAII temp file path for snapshot tests.
+struct TempPath {
+  explicit TempPath(const std::string& name)
+      : path(::testing::TempDir() + name) {}
+  ~TempPath() { std::remove(path.c_str()); }
+  const std::string path;
+};
+
+void ExpectValidAssignment(const PartitioningSession& session) {
+  ASSERT_EQ(static_cast<int64_t>(session.assignment().size()),
+            session.num_vertices());
+  for (PartitionId l : session.assignment()) {
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, session.num_partitions());
+  }
+}
+
+TEST(PartitioningSessionTest, OpenPartitionsFromScratch) {
+  const GeneratedGraph g = SmallWorld();
+  PartitioningSession session(SmallConfig());
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  EXPECT_TRUE(session.is_open());
+  EXPECT_EQ(session.num_partitions(), 4);
+  ExpectValidAssignment(session);
+  EXPECT_GT(session.last_result().iterations, 0);
+
+  // The session result matches a direct SpinnerPartitioner run.
+  auto converted = BuildSymmetric(g.num_vertices, g.edges);
+  ASSERT_TRUE(converted.ok());
+  SpinnerPartitioner direct(SmallConfig());
+  auto direct_result = direct.Partition(*converted);
+  ASSERT_TRUE(direct_result.ok());
+  EXPECT_EQ(session.assignment(), direct_result->assignment);
+}
+
+TEST(PartitioningSessionTest, DoubleOpenIsRejected) {
+  const GeneratedGraph g = SmallWorld();
+  PartitioningSession session(SmallConfig());
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  Status again = session.Open(g.num_vertices, g.edges, g.directed);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PartitioningSessionTest, LifecycleCallsBeforeOpenFail) {
+  PartitioningSession session(SmallConfig());
+  EXPECT_EQ(session.ApplyDelta(GraphDelta{}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Rescale(8).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Refine().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Snapshot("/tmp/never-written.spns").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PartitioningSessionTest, ApplyDeltaGrowsGraphAndAdaptsIncrementally) {
+  const GeneratedGraph g = SmallWorld();
+  PartitioningSession session(SmallConfig());
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  const std::vector<PartitionId> before = session.assignment();
+
+  GraphDelta delta = RandomEdgeAdditions(g.num_vertices, g.edges, 40, 77);
+  delta.AddVertex(10);
+  for (int64_t i = 0; i < 10; ++i) {
+    delta.AddEdge(g.num_vertices + i, i * 7 % g.num_vertices);
+  }
+  ASSERT_TRUE(session.ApplyDelta(delta).ok());
+  EXPECT_EQ(session.num_vertices(), g.num_vertices + 10);
+  ExpectValidAssignment(session);
+
+  // Incremental adaptation: the overwhelming majority of existing
+  // vertices keep their partition.
+  const std::span<const PartitionId> after(session.assignment().data(),
+                                           before.size());
+  auto moved = PartitioningDifference(before, after);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_LT(*moved, 0.5);
+
+  // Equivalence with the manual pipeline: ApplyDelta + convert +
+  // Repartition by hand produces the same assignment.
+  auto new_edges = ApplyDelta(g.num_vertices, g.edges, delta);
+  ASSERT_TRUE(new_edges.ok());
+  auto new_converted = BuildSymmetric(g.num_vertices + 10, *new_edges);
+  ASSERT_TRUE(new_converted.ok());
+  SpinnerPartitioner direct(SmallConfig());
+  auto direct_result = direct.Repartition(*new_converted, before);
+  ASSERT_TRUE(direct_result.ok());
+  EXPECT_EQ(session.assignment(), direct_result->assignment);
+}
+
+TEST(PartitioningSessionTest, ApplyDeltaFailureLeavesStateUntouched) {
+  const GeneratedGraph g = SmallWorld();
+  PartitioningSession session(SmallConfig());
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  const std::vector<PartitionId> before = session.assignment();
+  const size_t edges_before = session.edges().size();
+
+  GraphDelta bad;
+  bad.AddEdge(0, g.num_vertices + 100);  // outside the (un-grown) range
+  ASSERT_FALSE(session.ApplyDelta(bad).ok());
+  EXPECT_EQ(session.assignment(), before);
+  EXPECT_EQ(session.edges().size(), edges_before);
+  EXPECT_EQ(session.num_vertices(), g.num_vertices);
+}
+
+TEST(PartitioningSessionTest, RescaleTracksCurrentK) {
+  const GeneratedGraph g = SmallWorld();
+  PartitioningSession session(SmallConfig(4));
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+
+  ASSERT_TRUE(session.Rescale(6).ok());
+  EXPECT_EQ(session.num_partitions(), 6);
+  ExpectValidAssignment(session);
+
+  // Scale back in; the session knows the previous k was 6, not 4.
+  ASSERT_TRUE(session.Rescale(3).ok());
+  EXPECT_EQ(session.num_partitions(), 3);
+  ExpectValidAssignment(session);
+
+  EXPECT_FALSE(session.Rescale(0).ok());
+  EXPECT_EQ(session.num_partitions(), 3);  // failed call changes nothing
+}
+
+TEST(PartitioningSessionTest, RescaleMatchesDirectEntryPoint) {
+  const GeneratedGraph g = SmallWorld();
+  PartitioningSession session(SmallConfig(4));
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  const std::vector<PartitionId> before = session.assignment();
+  ASSERT_TRUE(session.Rescale(7).ok());
+
+  auto converted = BuildSymmetric(g.num_vertices, g.edges);
+  ASSERT_TRUE(converted.ok());
+  SpinnerPartitioner direct(SmallConfig(4));
+  auto direct_result = direct.Rescale(*converted, before, 7);
+  ASSERT_TRUE(direct_result.ok());
+  EXPECT_EQ(session.assignment(), direct_result->assignment);
+}
+
+TEST(PartitioningSessionTest, RefineImprovesOrKeepsQuality) {
+  const GeneratedGraph g = SmallWorld();
+  SpinnerConfig config = SmallConfig(4);
+  config.max_iterations = 3;  // deliberately under-optimized
+  config.use_halting = false;
+  PartitioningSession session(config);
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  auto before = session.Metrics();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(session.Refine().ok());
+  auto after = session.Metrics();
+  ASSERT_TRUE(after.ok());
+  EXPECT_GE(after->phi, before->phi - 1e-9);
+}
+
+TEST(PartitioningSessionTest, SnapshotRestoreRoundTripsExactState) {
+  const GeneratedGraph g = SmallWorld();
+  TempPath snapshot("session_roundtrip.spns");
+  PartitioningSession session(SmallConfig(4));
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  ASSERT_TRUE(session.Rescale(6).ok());
+  ASSERT_TRUE(session.Snapshot(snapshot.path).ok());
+
+  PartitioningSession restored(SmallConfig(4));
+  ASSERT_TRUE(restored.Restore(snapshot.path).ok());
+  EXPECT_TRUE(restored.is_open());
+  EXPECT_EQ(restored.num_partitions(), 6);
+  EXPECT_EQ(restored.num_vertices(), session.num_vertices());
+  EXPECT_EQ(restored.edges(), session.edges());
+  EXPECT_EQ(restored.assignment(), session.assignment());
+
+  // The restored session continues the lifecycle: further operations see
+  // the restored assignment, so a rescale from it matches one from the
+  // original session.
+  PartitioningSession continued(SmallConfig(4));
+  ASSERT_TRUE(continued.Restore(snapshot.path).ok());
+  ASSERT_TRUE(continued.Rescale(8).ok());
+  ASSERT_TRUE(session.Rescale(8).ok());
+  EXPECT_EQ(continued.assignment(), session.assignment());
+}
+
+TEST(PartitioningSessionTest, RestoreRejectsGarbageFiles) {
+  PartitioningSession session(SmallConfig());
+  EXPECT_FALSE(session.Restore("/definitely/not/here.spns").ok());
+  EXPECT_FALSE(session.is_open());
+}
+
+TEST(PartitioningSessionTest, ObserverSeesEveryIteration) {
+  const GeneratedGraph g = SmallWorld();
+  PartitioningSession session(SmallConfig());
+  std::vector<int> seen;
+  ProgressObserver observer;
+  observer.on_iteration = [&seen](const IterationPoint& pt) {
+    seen.push_back(pt.iteration);
+    EXPECT_GE(pt.phi, 0.0);
+    EXPECT_LE(pt.phi, 1.0);
+    EXPECT_GE(pt.rho, 1.0);
+    return true;
+  };
+  session.SetProgressObserver(observer);
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  ASSERT_EQ(static_cast<int>(seen.size()),
+            session.last_result().iterations);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], static_cast<int>(i) + 1);
+  }
+  EXPECT_FALSE(session.last_result().cancelled);
+}
+
+TEST(PartitioningSessionTest, ObserverCancellationStopsWithinOneIteration) {
+  const GeneratedGraph g = SmallWorld();
+  SpinnerConfig config = SmallConfig();
+  config.max_iterations = 500;
+  config.use_halting = false;  // would run all 500 without cancellation
+  PartitioningSession session(config);
+  int calls = 0;
+  ProgressObserver observer;
+  observer.on_iteration = [&calls](const IterationPoint&) {
+    ++calls;
+    return calls < 3;  // cancel on the third iteration
+  };
+  session.SetProgressObserver(observer);
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(session.last_result().iterations, 3);
+  EXPECT_TRUE(session.last_result().cancelled);
+  EXPECT_FALSE(session.last_result().converged);
+  ExpectValidAssignment(session);  // partial result is still complete
+}
+
+TEST(PartitioningSessionTest, CancellationTokenStopsTheRun) {
+  const GeneratedGraph g = SmallWorld();
+  SpinnerConfig config = SmallConfig();
+  config.max_iterations = 500;
+  config.use_halting = false;
+  PartitioningSession session(config);
+  CancellationToken token;
+  int calls = 0;
+  ProgressObserver observer;
+  observer.on_iteration = [&calls, &token](const IterationPoint&) {
+    if (++calls == 2) token.Cancel();
+    return true;  // the callback itself never asks to stop
+  };
+  observer.cancel = &token;
+  session.SetProgressObserver(observer);
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  EXPECT_EQ(session.last_result().iterations, 2);
+  EXPECT_TRUE(session.last_result().cancelled);
+}
+
+}  // namespace
+}  // namespace spinner
