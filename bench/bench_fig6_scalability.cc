@@ -3,16 +3,20 @@
 // deterministic iteration) as a function of
 //   (a) graph size        — Watts-Strogatz, deg 40, beta 0.3, k=64;
 //   (b) number of workers — fixed graph, workers 1..hardware;
-//   (c) number of partitions k — fixed graph, k 2..512.
+//   (c) number of partitions k — fixed graph, k 2..512;
+//   (d) number of shards  — fixed graph, shard-parallel store, S 1..64.
 //
 // Expected shapes: (a) near-linear in |V| (loglog-linear in the paper);
 // (b) runtime drops with added workers (paper: 7.6× speedup with 7.6×
 // workers); (c) near-linear growth with k (per-vertex work and counter
-// management are proportional to k).
+// management are proportional to k); (d) like (b) up to the hardware
+// thread count, then flat with mild oversharding overhead — shard count
+// is a pure parallelism knob, the assignment is bit-identical for all S.
 //
 // Scale note: the paper runs 2M..1024M vertices on 115 machines; this
 // harness runs 16k..256k vertices on one machine — the *trend* is the
-// reproduction target.
+// reproduction target. Pass --smoke (CI) to shrink sizes so the bench
+// merely proves it executes.
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -44,11 +48,14 @@ const CsrGraph& CachedWsGraph(int64_t n) {
 
 /// Runs two LPA iterations and returns the wall time of the first full
 /// iteration (supersteps 1 and 2: the first ComputeScores and
-/// ComputeMigrations after Initialize).
-double FirstIterationSeconds(const CsrGraph& g, int k, int workers) {
+/// ComputeMigrations after Initialize). `shards` maps to num_shards of
+/// the sharded substrate (0 = auto).
+double FirstIterationSeconds(const CsrGraph& g, int k, int workers,
+                             int shards = 0) {
   SpinnerConfig config;
   config.num_partitions = k;
   config.num_workers = workers;
+  config.num_shards = shards;
   config.max_iterations = 2;
   config.use_halting = false;
   config.record_history = false;
@@ -69,44 +76,88 @@ void BM_IterationTime_GraphSize(benchmark::State& state) {
   state.counters["vertices"] = static_cast<double>(n);
   state.counters["arcs"] = static_cast<double>(g.NumArcs());
 }
-BENCHMARK(BM_IterationTime_GraphSize)
-    ->RangeMultiplier(2)
-    ->Range(16384, 262144)
-    ->UseManualTime()
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(3);
 
-void BM_IterationTime_Workers(benchmark::State& state) {
+void BM_IterationTime_Workers(benchmark::State& state, int64_t n) {
   const int workers = static_cast<int>(state.range(0));
-  const CsrGraph& g = CachedWsGraph(131072);
+  const CsrGraph& g = CachedWsGraph(n);
   for (auto _ : state) {
     state.SetIterationTime(FirstIterationSeconds(g, 64, workers));
   }
   state.counters["workers"] = workers;
 }
-BENCHMARK(BM_IterationTime_Workers)
-    ->RangeMultiplier(2)
-    ->Range(1, 16)
-    ->UseManualTime()
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(3);
 
-void BM_IterationTime_Partitions(benchmark::State& state) {
+void BM_IterationTime_Partitions(benchmark::State& state, int64_t n) {
   const int k = static_cast<int>(state.range(0));
-  const CsrGraph& g = CachedWsGraph(131072);
+  const CsrGraph& g = CachedWsGraph(n);
   for (auto _ : state) {
     state.SetIterationTime(FirstIterationSeconds(g, k, 0));
   }
   state.counters["k"] = k;
 }
-BENCHMARK(BM_IterationTime_Partitions)
-    ->RangeMultiplier(4)
-    ->Range(2, 512)
-    ->UseManualTime()
-    ->Unit(benchmark::kMillisecond)
-    ->Iterations(3);
+
+void BM_IterationTime_Shards(benchmark::State& state, int64_t n) {
+  const int shards = static_cast<int>(state.range(0));
+  const CsrGraph& g = CachedWsGraph(n);
+  for (auto _ : state) {
+    state.SetIterationTime(
+        FirstIterationSeconds(g, 64, /*workers=*/0, shards));
+  }
+  state.counters["shards"] = shards;
+}
+
+void RegisterAll(bool smoke) {
+  // Smoke mode shrinks everything so CI executes every curve in seconds.
+  const int64_t n_min = smoke ? 2048 : 16384;
+  const int64_t n_max = smoke ? 8192 : 262144;
+  const int64_t n_fixed = smoke ? 8192 : 131072;
+  const int64_t k_max = smoke ? 32 : 512;
+  const int64_t shards_max = smoke ? 8 : 64;
+  const int64_t workers_max = smoke ? 4 : 16;
+
+  benchmark::RegisterBenchmark("BM_IterationTime_GraphSize",
+                               BM_IterationTime_GraphSize)
+      ->RangeMultiplier(2)
+      ->Range(n_min, n_max)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(smoke ? 1 : 3);
+  benchmark::RegisterBenchmark(
+      "BM_IterationTime_Workers",
+      [n_fixed](benchmark::State& s) { BM_IterationTime_Workers(s, n_fixed); })
+      ->RangeMultiplier(2)
+      ->Range(1, workers_max)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(smoke ? 1 : 3);
+  benchmark::RegisterBenchmark(
+      "BM_IterationTime_Partitions",
+      [n_fixed](benchmark::State& s) {
+        BM_IterationTime_Partitions(s, n_fixed);
+      })
+      ->RangeMultiplier(4)
+      ->Range(2, k_max)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(smoke ? 1 : 3);
+  benchmark::RegisterBenchmark(
+      "BM_IterationTime_Shards",
+      [n_fixed](benchmark::State& s) { BM_IterationTime_Shards(s, n_fixed); })
+      ->RangeMultiplier(2)
+      ->Range(1, shards_max)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(smoke ? 1 : 3);
+}
 
 }  // namespace
 }  // namespace spinner::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool smoke = spinner::bench::ConsumeSmokeFlag(&argc, argv);
+  spinner::bench::RegisterAll(smoke);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,6 +11,8 @@
 #define SPINNER_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/logging.h"
@@ -20,6 +22,25 @@
 #include "graph/stats.h"
 
 namespace spinner::bench {
+
+/// CI smoke mode: strips a `--smoke` flag from argv (also honored via the
+/// SPINNER_BENCH_SMOKE environment variable) and returns whether it was
+/// requested. Benches use it to shrink graph sizes and sweep ranges so the
+/// bench-smoke CI job *executes* them in seconds instead of minutes; the
+/// numbers it prints are meaningless as measurements.
+inline bool ConsumeSmokeFlag(int* argc, char** argv) {
+  bool smoke = std::getenv("SPINNER_BENCH_SMOKE") != nullptr;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return smoke;
+}
 
 /// A named stand-in dataset.
 struct StandIn {

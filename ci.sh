@@ -2,10 +2,49 @@
 # Tier-1 verification matrix: Debug + Release, warnings as errors, tests
 # labeled tier1 (benches build but are excluded from the gate).
 # Mirrors .github/workflows/ci.yml so the gate is reproducible locally.
+#
+# Sanitizer mode (one configuration instead of the matrix):
+#   ./ci.sh --sanitize=asan   # AddressSanitizer + UBSan
+#   ./ci.sh --sanitize=tsan   # ThreadSanitizer (shard-parallel supersteps
+#                             # and the Pregel engine must be clean)
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+SANITIZE=""
+for arg in "$@"; do
+  case "${arg}" in
+    --sanitize=asan) SANITIZE="address" ;;
+    --sanitize=tsan) SANITIZE="thread" ;;
+    --sanitize=*)
+      echo "ci.sh: unknown sanitizer '${arg#--sanitize=}' (asan|tsan)" >&2
+      exit 2
+      ;;
+    *)
+      echo "ci.sh: unknown argument '${arg}'" >&2
+      exit 2
+      ;;
+  esac
+done
+
+if [[ -n "${SANITIZE}" ]]; then
+  # RelWithDebInfo keeps sanitized tier1 runs fast while preserving
+  # symbolized reports; halt on the first finding so CI fails loudly.
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+  build_dir="build-ci-${SANITIZE}"
+  echo "=== RelWithDebInfo (-Werror, -fsanitize=${SANITIZE}) ==="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPINNER_WERROR=ON \
+    -DSPINNER_SANITIZE="${SANITIZE}"
+  cmake --build "${build_dir}" -j "${JOBS}"
+  ctest --test-dir "${build_dir}" -L tier1 --output-on-failure -j "${JOBS}"
+  echo "ci.sh: ${SANITIZE}-sanitized configuration passed"
+  exit 0
+fi
 
 for build_type in Debug Release; do
   build_dir="build-ci-${build_type,,}"

@@ -26,6 +26,8 @@
 // Common flags: --partitioner (default "spinner"), --c (capacity slack),
 // --seed (label-drawing partitioners), --stream-seed (arrival order of the
 // streaming baselines; 0 = natural id order), --workers,
+// --shards (graph-store shards for the parallel partitioners),
+// --threads (OS threads; both 0 = auto and neither changes results),
 // --balance=edges|vertices.
 #include <cstdio>
 #include <string>
@@ -84,6 +86,11 @@ PartitionerOptions OptionsFrom(const CommandLine& cli) {
   options.spinner.num_partitions = static_cast<int>(cli.GetInt("k", 32));
   options.spinner.additional_capacity = cli.GetDouble("c", 1.05);
   options.spinner.num_workers = static_cast<int>(cli.GetInt("workers", 0));
+  // Execution shape: shards of the graph store and OS threads driving
+  // them. Pure parallelism knobs — the computed partitioning is identical
+  // for every choice.
+  options.num_shards = static_cast<int>(cli.GetInt("shards", 0));
+  options.num_threads = static_cast<int>(cli.GetInt("threads", 0));
   if (cli.GetString("balance", "edges") == "vertices") {
     options.spinner.balance_mode = BalanceMode::kVertices;
     options.balance_on_edges = false;

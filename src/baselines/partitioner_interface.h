@@ -36,6 +36,14 @@ struct PartitionerOptions {
   /// edge balance so sweeps compare against Spinner's objective.
   bool balance_on_edges = true;
 
+  /// Parallel partitioners (spinner): shards of the graph store and OS
+  /// threads driving them; 0 = auto. Pure execution-shape knobs — results
+  /// never depend on them — threaded through so tools can say
+  /// --shards/--threads once for any implementation. Sequential baselines
+  /// ignore both.
+  int num_shards = 0;
+  int num_threads = 0;
+
   /// Fennel: γ exponent and ν balance cap (WSDM'14 defaults).
   double fennel_gamma = 1.5;
   double fennel_balance_cap = 1.1;

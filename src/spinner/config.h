@@ -56,10 +56,20 @@ struct SpinnerConfig {
 
   /// Pregel workers to simulate (0 = one per hardware thread). This is the
   /// machine count of the simulated cluster; it affects the per-worker
-  /// asynchronous optimization but not correctness.
+  /// asynchronous optimization but not correctness. Only meaningful for
+  /// the Pregel-engine substrate (in_engine_conversion runs and the app
+  /// suite); the sharded substrate maps it to the shard count when
+  /// num_shards is 0.
   int num_workers = 0;
 
-  /// OS threads (0 = min(num_workers, hardware)).
+  /// Shards of the ShardedGraphStore the shard-parallel substrate runs
+  /// over (0 = num_workers when set, else one shard per hardware thread
+  /// capped by the vertex-block count). Pure parallelism knob: results
+  /// are bit-identical for every shard count.
+  int num_shards = 0;
+
+  /// OS threads (0 = min(num_workers-or-num_shards, hardware)). Respected
+  /// end-to-end by both execution substrates; never affects results.
   int num_threads = 0;
 
   /// When true, the directed→weighted-undirected conversion runs inside the

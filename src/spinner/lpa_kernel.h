@@ -1,0 +1,121 @@
+// The per-vertex decision kernel of Spinner's label propagation, shared by
+// the two execution substrates:
+//  * the Pregel BSP engine (spinner/program.cc), faithful to the paper's
+//    Giraph deployment;
+//  * the shard-parallel superstep loop (spinner/sharded_program.cc) that
+//    runs directly over a ShardedGraphStore.
+//
+// Both paths must take bit-identical decisions for the same inputs — label
+// choice (Eq. 8 + deterministic tie break), migration probability (Eq. 14)
+// and the hash-derived random streams — so the kernel lives here exactly
+// once. All randomness is stateless: hash (seed, domain, superstep, vertex)
+// to get an independent stream per decision point, making every run
+// reproducible for a given seed regardless of shard/worker/thread counts.
+#ifndef SPINNER_SPINNER_LPA_KERNEL_H_
+#define SPINNER_SPINNER_LPA_KERNEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "common/random.h"
+#include "graph/types.h"
+
+namespace spinner::lpa {
+
+/// Domain separators for hash-derived randomness, so distinct decision
+/// kinds never share a stream.
+inline constexpr uint64_t kInitDomain = 0x5049'4e49'5449'4c00ULL;
+inline constexpr uint64_t kTieDomain = 0x5449'4542'5245'4b00ULL;
+inline constexpr uint64_t kCoinDomain = 0x4d49'4752'4154'4500ULL;
+
+/// Uniform random initial label in [0, k) (§III.A), deterministic in
+/// (seed, vertex).
+inline PartitionId InitialLabel(uint64_t seed, VertexId v, int k) {
+  return static_cast<PartitionId>(
+      HashUniform(HashCombine(seed, kInitDomain, static_cast<uint64_t>(v)),
+                  static_cast<uint64_t>(k)));
+}
+
+/// One candidate-label term of the normalized score (Eq. 8): locality minus
+/// the load penalty of `load` against `capacity`.
+inline double ScoreTerm(int64_t freq, double weighted_degree, int64_t load,
+                        double capacity) {
+  const double locality = static_cast<double>(freq) / weighted_degree;
+  const double penalty =
+      capacity > 0 ? static_cast<double>(load) / capacity : 0.0;
+  return locality - penalty;
+}
+
+/// Outcome of scoring a vertex's candidate labels.
+struct LabelChoice {
+  /// Best-scoring label (== current when nothing beats it).
+  PartitionId label = kNoPartition;
+  /// True iff a non-current label scored strictly better.
+  bool better = false;
+};
+
+/// Picks the best label for a vertex among its current label and the labels
+/// in `touched` (the neighborhood's labels in discovery order), scoring
+/// each with Eq. 8 against `penalty_loads` and breaking exact ties with a
+/// deterministic reservoir draw keyed on (seed, superstep, vertex, label).
+/// `freq` holds the weighted neighbor-label frequencies (Eq. 4) indexed by
+/// label; `weighted_degree` must be > 0.
+inline LabelChoice PickLabel(std::span<const int64_t> freq,
+                             std::span<const PartitionId> touched,
+                             PartitionId current, double weighted_degree,
+                             std::span<const double> capacities,
+                             std::span<const int64_t> penalty_loads,
+                             uint64_t seed, int64_t superstep, VertexId v) {
+  auto score_of = [&](PartitionId l) {
+    return ScoreTerm(freq[l], weighted_degree, penalty_loads[l],
+                     capacities[l]);
+  };
+  const double current_score = score_of(current);
+  double best_score = current_score;
+  bool current_is_best = true;
+  int num_best = 0;  // count of non-current labels tied at best_score
+  PartitionId chosen = current;
+  for (const PartitionId l : touched) {
+    if (l == current) continue;
+    const double s = score_of(l);
+    if (s > best_score) {
+      best_score = s;
+      current_is_best = false;
+      num_best = 1;
+      chosen = l;
+    } else if (!current_is_best && s == best_score) {
+      // Reservoir-style deterministic tie break among equal maxima.
+      ++num_best;
+      const uint64_t key =
+          HashCombine(HashCombine(seed, kTieDomain, static_cast<uint64_t>(v)),
+                      static_cast<uint64_t>(superstep),
+                      static_cast<uint64_t>(l));
+      if (HashUniform(key, static_cast<uint64_t>(num_best)) == 0) {
+        chosen = l;
+      }
+    }
+  }
+  return LabelChoice{chosen, !current_is_best};
+}
+
+/// Migration probability (Eq. 14): remaining capacity r(l) over the load
+/// wanting to enter, clamped to [0, 1].
+inline double MigrationProbability(double remaining, double wanting) {
+  if (remaining <= 0 || wanting <= 0) return 0.0;
+  return std::min(1.0, remaining / wanting);
+}
+
+/// The migration coin flip: true iff the vertex migrates this superstep.
+/// Deterministic in (seed, superstep, vertex).
+inline bool MigrationCoinAccepts(uint64_t seed, VertexId v, int64_t superstep,
+                                 double p) {
+  const uint64_t key =
+      HashCombine(HashCombine(seed, kCoinDomain, static_cast<uint64_t>(v)),
+                  static_cast<uint64_t>(superstep));
+  return HashUniformDouble(key) < p;
+}
+
+}  // namespace spinner::lpa
+
+#endif  // SPINNER_SPINNER_LPA_KERNEL_H_

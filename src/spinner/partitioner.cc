@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
+#include "common/threadpool.h"
 #include "graph/conversion.h"
 #include "graph/edge_list.h"
+#include "graph/sharded_store.h"
 #include "pregel/topology.h"
 #include "spinner/initial_assignment.h"
 #include "spinner/program.h"
+#include "spinner/sharded_program.h"
 
 namespace spinner {
 
@@ -84,10 +88,59 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
     return Status::InvalidArgument("cannot partition an empty graph");
   }
 
+  PartitionResult result;
+  result.num_partitions = k;
+  if (with_conversion) {
+    // In-engine conversion needs message-driven NeighborDiscovery
+    // (§IV.A.1): run on the Pregel BSP substrate.
+    SPINNER_ASSIGN_OR_RETURN(
+        result, RunOnEngine(engine_graph, std::move(initial_labels),
+                            run_config));
+  } else {
+    // Pre-converted graphs run shard-parallel over a ShardedGraphStore;
+    // shard/thread counts never change the result, so a throwaway
+    // single-run store is equivalent to a session's persistent one.
+    SPINNER_ASSIGN_OR_RETURN(
+        ShardedGraphStore store,
+        ShardedGraphStore::Build(
+            engine_graph,
+            ResolveNumShards(run_config, engine_graph.NumVertices())));
+    ThreadPool pool(ResolveNumThreads(run_config, store.num_shards()));
+    SPINNER_ASSIGN_OR_RETURN(
+        ShardedRunResult run,
+        RunShardedSpinner(run_config, &store, std::move(initial_labels),
+                          &pool, observer_.active() ? &observer_ : nullptr));
+    result.iterations = run.iterations;
+    result.converged = run.converged;
+    result.cancelled = run.cancelled;
+    result.history = std::move(run.history);
+    result.run_stats = std::move(run.run_stats);
+    result.assignment = std::move(store.labels());
+  }
+  result.num_partitions = k;
+
+  BalanceSpec spec;
+  spec.mode = run_config.balance_mode;
+  spec.partition_weights = run_config.partition_weights;
+  SPINNER_ASSIGN_OR_RETURN(
+      result.metrics,
+      ComputeMetricsEx(converted, result.assignment, k,
+                       run_config.additional_capacity, spec));
+  return result;
+}
+
+Result<PartitionResult> SpinnerPartitioner::RunOnEngine(
+    const CsrGraph& engine_graph, std::vector<PartitionId> initial_labels,
+    const SpinnerConfig& run_config) const {
   pregel::EngineConfig engine_config;
+  // Worker-count fallback order: explicit workers, then the sharding
+  // knobs (so --shards/--threads mean the same thing on both substrates),
+  // then one worker per hardware thread.
   engine_config.num_workers =
-      run_config.num_workers > 0
-          ? run_config.num_workers
+      run_config.num_workers > 0   ? run_config.num_workers
+      : run_config.num_shards > 0  ? run_config.num_shards
+      : run_config.num_threads > 0
+          ? run_config.num_threads
           : static_cast<int>(
                 std::max(1u, std::thread::hardware_concurrency()));
   engine_config.num_threads = run_config.num_threads;
@@ -104,12 +157,12 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
       });
 
   SpinnerProgram program(run_config, std::move(initial_labels),
-                         with_conversion);
+                         /*start_with_conversion=*/true);
   if (observer_.active()) program.set_observer(&observer_);
   pregel::RunStats run_stats = engine.Run(program);
 
   PartitionResult result;
-  result.num_partitions = k;
+  result.num_partitions = run_config.num_partitions;
   result.iterations = program.iterations();
   result.converged = program.converged();
   result.cancelled = program.cancelled();
@@ -119,14 +172,6 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
   engine.ForEachVertex([&result](VertexId v, const SpinnerVertexValue& val) {
     result.assignment[v] = val.label;
   });
-
-  BalanceSpec spec;
-  spec.mode = run_config.balance_mode;
-  spec.partition_weights = run_config.partition_weights;
-  SPINNER_ASSIGN_OR_RETURN(
-      result.metrics,
-      ComputeMetricsEx(converted, result.assignment, k,
-                       run_config.additional_capacity, spec));
   return result;
 }
 

@@ -99,10 +99,18 @@ class SpinnerPartitioner {
   }
 
  private:
+  /// Dispatches to the right substrate: pre-converted graphs run
+  /// shard-parallel over a ShardedGraphStore (spinner/sharded_program.h);
+  /// in-engine conversion runs on the Pregel engine via RunOnEngine.
   Result<PartitionResult> RunOnGraph(const CsrGraph& engine_graph,
                                      const CsrGraph& converted,
                                      std::vector<PartitionId> initial_labels,
                                      int k, bool with_conversion) const;
+
+  /// The Pregel-engine substrate (conversion supersteps included).
+  Result<PartitionResult> RunOnEngine(
+      const CsrGraph& engine_graph, std::vector<PartitionId> initial_labels,
+      const SpinnerConfig& run_config) const;
 
   SpinnerConfig config_;
   ProgressObserver observer_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/random.h"
+#include "spinner/lpa_kernel.h"
 
 namespace spinner {
 
@@ -23,12 +24,6 @@ pregel::OutEdge<SpinnerEdgeValue>* FindEdge(
   if (it == end || it->target != target) return nullptr;
   return &*it;
 }
-
-/// Domain separators for hash-derived randomness, so distinct decision
-/// kinds never share a stream.
-constexpr uint64_t kInitDomain = 0x5049'4e49'5449'4c00ULL;
-constexpr uint64_t kTieDomain = 0x5449'4542'5245'4b00ULL;
-constexpr uint64_t kCoinDomain = 0x4d49'4752'4154'4500ULL;
 
 }  // namespace
 
@@ -208,10 +203,8 @@ void SpinnerProgram::ComputeInitialize(SpinnerHandle& vertex,
     label = initial_labels_[vertex.id()];
   }
   if (label == kNoPartition) {
-    label = static_cast<PartitionId>(HashUniform(
-        HashCombine(config_.seed, kInitDomain,
-                    static_cast<uint64_t>(vertex.id())),
-        static_cast<uint64_t>(config_.num_partitions)));
+    label = lpa::InitialLabel(config_.seed, vertex.id(),
+                              config_.num_partitions);
   }
   SPINNER_DCHECK(label >= 0 && label < config_.num_partitions);
   value.label = label;
@@ -253,62 +246,28 @@ void SpinnerProgram::ComputeScoresPhase(SpinnerHandle& vertex,
       config_.per_worker_async ? wc->projected_loads : wc->global_loads;
 
   // Normalized score with load penalty (Eq. 8); candidate labels are the
-  // neighborhood's labels plus the current one.
-  auto score_of = [&](PartitionId l) {
-    const double locality = static_cast<double>(wc->freq[l]) / deg;
-    const double cap = wc->capacities[l];
-    const double penalty =
-        cap > 0 ? static_cast<double>(penalty_loads[l]) / cap : 0.0;
-    return locality - penalty;
-  };
-
-  const double current_score = score_of(current);
-  double best_score = current_score;
-  bool current_is_best = true;
-  int num_best = 0;  // count of non-current labels tied at best_score
-  PartitionId chosen = current;
-  for (const PartitionId l : wc->touched) {
-    if (l == current) continue;
-    const double s = score_of(l);
-    if (s > best_score) {
-      best_score = s;
-      current_is_best = false;
-      num_best = 1;
-      chosen = l;
-    } else if (!current_is_best && s == best_score) {
-      // Reservoir-style deterministic tie break among equal maxima.
-      ++num_best;
-      const uint64_t key =
-          HashCombine(HashCombine(config_.seed, kTieDomain,
-                                  static_cast<uint64_t>(vertex.id())),
-                      static_cast<uint64_t>(vertex.superstep()),
-                      static_cast<uint64_t>(l));
-      if (HashUniform(key, static_cast<uint64_t>(num_best)) == 0) {
-        chosen = l;
-      }
-    }
-  }
+  // neighborhood's labels plus the current one. Tie breaking is the
+  // deterministic reservoir draw shared with the sharded path.
+  const lpa::LabelChoice choice = lpa::PickLabel(
+      wc->freq, wc->touched, current, deg, wc->capacities, penalty_loads,
+      config_.seed, vertex.superstep(), vertex.id());
 
   // (iii)+(iv) Aggregate the global score contribution and flag candidacy.
   // The score uses the beginning-of-superstep global loads so that the
   // halting signal is independent of worker count.
-  const double current_cap = wc->capacities[current];
-  const double global_penalty =
-      current_cap > 0
-          ? static_cast<double>(wc->global_loads[current]) / current_cap
-          : 0.0;
-  wc->score_partial->Add(static_cast<double>(wc->freq[current]) / deg -
-                         global_penalty);
+  wc->score_partial->Add(lpa::ScoreTerm(wc->freq[current], deg,
+                                        wc->global_loads[current],
+                                        wc->capacities[current]));
   wc->local_weight_partial->Add(wc->freq[current]);
 
-  if (!current_is_best) {
+  if (choice.better) {
     value.is_candidate = true;
-    value.candidate = chosen;
+    value.candidate = choice.label;
     const int64_t units = LoadUnits(value);
-    wc->migrations_partial->Add(static_cast<size_t>(chosen), units);
+    wc->migrations_partial->Add(static_cast<size_t>(choice.label), units);
     if (config_.per_worker_async) {
       // §IV.A.4: later vertices on this worker see the would-be move.
-      wc->projected_loads[chosen] += units;
+      wc->projected_loads[choice.label] += units;
       wc->projected_loads[current] -= units;
     }
   }
@@ -331,16 +290,11 @@ void SpinnerProgram::ComputeMigrationsPhase(SpinnerHandle& vertex,
       wc->capacities[target] -
       static_cast<double>(wc->global_loads[target]);
   const double wanting = static_cast<double>(wc->migration_counts[target]);
-  double p = 0.0;
-  if (remaining > 0 && wanting > 0) {
-    p = std::min(1.0, remaining / wanting);  // Eq. 14
+  const double p = lpa::MigrationProbability(remaining, wanting);  // Eq. 14
+  if (!lpa::MigrationCoinAccepts(config_.seed, vertex.id(),
+                                 vertex.superstep(), p)) {
+    return;  // migration deferred
   }
-
-  const uint64_t key =
-      HashCombine(HashCombine(config_.seed, kCoinDomain,
-                              static_cast<uint64_t>(vertex.id())),
-                  static_cast<uint64_t>(vertex.superstep()));
-  if (HashUniformDouble(key) >= p) return;  // migration deferred
 
   const PartitionId old_label = value.label;
   const int64_t units = LoadUnits(value);

@@ -5,13 +5,23 @@
 #include "common/string_util.h"
 #include "graph/binary_io.h"
 #include "graph/conversion.h"
+#include "spinner/initial_assignment.h"
+#include "spinner/sharded_program.h"
 
 namespace spinner {
 
-PartitioningSession::PartitioningSession(const SpinnerConfig& config)
+PartitioningSession::PartitioningSession(const SpinnerConfig& config,
+                                         SessionOptions options)
     : config_(config),
+      options_(options),
       init_status_(config.Validate()),
-      current_k_(config.num_partitions) {}
+      current_k_(config.num_partitions) {
+  // Session options win over the equivalent config fields, so one options
+  // struct is the single source of truth for the execution shape.
+  if (options_.num_shards > 0) config_.num_shards = options_.num_shards;
+  if (options_.num_threads > 0) config_.num_threads = options_.num_threads;
+  if (init_status_.ok()) init_status_ = config_.Validate();
+}
 
 Result<CsrGraph> PartitioningSession::Convert(int64_t num_vertices,
                                               const EdgeList& edges) const {
@@ -28,10 +38,46 @@ Status PartitioningSession::CheckReady() const {
   return Status::OK();
 }
 
-SpinnerPartitioner PartitioningSession::MakePartitioner() const {
-  SpinnerPartitioner partitioner(config_);
-  if (observer_.active()) partitioner.set_progress_observer(observer_);
-  return partitioner;
+Result<ShardedGraphStore> PartitioningSession::BuildStore(
+    const CsrGraph& converted) const {
+  return ShardedGraphStore::Build(
+      converted, ResolveNumShards(config_, converted.NumVertices()));
+}
+
+void PartitioningSession::EnsurePool() {
+  const int threads = ResolveNumThreads(config_, store_.num_shards());
+  if (pool_ == nullptr || pool_->num_threads() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+Status PartitioningSession::RunLpa(const CsrGraph& metrics_graph,
+                                   std::vector<PartitionId> initial_labels,
+                                   int k, PartitionResult* out) {
+  SpinnerConfig run_config = config_;
+  run_config.num_partitions = k;
+  EnsurePool();
+  SPINNER_ASSIGN_OR_RETURN(
+      ShardedRunResult run,
+      RunShardedSpinner(run_config, &store_, std::move(initial_labels),
+                        pool_.get(),
+                        observer_.active() ? &observer_ : nullptr));
+  out->num_partitions = k;
+  out->iterations = run.iterations;
+  out->converged = run.converged;
+  out->cancelled = run.cancelled;
+  out->history = std::move(run.history);
+  out->run_stats = std::move(run.run_stats);
+  out->assignment = store_.labels();
+
+  BalanceSpec spec;
+  spec.mode = run_config.balance_mode;
+  spec.partition_weights = run_config.partition_weights;
+  SPINNER_ASSIGN_OR_RETURN(
+      out->metrics,
+      ComputeMetricsEx(metrics_graph, out->assignment, k,
+                       run_config.additional_capacity, spec));
+  return Status::OK();
 }
 
 Status PartitioningSession::Open(int64_t num_vertices, EdgeList edges,
@@ -44,8 +90,11 @@ Status PartitioningSession::Open(int64_t num_vertices, EdgeList edges,
   directed_ = directed;
   SPINNER_ASSIGN_OR_RETURN(CsrGraph converted,
                            Convert(num_vertices, edges));
-  SPINNER_ASSIGN_OR_RETURN(PartitionResult result,
-                           MakePartitioner().Partition(converted));
+  SPINNER_ASSIGN_OR_RETURN(store_, BuildStore(converted));
+  std::vector<PartitionId> no_labels(num_vertices, kNoPartition);
+  PartitionResult result;
+  SPINNER_RETURN_IF_ERROR(
+      RunLpa(converted, std::move(no_labels), current_k_, &result));
 
   num_vertices_ = num_vertices;
   edges_ = std::move(edges);
@@ -63,9 +112,42 @@ Status PartitioningSession::ApplyDelta(const GraphDelta& delta) {
   const int64_t new_num_vertices = num_vertices_ + delta.num_new_vertices;
   SPINNER_ASSIGN_OR_RETURN(CsrGraph new_converted,
                            Convert(new_num_vertices, new_edges));
+  // Incremental restart labels (§III.D) are computed before the store is
+  // touched, so every failure up to here leaves the session untouched.
   SPINNER_ASSIGN_OR_RETURN(
-      PartitionResult result,
-      MakePartitioner().Repartition(new_converted, assignment_));
+      std::vector<PartitionId> initial,
+      ExtendForNewVertices(new_converted, assignment_, current_k_));
+
+  if (delta.num_new_vertices > 0) {
+    // The vertex range grew: block alignment moves every shard boundary,
+    // so re-slice the whole store.
+    SPINNER_ASSIGN_OR_RETURN(store_, BuildStore(new_converted));
+  } else {
+    // Same vertex range: only the shards owning an endpoint of a changed
+    // edge have a stale CSR slice.
+    std::vector<VertexId> dirty;
+    dirty.reserve(2 * (delta.added_edges.size() + delta.removed_edges.size()));
+    for (const Edge& e : delta.added_edges) {
+      dirty.push_back(e.src);
+      dirty.push_back(e.dst);
+    }
+    for (const Edge& e : delta.removed_edges) {
+      dirty.push_back(e.src);
+      dirty.push_back(e.dst);
+    }
+    SPINNER_RETURN_IF_ERROR(store_.Update(new_converted, dirty));
+  }
+
+  PartitionResult result;
+  const Status run_status =
+      RunLpa(new_converted, std::move(initial), current_k_, &result);
+  if (!run_status.ok()) {
+    // The store was already re-sliced for the new graph; put it back so
+    // the session's pre-call state stays self-consistent.
+    auto rebuilt = BuildStore(converted_);
+    if (rebuilt.ok()) store_ = std::move(rebuilt).value();
+    return run_status;
+  }
 
   num_vertices_ = new_num_vertices;
   edges_ = std::move(new_edges);
@@ -81,9 +163,20 @@ Status PartitioningSession::Rescale(int new_k) {
     return Status::InvalidArgument(
         StrFormat("new_k must be >= 1 (got %d)", new_k));
   }
-  SPINNER_ASSIGN_OR_RETURN(
-      PartitionResult result,
-      MakePartitioner().Rescale(converted_, assignment_, new_k));
+  // The probabilistic elastic re-labeling (§III.E) seeds the restart.
+  std::vector<PartitionId> initial;
+  if (new_k > current_k_) {
+    SPINNER_ASSIGN_OR_RETURN(
+        initial, ElasticExpand(assignment_, current_k_, new_k, config_.seed));
+  } else if (new_k < current_k_) {
+    SPINNER_ASSIGN_OR_RETURN(
+        initial, ElasticShrink(assignment_, current_k_, new_k, config_.seed));
+  } else {
+    initial = assignment_;
+  }
+  PartitionResult result;
+  SPINNER_RETURN_IF_ERROR(
+      RunLpa(converted_, std::move(initial), new_k, &result));
 
   current_k_ = new_k;
   config_.num_partitions = new_k;
@@ -95,8 +188,11 @@ Status PartitioningSession::Rescale(int new_k) {
 Status PartitioningSession::Refine() {
   SPINNER_RETURN_IF_ERROR(CheckReady());
   SPINNER_ASSIGN_OR_RETURN(
-      PartitionResult result,
-      MakePartitioner().Repartition(converted_, assignment_));
+      std::vector<PartitionId> initial,
+      ExtendForNewVertices(converted_, assignment_, current_k_));
+  PartitionResult result;
+  SPINNER_RETURN_IF_ERROR(
+      RunLpa(converted_, std::move(initial), current_k_, &result));
   assignment_ = result.assignment;
   last_result_ = std::move(result);
   return Status::OK();
@@ -125,10 +221,13 @@ Status PartitioningSession::Restore(const std::string& path) {
   SPINNER_ASSIGN_OR_RETURN(
       CsrGraph converted,
       Convert(snapshot.num_vertices, snapshot.edges));
+  SPINNER_ASSIGN_OR_RETURN(ShardedGraphStore store, BuildStore(converted));
+  store.labels() = snapshot.assignment;
 
   num_vertices_ = snapshot.num_vertices;
   edges_ = std::move(snapshot.edges);
   converted_ = std::move(converted);
+  store_ = std::move(store);
   assignment_ = std::move(snapshot.assignment);
   current_k_ = snapshot.num_partitions;
   config_.num_partitions = current_k_;

@@ -3,12 +3,15 @@
 // The paper's central claim is that Spinner is not a one-shot partitioner
 // but a partitioning that is *kept* good as the graph changes (§III.D) and
 // the cluster resizes (§III.E). This class owns that lifecycle: the raw
-// edge list, the converted graph and the current assignment live here, so
-// callers express intent ("the graph changed", "we have 4 more machines")
-// instead of re-wiring delta application, conversion and label threading
-// by hand.
+// edge list, the converted graph — held as a ShardedGraphStore whose
+// shard-local CSRs the shard-parallel LPA runs over — and the current
+// assignment live here, so callers express intent ("the graph changed",
+// "we have 4 more machines") instead of re-wiring delta application,
+// conversion and label threading by hand.
 //
-//   PartitioningSession session(config);              // k = config value
+//   PartitioningSession session(config,
+//                               SessionOptions{.num_shards = 8,
+//                                              .num_threads = 4});
 //   SPINNER_CHECK_OK(session.Open(n, edges, /*directed=*/true));
 //   ...
 //   GraphDelta delta;                                  // graph changed
@@ -18,17 +21,25 @@
 //   SPINNER_CHECK_OK(session.Rescale(40));             // cluster grew
 //   SPINNER_CHECK_OK(session.Snapshot("state.spns"));  // persist
 //
+// Sharding is a pure parallelism knob: the partitioning computed by a
+// session is bit-identical for every {num_shards, num_threads} choice
+// (see spinner/sharded_program.h for why). Deltas that do not grow the
+// vertex range re-slice only the shards owning a touched vertex.
+//
 // Every mutation runs label propagation from the previous assignment and
 // commits atomically: on error the session keeps its pre-call state.
 #ifndef SPINNER_SPINNER_SESSION_H_
 #define SPINNER_SPINNER_SESSION_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/threadpool.h"
 #include "graph/csr_graph.h"
 #include "graph/delta.h"
+#include "graph/sharded_store.h"
 #include "graph/types.h"
 #include "spinner/config.h"
 #include "spinner/metrics.h"
@@ -37,14 +48,27 @@
 
 namespace spinner {
 
+/// Execution-shape knobs of a session, orthogonal to the algorithm
+/// configuration: how many shards the graph store is sliced into and how
+/// many OS threads drive them. 0 means auto (see
+/// ResolveNumShards/ResolveNumThreads in spinner/sharded_program.h).
+/// Neither value ever changes the partitioning a session computes.
+struct SessionOptions {
+  int num_shards = 0;
+  int num_threads = 0;
+};
+
 /// Owns one graph and its maintained partitioning. Not thread-safe; one
 /// session per partitioned graph.
 class PartitioningSession {
  public:
   /// `config.num_partitions` is the initial k; Rescale() changes it.
-  /// An invalid config (see SpinnerConfig::Validate) is reported by the
-  /// first lifecycle call rather than by crashing the constructor.
-  explicit PartitioningSession(const SpinnerConfig& config);
+  /// `options` fixes the session's shard/thread counts (non-zero values
+  /// win over the equivalent SpinnerConfig fields). An invalid config is
+  /// reported by the first lifecycle call rather than by crashing the
+  /// constructor.
+  explicit PartitioningSession(const SpinnerConfig& config,
+                               SessionOptions options = {});
 
   // --- Lifecycle ---------------------------------------------------------
 
@@ -58,7 +82,9 @@ class PartitioningSession {
   /// Applies `delta` to the owned edge list, reconverts, and adapts the
   /// partitioning incrementally (§III.D): existing vertices keep their
   /// labels as the starting point, new vertices join the least-loaded
-  /// partition, then label propagation re-optimizes.
+  /// partition, then label propagation re-optimizes. A delta that does
+  /// not add vertices re-slices only the store shards owning an endpoint
+  /// of a changed edge.
   Status ApplyDelta(const GraphDelta& delta);
 
   /// Elastic adaptation (§III.E) to `new_k` partitions. The probabilistic
@@ -94,9 +120,20 @@ class PartitioningSession {
   /// Current partition count (k). Tracks Rescale().
   int num_partitions() const { return current_k_; }
 
+  /// Shard count of the graph store (0 until the session is open).
+  int num_shards() const { return store_.num_shards(); }
+
   int64_t num_vertices() const { return num_vertices_; }
   const EdgeList& edges() const { return edges_; }
   const CsrGraph& converted() const { return converted_; }
+
+  /// The sharded graph store label propagation runs over. Valid while the
+  /// session is open; exposes shard ranges, per-shard loads and rebuild
+  /// counts (observability for the owning-shards-only delta contract).
+  const ShardedGraphStore& store() const { return store_; }
+
+  /// The execution-shape options the session was constructed with.
+  const SessionOptions& options() const { return options_; }
 
   /// The maintained assignment: one label in [0, num_partitions()) per
   /// vertex.
@@ -121,10 +158,22 @@ class PartitioningSession {
   /// Fails unless the session is open and the config is valid.
   Status CheckReady() const;
 
-  /// A SpinnerPartitioner for the current config with the observer wired.
-  SpinnerPartitioner MakePartitioner() const;
+  /// Slices `converted` into the session's shard count.
+  Result<ShardedGraphStore> BuildStore(const CsrGraph& converted) const;
+
+  /// Creates the thread pool on first use (after the shard count is known).
+  void EnsurePool();
+
+  /// Runs shard-parallel label propagation over store_ from
+  /// `initial_labels` with `k` partitions and fills `out` (metrics are
+  /// computed against `metrics_graph`). On success store_.labels() is the
+  /// new assignment.
+  Status RunLpa(const CsrGraph& metrics_graph,
+                std::vector<PartitionId> initial_labels, int k,
+                PartitionResult* out);
 
   SpinnerConfig config_;   // num_partitions kept equal to current_k_
+  SessionOptions options_;
   Status init_status_;     // config validation outcome, reported lazily
   bool open_ = false;
   bool directed_ = false;
@@ -132,6 +181,8 @@ class PartitioningSession {
   int64_t num_vertices_ = 0;
   EdgeList edges_;
   CsrGraph converted_;
+  ShardedGraphStore store_;
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<PartitionId> assignment_;
   PartitionResult last_result_;
   ProgressObserver observer_;

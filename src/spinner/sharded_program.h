@@ -1,0 +1,80 @@
+// The shard-parallel execution of Spinner's iteration loop: the same
+// superstep phases as SpinnerProgram (Initialize ─► ComputeScores ─►
+// ComputeMigrations, §IV.A.2–4), run directly over a ShardedGraphStore on
+// a ThreadPool instead of through the Pregel engine. One task per shard
+// executes each superstep; between supersteps the driver merges per-shard
+// partition-load deltas and migration counters in fixed shard order and
+// evaluates the master logic (halting §III.C, observer callbacks).
+//
+// Determinism: results are bit-identical for any shard count S (S = 1
+// included) and any thread count, because
+//  * label scores are computed against a frozen previous-superstep label
+//    and load snapshot — the asynchronous §IV.A.4 view is applied at
+//    fixed-size vertex-block granularity (ShardedGraphStore::kBlockSize),
+//    which is independent of S;
+//  * the global score is reduced block-wise in fixed block order, so the
+//    floating-point sum never depends on S or scheduling;
+//  * all integer counters (loads, migration counts) merge in fixed shard
+//    order, and all randomness is hash-derived per (seed, superstep,
+//    vertex) through the shared lpa kernel.
+//
+// This is the execution path behind SpinnerPartitioner and
+// PartitioningSession for pre-converted graphs; the Pregel engine remains
+// the substrate for in-engine conversion runs (§IV.A.1) and the Pregel
+// app suite.
+#ifndef SPINNER_SPINNER_SHARDED_PROGRAM_H_
+#define SPINNER_SPINNER_SHARDED_PROGRAM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/threadpool.h"
+#include "graph/sharded_store.h"
+#include "graph/types.h"
+#include "pregel/stats.h"
+#include "spinner/config.h"
+#include "spinner/observer.h"
+#include "spinner/types.h"
+
+namespace spinner {
+
+/// Outcome of a sharded run; the final assignment lives in the store's
+/// label array.
+struct ShardedRunResult {
+  /// LPA iterations executed (ComputeScores supersteps).
+  int iterations = 0;
+  /// True iff halted via the score-convergence criterion (§III.C).
+  bool converged = false;
+  /// True iff stopped early by the observer or cancellation token.
+  bool cancelled = false;
+  /// Per-iteration φ/ρ/score curves (when config.record_history).
+  std::vector<IterationPoint> history;
+  /// Superstep statistics, mirroring the Pregel engine's layout with one
+  /// "worker" per shard (message counts model label-update traffic).
+  pregel::RunStats run_stats;
+};
+
+/// The shard count a run should use: config.num_shards when set, else
+/// config.num_workers (so existing worker-count knobs keep their meaning),
+/// else one shard per hardware thread capped by the block count. The
+/// choice never affects results, only parallelism granularity.
+int ResolveNumShards(const SpinnerConfig& config, int64_t num_vertices);
+
+/// The OS-thread count a run should use: config.num_threads when set, else
+/// min(num_shards, hardware concurrency). Never affects results.
+int ResolveNumThreads(const SpinnerConfig& config, int num_shards);
+
+/// Runs Spinner label propagation shard-parallel over `store` on `pool`.
+/// `initial_labels` follows SpinnerProgram's contract: one fixed label per
+/// vertex for incremental/elastic restarts, kNoPartition entries (or a
+/// shorter vector) draw a uniform random label at Initialize. On success
+/// store->labels() holds the final assignment and every shard's load
+/// counters are consistent with it. `observer` may be null.
+Result<ShardedRunResult> RunShardedSpinner(
+    const SpinnerConfig& config, ShardedGraphStore* store,
+    std::vector<PartitionId> initial_labels, ThreadPool* pool,
+    const ProgressObserver* observer);
+
+}  // namespace spinner
+
+#endif  // SPINNER_SPINNER_SHARDED_PROGRAM_H_

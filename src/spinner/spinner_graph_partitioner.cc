@@ -51,8 +51,13 @@ bool RegisterSpinnerGraphPartitioner() {
           -> Result<std::unique_ptr<GraphPartitioner>> {
         SpinnerConfig config = options.spinner;
         // The sweep-level seed wins unless the caller diverged the
-        // spinner config's seed explicitly.
+        // spinner config's seed explicitly; same rule for the
+        // execution-shape knobs.
         if (config.seed == SpinnerConfig{}.seed) config.seed = options.seed;
+        if (options.num_shards > 0) config.num_shards = options.num_shards;
+        if (options.num_threads > 0) {
+          config.num_threads = options.num_threads;
+        }
         return std::unique_ptr<GraphPartitioner>(
             std::make_unique<SpinnerGraphPartitioner>(config));
       });

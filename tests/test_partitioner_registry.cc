@@ -123,6 +123,29 @@ TEST(PartitionerRegistryTest, SpinnerAdapterMatchesDirectEntryPoints) {
   EXPECT_EQ(*rescaled, rescaled_direct->assignment);
 }
 
+TEST(PartitionerRegistryTest, ExecutionShapeOptionsPlumbThroughToSpinner) {
+  // --shards/--threads style options reach the spinner factory and never
+  // change the computed assignment (the substrate's invariance guarantee).
+  auto ws = WattsStrogatz(900, 3, 0.3, 13);
+  ASSERT_TRUE(ws.ok());
+  auto g = BuildSymmetric(ws->num_vertices, ws->edges);
+  ASSERT_TRUE(g.ok());
+
+  PartitionerOptions one;
+  one.num_shards = 1;
+  one.num_threads = 1;
+  PartitionerOptions many;
+  many.num_shards = 6;
+  many.num_threads = 3;
+  auto a = PartitionerRegistry::Create("spinner", one);
+  auto b = PartitionerRegistry::Create("spinner", many);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto labels_a = (*a)->Partition(*g, 5);
+  auto labels_b = (*b)->Partition(*g, 5);
+  ASSERT_TRUE(labels_a.ok() && labels_b.ok());
+  EXPECT_EQ(*labels_a, *labels_b);
+}
+
 TEST(PartitionerRegistryTest, RestreamingRepartitionHandlesGrowth) {
   auto ws = WattsStrogatz(200, 3, 0.2, 5);
   ASSERT_TRUE(ws.ok());

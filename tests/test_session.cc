@@ -256,6 +256,117 @@ TEST(PartitioningSessionTest, ObserverCancellationStopsWithinOneIteration) {
   ExpectValidAssignment(session);  // partial result is still complete
 }
 
+// --- Sharding: SessionOptions, invariance, owning-shards-only deltas -----
+
+/// Drives one full lifecycle (Open → ApplyDelta → Rescale → Refine) under
+/// the given execution shape and returns the assignment after every step.
+std::vector<std::vector<PartitionId>> LifecycleAssignments(
+    const GeneratedGraph& g, SessionOptions options) {
+  PartitioningSession session(SmallConfig(4), options);
+  SPINNER_CHECK(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  std::vector<std::vector<PartitionId>> out;
+  out.push_back(session.assignment());
+
+  GraphDelta delta = RandomEdgeAdditions(g.num_vertices, g.edges, 30, 5);
+  delta.AddVertex(6);
+  for (int64_t i = 0; i < 6; ++i) {
+    delta.AddEdge(g.num_vertices + i, (i * 13) % g.num_vertices);
+  }
+  SPINNER_CHECK(session.ApplyDelta(delta).ok());
+  out.push_back(session.assignment());
+
+  SPINNER_CHECK(session.Rescale(6).ok());
+  out.push_back(session.assignment());
+
+  SPINNER_CHECK(session.Refine().ok());
+  out.push_back(session.assignment());
+  return out;
+}
+
+TEST(PartitioningSessionTest, LifecycleIsShardAndThreadCountInvariant) {
+  // The issue's acceptance bar: same seed ⇒ identical assignment for
+  // S ∈ {1, 2, 7} and 1 vs N threads, through the whole lifecycle.
+  const GeneratedGraph g = SmallWorld(31);
+  const auto reference =
+      LifecycleAssignments(g, SessionOptions{.num_shards = 1,
+                                             .num_threads = 1});
+  for (const SessionOptions options :
+       {SessionOptions{.num_shards = 2, .num_threads = 1},
+        SessionOptions{.num_shards = 7, .num_threads = 4},
+        SessionOptions{.num_shards = 0, .num_threads = 0}}) {
+    const auto got = LifecycleAssignments(g, options);
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t step = 0; step < reference.size(); ++step) {
+      EXPECT_EQ(got[step], reference[step])
+          << "step " << step << " S=" << options.num_shards
+          << " threads=" << options.num_threads;
+    }
+  }
+}
+
+TEST(PartitioningSessionTest, SessionOptionsFixTheStoreShape) {
+  const GeneratedGraph g = SmallWorld();
+  PartitioningSession session(SmallConfig(),
+                              SessionOptions{.num_shards = 3,
+                                             .num_threads = 2});
+  EXPECT_EQ(session.options().num_shards, 3);
+  EXPECT_EQ(session.num_shards(), 0);  // no store before Open
+  ASSERT_TRUE(session.Open(g.num_vertices, g.edges, g.directed).ok());
+  EXPECT_EQ(session.num_shards(), 3);
+  EXPECT_EQ(session.store().NumVertices(), g.num_vertices);
+  // The store's label view is the session's assignment.
+  EXPECT_EQ(session.store().labels(), session.assignment());
+}
+
+TEST(PartitioningSessionTest, EdgeDeltaRebuildsOnlyOwningShards) {
+  // 1100 vertices = 5 blocks of 256; S=3 → shard 0 owns [0, 256).
+  auto ws = WattsStrogatz(1100, 3, 0.3, 17);
+  ASSERT_TRUE(ws.ok());
+  PartitioningSession session(SmallConfig(),
+                              SessionOptions{.num_shards = 3});
+  ASSERT_TRUE(session.Open(ws->num_vertices, ws->edges, ws->directed).ok());
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_EQ(session.store().rebuild_count(s), 1);
+  }
+
+  // An edge change entirely within shard 0 must not re-slice shards 1-2.
+  GraphDelta delta;
+  delta.AddEdge(2, 9);
+  ASSERT_TRUE(session.ApplyDelta(delta).ok());
+  EXPECT_EQ(session.store().rebuild_count(0), 2);
+  EXPECT_EQ(session.store().rebuild_count(1), 1);
+  EXPECT_EQ(session.store().rebuild_count(2), 1);
+
+  // Growing the vertex range moves the block-aligned boundaries: full
+  // re-slice.
+  GraphDelta grow;
+  grow.AddVertex(4).AddEdge(ws->num_vertices, 3);
+  ASSERT_TRUE(session.ApplyDelta(grow).ok());
+  EXPECT_EQ(session.store().NumVertices(), ws->num_vertices + 4);
+  EXPECT_EQ(session.store().rebuild_count(0), 1);  // fresh store
+}
+
+TEST(PartitioningSessionTest, SnapshotRestoreRoundTripsAcrossShardShapes) {
+  // A snapshot written by a single-shard session restores into a
+  // many-shard one with the identical assignment and continued lifecycle.
+  const GeneratedGraph g = SmallWorld(12);
+  TempPath snapshot("session_shards.spns");
+  PartitioningSession writer(SmallConfig(4),
+                             SessionOptions{.num_shards = 1});
+  ASSERT_TRUE(writer.Open(g.num_vertices, g.edges, g.directed).ok());
+  ASSERT_TRUE(writer.Snapshot(snapshot.path).ok());
+
+  PartitioningSession reader(SmallConfig(4),
+                             SessionOptions{.num_shards = 5,
+                                            .num_threads = 2});
+  ASSERT_TRUE(reader.Restore(snapshot.path).ok());
+  EXPECT_EQ(reader.assignment(), writer.assignment());
+  EXPECT_EQ(reader.num_shards(), 5);
+  ASSERT_TRUE(reader.Rescale(7).ok());
+  ASSERT_TRUE(writer.Rescale(7).ok());
+  EXPECT_EQ(reader.assignment(), writer.assignment());
+}
+
 TEST(PartitioningSessionTest, CancellationTokenStopsTheRun) {
   const GeneratedGraph g = SmallWorld();
   SpinnerConfig config = SmallConfig();
