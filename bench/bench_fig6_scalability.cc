@@ -4,7 +4,11 @@
 //   (a) graph size        — Watts-Strogatz, deg 40, beta 0.3, k=64;
 //   (b) number of workers — fixed graph, workers 1..hardware;
 //   (c) number of partitions k — fixed graph, k 2..512;
-//   (d) number of shards  — fixed graph, shard-parallel store, S 1..64.
+//   (d) number of shards  — fixed graph, shard-parallel store, S 1..64;
+//   (e) number of worker processes — fixed graph, the cross-process
+//       execution mode (forked ShardWorkers + wire protocol), P 1..4 —
+//       measuring what the per-superstep message passing costs relative
+//       to the in-process substrate for the identical assignment.
 //
 // Expected shapes: (a) near-linear in |V| (loglog-linear in the paper);
 // (b) runtime drops with added workers (paper: 7.6× speedup with 7.6×
@@ -51,11 +55,12 @@ const CsrGraph& CachedWsGraph(int64_t n) {
 /// ComputeMigrations after Initialize). `shards` maps to num_shards of
 /// the sharded substrate (0 = auto).
 double FirstIterationSeconds(const CsrGraph& g, int k, int workers,
-                             int shards = 0) {
+                             int shards = 0, int processes = 0) {
   SpinnerConfig config;
   config.num_partitions = k;
   config.num_workers = workers;
   config.num_shards = shards;
+  config.num_processes = processes;
   config.max_iterations = 2;
   config.use_halting = false;
   config.record_history = false;
@@ -105,6 +110,16 @@ void BM_IterationTime_Shards(benchmark::State& state, int64_t n) {
   state.counters["shards"] = shards;
 }
 
+void BM_IterationTime_Processes(benchmark::State& state, int64_t n) {
+  const int processes = static_cast<int>(state.range(0));
+  const CsrGraph& g = CachedWsGraph(n);
+  for (auto _ : state) {
+    state.SetIterationTime(FirstIterationSeconds(
+        g, 64, /*workers=*/0, /*shards=*/0, processes));
+  }
+  state.counters["processes"] = processes;
+}
+
 void RegisterAll(bool smoke) {
   // Smoke mode shrinks everything so CI executes every curve in seconds.
   const int64_t n_min = smoke ? 2048 : 16384;
@@ -144,6 +159,16 @@ void RegisterAll(bool smoke) {
       [n_fixed](benchmark::State& s) { BM_IterationTime_Shards(s, n_fixed); })
       ->RangeMultiplier(2)
       ->Range(1, shards_max)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(smoke ? 1 : 3);
+  benchmark::RegisterBenchmark(
+      "BM_IterationTime_Processes",
+      [n_fixed](benchmark::State& s) {
+        BM_IterationTime_Processes(s, n_fixed);
+      })
+      ->RangeMultiplier(2)
+      ->Range(1, smoke ? 2 : 4)
       ->UseManualTime()
       ->Unit(benchmark::kMillisecond)
       ->Iterations(smoke ? 1 : 3);

@@ -7,12 +7,21 @@
 #   ./ci.sh --sanitize=asan   # AddressSanitizer + UBSan
 #   ./ci.sh --sanitize=tsan   # ThreadSanitizer (shard-parallel supersteps
 #                             # and the Pregel engine must be clean)
+#
+# Cross-process mode (one Release configuration):
+#   ./ci.sh --mode=multiprocess
+# Builds Release, runs the dist-subsystem tests (wire format, transport,
+# multi-process invariance and crash paths), then smoke-tests
+# `partition_tool --processes=3` and diffs its assignment byte-for-byte
+# against the in-process run — the execution mode must never change the
+# partitioning.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
 SANITIZE=""
+MODE=""
 for arg in "$@"; do
   case "${arg}" in
     --sanitize=asan) SANITIZE="address" ;;
@@ -21,12 +30,46 @@ for arg in "$@"; do
       echo "ci.sh: unknown sanitizer '${arg#--sanitize=}' (asan|tsan)" >&2
       exit 2
       ;;
+    --mode=multiprocess) MODE="multiprocess" ;;
+    --mode=*)
+      echo "ci.sh: unknown mode '${arg#--mode=}' (multiprocess)" >&2
+      exit 2
+      ;;
     *)
       echo "ci.sh: unknown argument '${arg}'" >&2
       exit 2
       ;;
   esac
 done
+
+if [[ -n "${MODE}" ]]; then
+  build_dir="build-ci-multiprocess"
+  echo "=== Release (-Werror, cross-process lane) ==="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DSPINNER_WERROR=ON
+  cmake --build "${build_dir}" -j "${JOBS}"
+
+  echo "=== dist-subsystem tests ==="
+  ctest --test-dir "${build_dir}" \
+    -R '^(WireFormat|Transport|MultiProcess)' \
+    --output-on-failure -j "${JOBS}"
+
+  echo "=== partition_tool --processes=3 smoke (byte-for-byte diff) ==="
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  "./${build_dir}/partition_tool" generate \
+    --out="${smoke_dir}/edges.txt" --vertices=5000 --seed=7
+  "./${build_dir}/partition_tool" partition \
+    --input="${smoke_dir}/edges.txt" --k=16 --seed=11 \
+    --out="${smoke_dir}/in_process.txt"
+  "./${build_dir}/partition_tool" partition \
+    --input="${smoke_dir}/edges.txt" --k=16 --seed=11 --processes=3 \
+    --out="${smoke_dir}/multi_process.txt"
+  cmp "${smoke_dir}/in_process.txt" "${smoke_dir}/multi_process.txt"
+  echo "ci.sh: multiprocess assignment is byte-identical to in-process"
+  exit 0
+fi
 
 if [[ -n "${SANITIZE}" ]]; then
   # RelWithDebInfo keeps sanitized tier1 runs fast while preserving

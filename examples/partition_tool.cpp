@@ -20,6 +20,9 @@
 //   # Score any partition file:
 //   ./partition_tool metrics --input=edges.txt --parts=parts.txt --k=32
 //
+//   # Generate a deterministic synthetic edge list (CI smoke, demos):
+//   ./partition_tool generate --out=edges.txt --vertices=5000 --seed=7
+//
 //   # List the registered partitioners:
 //   ./partition_tool list
 //
@@ -27,8 +30,9 @@
 // --seed (label-drawing partitioners), --stream-seed (arrival order of the
 // streaming baselines; 0 = natural id order), --workers,
 // --shards (graph-store shards for the parallel partitioners),
-// --threads (OS threads; both 0 = auto and neither changes results),
-// --balance=edges|vertices.
+// --threads (OS threads), --processes (fork N ShardWorker processes and
+// run cross-process; 0 = in-process — none of the execution-shape flags
+// changes results), --balance=edges|vertices.
 #include <cstdio>
 #include <string>
 
@@ -36,6 +40,7 @@
 #include "common/cli.h"
 #include "graph/conversion.h"
 #include "graph/edge_list.h"
+#include "graph/generators.h"
 #include "graph/graph_io.h"
 #include "graph/remap.h"
 #include "graph/stats.h"
@@ -52,7 +57,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: partition_tool <partition|adapt|rescale|metrics|list> "
+               "usage: partition_tool "
+               "<partition|adapt|rescale|metrics|generate|list> "
                "--input=<edges.txt> [flags]\n"
                "see the header of examples/partition_tool.cpp for the "
                "full flag list\n");
@@ -91,6 +97,7 @@ PartitionerOptions OptionsFrom(const CommandLine& cli) {
   // for every choice.
   options.num_shards = static_cast<int>(cli.GetInt("shards", 0));
   options.num_threads = static_cast<int>(cli.GetInt("threads", 0));
+  options.num_processes = static_cast<int>(cli.GetInt("processes", 0));
   if (cli.GetString("balance", "edges") == "vertices") {
     options.spinner.balance_mode = BalanceMode::kVertices;
     options.balance_on_edges = false;
@@ -115,6 +122,24 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   CommandLine cli;
   if (!cli.Parse(argc, argv).ok()) return Usage();
+
+  if (command == "generate") {
+    // Deterministic Watts-Strogatz edge list (the paper's scalability
+    // substrate) — lets CI scripts smoke-test the tool with no fixture.
+    const std::string out = cli.GetString("out", "");
+    if (out.empty()) return Usage();
+    auto generated = WattsStrogatz(
+        cli.GetInt("vertices", 5000),
+        static_cast<int>(cli.GetInt("degree", 6)) / 2, 0.3,
+        static_cast<uint64_t>(cli.GetInt("seed", 42)));
+    if (!generated.ok()) return Fail(generated.status());
+    Status s = graph_io::WriteEdgeList(out, generated->edges);
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %lld vertices / %zu edges to %s\n",
+                static_cast<long long>(generated->num_vertices),
+                generated->edges.size(), out.c_str());
+    return 0;
+  }
 
   if (command == "list") {
     for (const std::string& name : PartitionerRegistry::Names()) {

@@ -36,13 +36,16 @@ struct PartitionerOptions {
   /// edge balance so sweeps compare against Spinner's objective.
   bool balance_on_edges = true;
 
-  /// Parallel partitioners (spinner): shards of the graph store and OS
-  /// threads driving them; 0 = auto. Pure execution-shape knobs — results
-  /// never depend on them — threaded through so tools can say
-  /// --shards/--threads once for any implementation. Sequential baselines
-  /// ignore both.
+  /// Parallel partitioners (spinner): shards of the graph store, OS
+  /// threads driving them in-process, and worker processes for the
+  /// cross-process execution mode (num_processes > 0 forks that many
+  /// ShardWorkers speaking the dist wire protocol; 0 = in-process). Pure
+  /// execution-shape knobs — results never depend on them — threaded
+  /// through so tools can say --shards/--threads/--processes once for any
+  /// implementation. Sequential baselines ignore all three.
   int num_shards = 0;
   int num_threads = 0;
+  int num_processes = 0;
 
   /// Fennel: γ exponent and ν balance cap (WSDM'14 defaults).
   double fennel_gamma = 1.5;

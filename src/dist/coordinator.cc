@@ -1,0 +1,475 @@
+#include "dist/coordinator.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "dist/worker.h"
+#include "spinner/superstep_driver.h"
+
+namespace spinner::dist {
+
+namespace {
+
+int HardwareThreads() {
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+}  // namespace
+
+int ResolveNumWorkers(int requested, int num_shards) {
+  if (requested > 0) return requested;
+  return std::max(1, std::min(num_shards, HardwareThreads()));
+}
+
+Coordinator::~Coordinator() { ForceKill(); }
+
+Status Coordinator::Spawn(const SpinnerConfig& config,
+                          const ShardedGraphStore& store, int num_workers,
+                          const MultiProcessOptions& options) {
+  if (!workers_.empty()) {
+    return Status::FailedPrecondition("coordinator already spawned");
+  }
+  if (num_workers < 1) {
+    return Status::InvalidArgument(
+        StrFormat("num_workers must be >= 1 (got %d)", num_workers));
+  }
+  const int S = store.num_shards();
+  for (int w = 0; w < num_workers; ++w) {
+    auto pair = CreateSocketPair();
+    if (!pair.ok()) {
+      ForceKill();
+      return pair.status();
+    }
+    UnixSocket coordinator_end = std::move(pair->first);
+    UnixSocket worker_end = std::move(pair->second);
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ForceKill();
+      return Status::IOError("fork failed");
+    }
+    if (pid == 0) {
+      // Child: drop every descriptor that is not this worker's own
+      // connection, so a dead sibling's socket reads EOF promptly and the
+      // coordinator's death is observable.
+      coordinator_end.Close();
+      for (Worker& sibling : workers_) sibling.socket.Close();
+      _exit(RunShardWorkerLoop(worker_end.Release()));
+    }
+    worker_end.Close();
+    Worker worker;
+    worker.pid = pid;
+    worker.socket = std::move(coordinator_end);
+    // Contiguous ascending shard ranges per worker: replies received in
+    // worker order arrive in global shard order, which keeps every merge
+    // trivially in the fixed order the determinism contract requires.
+    const int begin = static_cast<int>(
+        static_cast<int64_t>(S) * w / num_workers);
+    const int end = static_cast<int>(
+        static_cast<int64_t>(S) * (w + 1) / num_workers);
+    for (int s = begin; s < end; ++s) {
+      worker.shards.push_back(static_cast<int32_t>(s));
+    }
+    workers_.push_back(std::move(worker));
+  }
+
+  // Shard slice download: each worker receives its Setup with the slices
+  // it owns (graph/binary_io SPSL encoding).
+  for (int w = 0; w < num_workers; ++w) {
+    SetupMessage setup;
+    setup.num_partitions = config.num_partitions;
+    setup.seed = config.seed;
+    setup.balance_on_vertices =
+        config.balance_mode == BalanceMode::kVertices ? 1 : 0;
+    setup.per_worker_async = config.per_worker_async ? 1 : 0;
+    setup.num_vertices = store.NumVertices();
+    setup.num_shards_total = S;
+    setup.owned_shards = workers_[w].shards;
+    if (w == options.fail_worker) {
+      setup.fail_after_score_steps = options.fail_after_score_steps;
+    }
+    // Slices are appended straight from the store — no intermediate
+    // per-shard CSR copies on the (per-lifecycle-call) spawn path.
+    const Status sent = SendTo(w, MessageType::kSetup,
+                               EncodeSetupFromStore(setup, store));
+    if (!sent.ok()) {
+      ForceKill();
+      return sent;
+    }
+  }
+  return Status::OK();
+}
+
+Status Coordinator::SendTo(int w, MessageType type,
+                           std::span<const uint8_t> payload) {
+  const Status status = SendFrame(workers_[static_cast<size_t>(w)].socket.fd(),
+                                  static_cast<uint32_t>(type), payload);
+  if (!status.ok()) {
+    return Status::IOError(StrFormat(
+        "worker %d (pid %d) unreachable: %s", w,
+        static_cast<int>(workers_[static_cast<size_t>(w)].pid),
+        status.message().c_str()));
+  }
+  return status;
+}
+
+Status Coordinator::SendToAll(MessageType type,
+                              std::span<const uint8_t> payload) {
+  for (int w = 0; w < num_workers(); ++w) {
+    SPINNER_RETURN_IF_ERROR(SendTo(w, type, payload));
+  }
+  return Status::OK();
+}
+
+Result<Frame> Coordinator::RecvFrom(int w, MessageType expected) {
+  Result<Frame> frame =
+      RecvFrame(workers_[static_cast<size_t>(w)].socket.fd());
+  if (!frame.ok()) {
+    return Status::IOError(StrFormat(
+        "worker %d (pid %d) died mid-superstep: %s", w,
+        static_cast<int>(workers_[static_cast<size_t>(w)].pid),
+        frame.status().message().c_str()));
+  }
+  if (frame->type == static_cast<uint32_t>(MessageType::kError)) {
+    auto error = ErrorMessage::Decode(frame->payload);
+    const std::string detail =
+        error.ok() ? error->ToStatus().ToString() : "unreadable error frame";
+    return Status::Internal(
+        StrFormat("worker %d reported: %s", w, detail.c_str()));
+  }
+  if (frame->type != static_cast<uint32_t>(expected)) {
+    return Status::Internal(StrFormat(
+        "worker %d sent frame type %u where %u was expected", w,
+        frame->type, static_cast<uint32_t>(expected)));
+  }
+  return frame;
+}
+
+Status Coordinator::Shutdown() {
+  Status first_error;
+  for (int w = 0; w < num_workers(); ++w) {
+    if (!workers_[static_cast<size_t>(w)].socket.valid()) continue;
+    Status status = SendTo(w, MessageType::kTeardown, {});
+    if (status.ok()) {
+      status = RecvFrom(w, MessageType::kTeardownAck).status();
+    }
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  if (!first_error.ok()) {
+    ForceKill();
+    return first_error;
+  }
+  // Ack received: the worker is on its way out; reap it.
+  for (Worker& worker : workers_) {
+    worker.socket.Close();
+    if (worker.pid > 0) {
+      int wstatus = 0;
+      (void)::waitpid(worker.pid, &wstatus, 0);
+      worker.pid = -1;
+    }
+  }
+  workers_.clear();
+  return Status::OK();
+}
+
+void Coordinator::ForceKill() {
+  for (Worker& worker : workers_) {
+    worker.socket.Close();
+    if (worker.pid > 0) {
+      (void)::kill(worker.pid, SIGKILL);
+      int wstatus = 0;
+      (void)::waitpid(worker.pid, &wstatus, 0);
+      worker.pid = -1;
+    }
+  }
+  workers_.clear();
+}
+
+namespace {
+
+/// The cross-process SuperstepBackend: each phase is one lockstep RPC
+/// round. The coordinator-side store is kept authoritative after every
+/// round (labels via slices/deltas, loads via the replies' vectors), so
+/// the driver's MergedLoads and history computations are untouched.
+class MultiProcessBackend final : public SuperstepBackend {
+ public:
+  MultiProcessBackend(const SpinnerConfig& config, ShardedGraphStore* store,
+                      Coordinator* coordinator)
+      : config_(config), store_(store), coordinator_(coordinator) {}
+
+  Status Initialize(const std::vector<PartitionId>& initial_labels,
+                    InitOutcome* out) override {
+    InitRequest request;
+    request.initial_labels = initial_labels;
+    SPINNER_RETURN_IF_ERROR(
+        coordinator_->SendToAll(MessageType::kInit, request.Encode()));
+    out->messages_out.assign(static_cast<size_t>(store_->num_shards()), 0);
+    for (int w = 0; w < coordinator_->num_workers(); ++w) {
+      SPINNER_ASSIGN_OR_RETURN(Frame frame,
+                               coordinator_->RecvFrom(
+                                   w, MessageType::kInitReply));
+      SPINNER_ASSIGN_OR_RETURN(ShardStateReply reply,
+                               ShardStateReply::Decode(frame.payload));
+      SPINNER_RETURN_IF_ERROR(ApplyShardStates(w, reply, out));
+    }
+    // Every worker now needs the other workers' initial label slices: one
+    // full-array broadcast seeds the mirrors; afterwards only deltas flow.
+    LabelsBroadcast broadcast;
+    broadcast.labels = store_->labels();
+    return coordinator_->SendToAll(MessageType::kLabels,
+                                   broadcast.Encode());
+  }
+
+  Status ComputeScores(int64_t superstep,
+                       const std::vector<int64_t>& global_loads,
+                       const std::vector<double>& capacities,
+                       ScoreOutcome* out) override {
+    ScoresRequest request;
+    request.superstep = superstep;
+    request.global_loads = global_loads;
+    request.capacities = capacities;
+    SPINNER_RETURN_IF_ERROR(
+        coordinator_->SendToAll(MessageType::kScores, request.Encode()));
+    out->block_score.assign(static_cast<size_t>(store_->NumBlocks()), 0.0);
+    out->local_weight = 0;
+    out->migration_counts.assign(
+        static_cast<size_t>(config_.num_partitions), 0);
+    for (int w = 0; w < coordinator_->num_workers(); ++w) {
+      SPINNER_ASSIGN_OR_RETURN(Frame frame,
+                               coordinator_->RecvFrom(
+                                   w, MessageType::kScoresReply));
+      SPINNER_ASSIGN_OR_RETURN(ScoresReply reply,
+                               ScoresReply::Decode(frame.payload));
+      if (static_cast<int>(reply.migration_counts.size()) !=
+          config_.num_partitions) {
+        return MalformedReply(w, "ScoresReply migration counters");
+      }
+      // Place the worker's per-block partials at their global block
+      // offsets (owned shards ascending — the order the worker wrote).
+      size_t cursor = 0;
+      for (const int32_t s : coordinator_->owned_shards(w)) {
+        const ShardedGraphStore::Shard& shard = store_->shard(s);
+        const int64_t block_begin =
+            shard.begin / ShardedGraphStore::kBlockSize;
+        const int64_t block_end =
+            (shard.end + ShardedGraphStore::kBlockSize - 1) /
+            ShardedGraphStore::kBlockSize;
+        const size_t count = static_cast<size_t>(block_end - block_begin);
+        if (cursor + count > reply.block_score.size()) {
+          return MalformedReply(w, "ScoresReply block scores");
+        }
+        std::copy(reply.block_score.begin() + cursor,
+                  reply.block_score.begin() + cursor + count,
+                  out->block_score.begin() + block_begin);
+        cursor += count;
+      }
+      if (cursor != reply.block_score.size()) {
+        return MalformedReply(w, "ScoresReply block scores");
+      }
+      out->local_weight += reply.local_weight;
+      for (size_t l = 0; l < out->migration_counts.size(); ++l) {
+        out->migration_counts[l] += reply.migration_counts[l];
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ComputeMigrations(int64_t superstep,
+                           const std::vector<int64_t>& global_loads,
+                           const std::vector<double>& capacities,
+                           const std::vector<int64_t>& migration_counts,
+                           MigrateOutcome* out) override {
+    MigrateRequest request;
+    request.superstep = superstep;
+    request.global_loads = global_loads;
+    request.capacities = capacities;
+    request.migration_counts = migration_counts;
+    SPINNER_RETURN_IF_ERROR(
+        coordinator_->SendToAll(MessageType::kMigrate, request.Encode()));
+    out->migrated = 0;
+    out->messages_out.assign(static_cast<size_t>(store_->num_shards()), 0);
+    ApplyDeltasMessage deltas;
+    std::vector<PartitionId>& labels = store_->labels();
+    for (int w = 0; w < coordinator_->num_workers(); ++w) {
+      SPINNER_ASSIGN_OR_RETURN(Frame frame,
+                               coordinator_->RecvFrom(
+                                   w, MessageType::kMigrateReply));
+      SPINNER_ASSIGN_OR_RETURN(MigrateReply reply,
+                               MigrateReply::Decode(frame.payload));
+      SPINNER_RETURN_IF_ERROR(CheckReplyShards(w, reply));
+      for (const ShardMigrateResult& result : reply.shards) {
+        const ShardedGraphStore::Shard& shard =
+            store_->shard(result.shard);
+        for (const LabelDelta& move : result.moves) {
+          if (move.vertex < shard.begin || move.vertex >= shard.end ||
+              move.label < 0 || move.label >= config_.num_partitions) {
+            return MalformedReply(w, "MigrateReply move");
+          }
+          labels[move.vertex] = move.label;
+        }
+        store_->mutable_shard(result.shard).loads = result.loads;
+        out->messages_out[result.shard] = result.messages;
+        out->migrated += result.migrated;
+        // Workers own contiguous ascending ranges and replies arrive in
+        // worker order, so appending preserves the fixed shard order.
+        deltas.moves.insert(deltas.moves.end(), result.moves.begin(),
+                            result.moves.end());
+      }
+    }
+    // Broadcast the merged deltas and gate the iteration on every mirror
+    // matching the coordinator's label array.
+    SPINNER_RETURN_IF_ERROR(coordinator_->SendToAll(
+        MessageType::kApplyDeltas, deltas.Encode()));
+    const uint64_t expected = ChecksumLabels(labels);
+    for (int w = 0; w < coordinator_->num_workers(); ++w) {
+      SPINNER_ASSIGN_OR_RETURN(Frame frame,
+                               coordinator_->RecvFrom(
+                                   w, MessageType::kDeltasAck));
+      SPINNER_ASSIGN_OR_RETURN(DeltasAck ack,
+                               DeltasAck::Decode(frame.payload));
+      if (ack.labels_checksum != expected) {
+        return Status::Internal(StrFormat(
+            "worker %d label mirror diverged after superstep %lld "
+            "(checksum %llx != %llx)",
+            w, static_cast<long long>(superstep),
+            static_cast<unsigned long long>(ack.labels_checksum),
+            static_cast<unsigned long long>(expected)));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Copies a ShardStateReply into the coordinator store (labels slice +
+  /// loads) after validating it against worker w's assignment. Used by
+  /// Initialize and the final snapshot verification (out == nullptr skips
+  /// the message counters).
+  Status ApplyShardStates(int w, const ShardStateReply& reply,
+                          InitOutcome* out) {
+    const std::vector<int32_t>& owned = coordinator_->owned_shards(w);
+    if (reply.shards.size() != owned.size()) {
+      return MalformedReply(w, "shard state count");
+    }
+    for (size_t i = 0; i < reply.shards.size(); ++i) {
+      const ShardState& state = reply.shards[i];
+      if (state.shard != owned[i]) {
+        return MalformedReply(w, "shard state ordering");
+      }
+      const ShardedGraphStore::Shard& shard = store_->shard(state.shard);
+      if (static_cast<int64_t>(state.labels.size()) !=
+              shard.NumOwnedVertices() ||
+          static_cast<int>(state.loads.size()) != config_.num_partitions) {
+        return MalformedReply(w, "shard state sizes");
+      }
+      std::copy(state.labels.begin(), state.labels.end(),
+                store_->labels().begin() + shard.begin);
+      store_->mutable_shard(state.shard).loads = state.loads;
+      if (out != nullptr) {
+        out->messages_out[state.shard] = state.messages;
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status CheckReplyShards(int w, const MigrateReply& reply) const {
+    const std::vector<int32_t>& owned = coordinator_->owned_shards(w);
+    if (reply.shards.size() != owned.size()) {
+      return MalformedReply(w, "migrate shard count");
+    }
+    for (size_t i = 0; i < reply.shards.size(); ++i) {
+      if (reply.shards[i].shard != owned[i] ||
+          static_cast<int>(reply.shards[i].loads.size()) !=
+              config_.num_partitions) {
+        return MalformedReply(w, "migrate shard entry");
+      }
+    }
+    return Status::OK();
+  }
+
+  static Status MalformedReply(int w, const char* what) {
+    return Status::Internal(
+        StrFormat("worker %d sent a malformed %s", w, what));
+  }
+
+  const SpinnerConfig& config_;
+  ShardedGraphStore* store_;
+  Coordinator* coordinator_;
+};
+
+/// Final cross-process consistency gate: every worker's shard state must
+/// equal the coordinator's merged view bit-for-bit.
+Status VerifyFinalSnapshots(Coordinator* coordinator,
+                            MultiProcessBackend* backend,
+                            ShardedGraphStore* store) {
+  SPINNER_RETURN_IF_ERROR(
+      coordinator->SendToAll(MessageType::kSnapshot, {}));
+  for (int w = 0; w < coordinator->num_workers(); ++w) {
+    SPINNER_ASSIGN_OR_RETURN(
+        Frame frame, coordinator->RecvFrom(w, MessageType::kSnapshotReply));
+    SPINNER_ASSIGN_OR_RETURN(ShardStateReply reply,
+                             ShardStateReply::Decode(frame.payload));
+    const std::vector<int32_t>& owned = coordinator->owned_shards(w);
+    if (reply.shards.size() != owned.size()) {
+      return Status::Internal(
+          StrFormat("worker %d snapshot shard count mismatch", w));
+    }
+    for (size_t i = 0; i < reply.shards.size(); ++i) {
+      const ShardState& state = reply.shards[i];
+      const ShardedGraphStore::Shard& shard = store->shard(owned[i]);
+      const bool labels_match =
+          state.shard == owned[i] &&
+          std::equal(state.labels.begin(), state.labels.end(),
+                     store->labels().begin() + shard.begin,
+                     store->labels().begin() + shard.end);
+      if (!labels_match || state.loads != shard.loads) {
+        return Status::Internal(StrFormat(
+            "worker %d shard %d final state diverged from the "
+            "coordinator's merged view",
+            w, static_cast<int>(owned[i])));
+      }
+    }
+  }
+  (void)backend;
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ShardedRunResult> RunMultiProcessSpinner(
+    const SpinnerConfig& config, ShardedGraphStore* store,
+    std::vector<PartitionId> initial_labels,
+    const MultiProcessOptions& options, const ProgressObserver* observer) {
+  SPINNER_CHECK(store != nullptr);
+  SPINNER_RETURN_IF_ERROR(config.Validate());
+  if (store->NumVertices() == 0) {
+    return Status::InvalidArgument("cannot partition an empty graph");
+  }
+  const int num_workers =
+      ResolveNumWorkers(options.num_workers, store->num_shards());
+  Coordinator coordinator;
+  SPINNER_RETURN_IF_ERROR(
+      coordinator.Spawn(config, *store, num_workers, options));
+  MultiProcessBackend backend(config, store, &coordinator);
+  Result<ShardedRunResult> run = DriveSpinnerSupersteps(
+      config, store, std::move(initial_labels), &backend, observer);
+  if (!run.ok()) {
+    coordinator.ForceKill();
+    return run.status();
+  }
+  const Status verified =
+      VerifyFinalSnapshots(&coordinator, &backend, store);
+  if (!verified.ok()) {
+    coordinator.ForceKill();
+    return verified;
+  }
+  SPINNER_RETURN_IF_ERROR(coordinator.Shutdown());
+  return run;
+}
+
+}  // namespace spinner::dist

@@ -1,0 +1,115 @@
+// Coordinator: the master side of the cross-process execution mode. It
+// forks ShardWorker processes connected by Unix-domain socket pairs,
+// downloads each worker's shard slices (Setup), and implements the
+// SuperstepBackend interface by turning every superstep phase into one
+// lockstep RPC round — so DriveSpinnerSupersteps runs the exact same
+// master schedule over processes as it does over ThreadPool tasks, and
+// RunMultiProcessSpinner is bit-identical to RunShardedSpinner for every
+// {num_shards, num_workers} (the invariance tests assert assignments AND
+// float φ/ρ/score histories).
+//
+// Failure contract: a worker that dies mid-superstep (EOF/EPIPE on its
+// socket) or sends a malformed reply surfaces as a non-OK Status from the
+// run — never a hang — and every remaining worker is force-killed and
+// reaped before the error returns. Cross-process state is verified, not
+// assumed: each iteration's delta broadcast is acknowledged with a label
+// checksum, and a final Snapshot round checks every worker's shard state
+// against the coordinator's merged view bit-for-bit.
+#ifndef SPINNER_DIST_COORDINATOR_H_
+#define SPINNER_DIST_COORDINATOR_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "dist/transport.h"
+#include "dist/wire_format.h"
+#include "graph/sharded_store.h"
+#include "spinner/config.h"
+#include "spinner/observer.h"
+#include "spinner/sharded_program.h"
+
+namespace spinner::dist {
+
+/// Execution-shape and test options of a multi-process run.
+struct MultiProcessOptions {
+  /// Worker processes to fork (0 = min(num_shards, hardware threads)).
+  int num_workers = 0;
+
+  /// Test hooks: worker `fail_worker` calls _exit(3) right before replying
+  /// to its (fail_after_score_steps+1)-th ComputeScores request — a
+  /// deterministic mid-superstep crash. -1 = never (the default).
+  int fail_after_score_steps = -1;
+  int fail_worker = 0;
+};
+
+/// The worker-process count a run should use; never affects results.
+int ResolveNumWorkers(int requested, int num_shards);
+
+/// Owns the worker processes of one multi-process run. Not thread-safe.
+class Coordinator {
+ public:
+  Coordinator() = default;
+  ~Coordinator();  // force-kills anything still alive
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Forks `num_workers` workers, assigns each a contiguous ascending
+  /// range of store shards, and sends each its Setup frame (config +
+  /// owned shard slices). On failure every already-forked worker is
+  /// killed and reaped.
+  Status Spawn(const SpinnerConfig& config, const ShardedGraphStore& store,
+               int num_workers, const MultiProcessOptions& options);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Global shard ids owned by worker `w`, ascending.
+  const std::vector<int32_t>& owned_shards(int w) const {
+    return workers_[static_cast<size_t>(w)].shards;
+  }
+
+  /// Sends one frame to worker `w` / to every worker.
+  Status SendTo(int w, MessageType type, std::span<const uint8_t> payload);
+  Status SendToAll(MessageType type, std::span<const uint8_t> payload);
+
+  /// Receives the next frame from worker `w` and checks its type. An
+  /// Error frame decodes into the worker's Status; EOF (a dead worker)
+  /// becomes an IOError naming the worker — callers never hang on a
+  /// crashed process.
+  Result<Frame> RecvFrom(int w, MessageType expected);
+
+  /// Clean teardown handshake + reap. Force-kills (and still reaps) every
+  /// worker if any step fails, then returns the first error.
+  Status Shutdown();
+
+  /// SIGKILLs and reaps every live worker (error paths; idempotent).
+  void ForceKill();
+
+ private:
+  struct Worker {
+    pid_t pid = -1;
+    UnixSocket socket;
+    std::vector<int32_t> shards;
+  };
+
+  std::vector<Worker> workers_;
+};
+
+/// Runs Spinner label propagation over `store` across forked worker
+/// processes — the cross-process sibling of RunShardedSpinner with the
+/// same contract: on success store->labels() holds the final assignment
+/// and every shard's load counters are consistent with it, and the result
+/// (assignment and float history) is bit-identical to the in-process path
+/// for every {num_shards, num_workers}. `observer` runs coordinator-side
+/// and may be null.
+Result<ShardedRunResult> RunMultiProcessSpinner(
+    const SpinnerConfig& config, ShardedGraphStore* store,
+    std::vector<PartitionId> initial_labels,
+    const MultiProcessOptions& options, const ProgressObserver* observer);
+
+}  // namespace spinner::dist
+
+#endif  // SPINNER_DIST_COORDINATOR_H_

@@ -1,0 +1,122 @@
+#include "dist/transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace spinner::dist {
+
+namespace {
+
+/// Header layout: magic u32 | type u32 | payload_size u64 (little-endian).
+constexpr size_t kHeaderSize = 16;
+
+Status SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a dead peer yields EPIPE instead of SIGPIPE, so a
+    // crashed worker surfaces as a Status the coordinator can act on.
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("send failed: %s", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `size` bytes. `*got_any` reports whether at least one byte
+/// arrived, distinguishing a clean peer close (EOF at a frame boundary)
+/// from a torn frame.
+Status RecvAll(int fd, uint8_t* data, size_t size, bool* got_any) {
+  size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd, data + received, size - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("recv failed: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::IOError(
+          received == 0 && !*got_any
+              ? "peer closed the connection"
+              : StrFormat("truncated frame: peer closed after %zu of %zu "
+                          "bytes",
+                          received, size));
+    }
+    *got_any = true;
+    received += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void UnixSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::pair<UnixSocket, UnixSocket>> CreateSocketPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::IOError(
+        StrFormat("socketpair failed: %s", std::strerror(errno)));
+  }
+  return std::make_pair(UnixSocket(fds[0]), UnixSocket(fds[1]));
+}
+
+Status SendFrame(int fd, uint32_t type, std::span<const uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrFormat("frame payload of %zu bytes exceeds the %llu-byte limit",
+                  payload.size(),
+                  static_cast<unsigned long long>(kMaxFramePayload)));
+  }
+  uint8_t header[kHeaderSize];
+  const uint32_t magic = kFrameMagic;
+  const uint64_t size = payload.size();
+  std::memcpy(header, &magic, sizeof(magic));
+  std::memcpy(header + 4, &type, sizeof(type));
+  std::memcpy(header + 8, &size, sizeof(size));
+  SPINNER_RETURN_IF_ERROR(SendAll(fd, header, sizeof(header)));
+  return SendAll(fd, payload.data(), payload.size());
+}
+
+Result<Frame> RecvFrame(int fd) {
+  uint8_t header[kHeaderSize];
+  bool got_any = false;
+  SPINNER_RETURN_IF_ERROR(
+      RecvAll(fd, header, sizeof(header), &got_any));
+  uint32_t magic = 0;
+  uint64_t size = 0;
+  Frame frame;
+  std::memcpy(&magic, header, sizeof(magic));
+  std::memcpy(&frame.type, header + 4, sizeof(frame.type));
+  std::memcpy(&size, header + 8, sizeof(size));
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic (stream desync?)");
+  }
+  if (size > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        StrFormat("oversized frame: header announces %llu bytes (limit "
+                  "%llu)",
+                  static_cast<unsigned long long>(size),
+                  static_cast<unsigned long long>(kMaxFramePayload)));
+  }
+  frame.payload.resize(static_cast<size_t>(size));
+  SPINNER_RETURN_IF_ERROR(
+      RecvAll(fd, frame.payload.data(), frame.payload.size(), &got_any));
+  return frame;
+}
+
+}  // namespace spinner::dist

@@ -1,0 +1,94 @@
+// Frame transport for the cross-process execution mode: length-prefixed
+// binary frames over Unix-domain stream sockets. This is the lowest layer
+// of the dist subsystem — it moves opaque byte payloads reliably (full
+// frames or a clean Status error, never a torn read) and knows nothing
+// about Spinner; message payload layouts live in dist/wire_format.h.
+//
+// Failure semantics are load-bearing for the coordinator's no-hang
+// guarantee: a peer that dies mid-superstep surfaces as an IOError from
+// RecvFrame (EOF / ECONNRESET) or SendFrame (EPIPE — sends use
+// MSG_NOSIGNAL, so a dead peer never raises SIGPIPE), and oversized or
+// truncated frames are rejected with a descriptive Status instead of
+// blocking on bytes that will never arrive.
+#ifndef SPINNER_DIST_TRANSPORT_H_
+#define SPINNER_DIST_TRANSPORT_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace spinner::dist {
+
+/// Owning wrapper for one end of an AF_UNIX stream socket (or any fd).
+class UnixSocket {
+ public:
+  UnixSocket() = default;
+  explicit UnixSocket(int fd) : fd_(fd) {}
+  ~UnixSocket() { Close(); }
+
+  UnixSocket(UnixSocket&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  UnixSocket& operator=(UnixSocket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  UnixSocket(const UnixSocket&) = delete;
+  UnixSocket& operator=(const UnixSocket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  void Close();
+
+  /// Gives up ownership of the fd without closing it (used by the forked
+  /// worker child, which inherits the descriptor across fork()).
+  int Release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected AF_UNIX SOCK_STREAM pair: .first stays with the
+/// coordinator, .second goes to the forked worker.
+Result<std::pair<UnixSocket, UnixSocket>> CreateSocketPair();
+
+/// Frame header magic ("SPMF" little-endian) — rejects desynchronized or
+/// foreign byte streams immediately.
+inline constexpr uint32_t kFrameMagic = 0x464d5053u;
+
+/// Hard ceiling on a frame payload. A header announcing more than this is
+/// rejected as malformed before any allocation, so a corrupt length field
+/// cannot OOM the receiver or stall it waiting for absent bytes.
+inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
+
+/// One decoded frame: a type tag (dist/wire_format.h's MessageType) and an
+/// opaque payload.
+struct Frame {
+  uint32_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Writes one frame: { magic u32 | type u32 | payload_size u64 | payload }.
+/// Blocks until fully written; IOError on a closed/dead peer.
+Status SendFrame(int fd, uint32_t type, std::span<const uint8_t> payload);
+
+/// Reads exactly one frame. IOError on EOF or a short read (peer died,
+/// truncated frame), InvalidArgument on bad magic or an oversized
+/// announced payload.
+Result<Frame> RecvFrame(int fd);
+
+}  // namespace spinner::dist
+
+#endif  // SPINNER_DIST_TRANSPORT_H_

@@ -1,0 +1,333 @@
+#include "dist/wire_format.h"
+
+#include <utility>
+
+#include "graph/binary_io.h"
+
+namespace spinner::dist {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::IOError(std::string("truncated or malformed ") + what +
+                         " payload");
+}
+
+/// LabelDelta has interior padding, so it is encoded field-by-field rather
+/// than memcpy'd — the wire must never carry uninitialized bytes.
+void PutMoves(WireWriter* w, const std::vector<LabelDelta>& moves) {
+  w->PutU64(moves.size());
+  for (const LabelDelta& m : moves) {
+    w->PutI64(m.vertex);
+    w->PutI32(m.label);
+  }
+}
+
+bool GetMoves(WireReader* r, std::vector<LabelDelta>* moves) {
+  uint64_t count = 0;
+  if (!r->GetU64(&count)) return false;
+  constexpr size_t kWireSize = sizeof(int64_t) + sizeof(int32_t);
+  if (count > r->remaining_bytes().size() / kWireSize) return false;
+  moves->resize(static_cast<size_t>(count));
+  for (LabelDelta& m : *moves) {
+    int64_t vertex = 0;
+    if (!r->GetI64(&vertex) || !r->GetI32(&m.label)) return false;
+    m.vertex = vertex;
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- SetupMessage --------------------------------------------------------
+
+void SetupMessage::EncodeHeader(WireWriter* w, uint64_t slice_count) const {
+  w->PutI32(num_partitions);
+  w->PutU64(seed);
+  w->PutU8(balance_on_vertices);
+  w->PutU8(per_worker_async);
+  w->PutI64(num_vertices);
+  w->PutI32(num_shards_total);
+  w->PutVector(owned_shards);
+  w->PutI32(fail_after_score_steps);
+  w->PutU64(slice_count);
+}
+
+std::vector<uint8_t> SetupMessage::Encode() const {
+  WireWriter w;
+  EncodeHeader(&w, shards.size());
+  for (const ShardedGraphStore::Shard& shard : shards) {
+    graph_io::AppendShardSlice(shard, &w.buffer());
+  }
+  return w.Take();
+}
+
+std::vector<uint8_t> EncodeSetupFromStore(const SetupMessage& header,
+                                          const ShardedGraphStore& store) {
+  WireWriter w;
+  header.EncodeHeader(&w, header.owned_shards.size());
+  for (const int32_t s : header.owned_shards) {
+    graph_io::AppendShardSlice(store.shard(s), &w.buffer());
+  }
+  return w.Take();
+}
+
+Result<SetupMessage> SetupMessage::Decode(std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  SetupMessage m;
+  uint64_t num_slices = 0;
+  if (!r.GetI32(&m.num_partitions) || !r.GetU64(&m.seed) ||
+      !r.GetU8(&m.balance_on_vertices) || !r.GetU8(&m.per_worker_async) ||
+      !r.GetI64(&m.num_vertices) || !r.GetI32(&m.num_shards_total) ||
+      !r.GetVector(&m.owned_shards) ||
+      !r.GetI32(&m.fail_after_score_steps) || !r.GetU64(&num_slices)) {
+    return Truncated("Setup");
+  }
+  if (num_slices != m.owned_shards.size()) {
+    return Status::InvalidArgument(
+        "Setup: slice count does not match owned shard count");
+  }
+  m.shards.reserve(static_cast<size_t>(num_slices));
+  size_t consumed = r.position();
+  for (uint64_t i = 0; i < num_slices; ++i) {
+    SPINNER_ASSIGN_OR_RETURN(ShardedGraphStore::Shard shard,
+                             graph_io::DecodeShardSlice(payload, &consumed));
+    m.shards.push_back(std::move(shard));
+  }
+  return m;
+}
+
+SpinnerConfig SetupMessage::ToConfig() const {
+  SpinnerConfig config;
+  config.num_partitions = num_partitions;
+  config.seed = seed;
+  config.balance_mode = balance_on_vertices != 0 ? BalanceMode::kVertices
+                                                 : BalanceMode::kEdges;
+  config.per_worker_async = per_worker_async != 0;
+  return config;
+}
+
+// --- InitRequest ---------------------------------------------------------
+
+std::vector<uint8_t> InitRequest::Encode() const {
+  WireWriter w;
+  w.PutVector(initial_labels);
+  return w.Take();
+}
+
+Result<InitRequest> InitRequest::Decode(std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  InitRequest m;
+  if (!r.GetVector(&m.initial_labels)) return Truncated("Init");
+  return m;
+}
+
+// --- ShardStateReply -----------------------------------------------------
+
+std::vector<uint8_t> ShardStateReply::Encode() const {
+  WireWriter w;
+  w.PutU64(shards.size());
+  for (const ShardState& s : shards) {
+    w.PutI32(s.shard);
+    w.PutVector(s.labels);
+    w.PutVector(s.loads);
+    w.PutI64(s.messages);
+  }
+  return w.Take();
+}
+
+Result<ShardStateReply> ShardStateReply::Decode(
+    std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  ShardStateReply m;
+  uint64_t count = 0;
+  if (!r.GetU64(&count)) return Truncated("ShardState reply");
+  for (uint64_t i = 0; i < count; ++i) {
+    ShardState s;
+    if (!r.GetI32(&s.shard) || !r.GetVector(&s.labels) ||
+        !r.GetVector(&s.loads) || !r.GetI64(&s.messages)) {
+      return Truncated("ShardState reply");
+    }
+    m.shards.push_back(std::move(s));
+  }
+  return m;
+}
+
+// --- LabelsBroadcast -----------------------------------------------------
+
+std::vector<uint8_t> LabelsBroadcast::Encode() const {
+  WireWriter w;
+  w.PutVector(labels);
+  return w.Take();
+}
+
+Result<LabelsBroadcast> LabelsBroadcast::Decode(
+    std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  LabelsBroadcast m;
+  if (!r.GetVector(&m.labels)) return Truncated("Labels");
+  return m;
+}
+
+// --- ScoresRequest / ScoresReply -----------------------------------------
+
+std::vector<uint8_t> ScoresRequest::Encode() const {
+  WireWriter w;
+  w.PutI64(superstep);
+  w.PutVector(global_loads);
+  w.PutVector(capacities);
+  return w.Take();
+}
+
+Result<ScoresRequest> ScoresRequest::Decode(
+    std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  ScoresRequest m;
+  if (!r.GetI64(&m.superstep) || !r.GetVector(&m.global_loads) ||
+      !r.GetVector(&m.capacities)) {
+    return Truncated("Scores");
+  }
+  return m;
+}
+
+std::vector<uint8_t> ScoresReply::Encode() const {
+  WireWriter w;
+  w.PutVector(block_score);
+  w.PutI64(local_weight);
+  w.PutVector(migration_counts);
+  return w.Take();
+}
+
+Result<ScoresReply> ScoresReply::Decode(std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  ScoresReply m;
+  if (!r.GetVector(&m.block_score) || !r.GetI64(&m.local_weight) ||
+      !r.GetVector(&m.migration_counts)) {
+    return Truncated("ScoresReply");
+  }
+  return m;
+}
+
+// --- MigrateRequest / MigrateReply ---------------------------------------
+
+std::vector<uint8_t> MigrateRequest::Encode() const {
+  WireWriter w;
+  w.PutI64(superstep);
+  w.PutVector(global_loads);
+  w.PutVector(capacities);
+  w.PutVector(migration_counts);
+  return w.Take();
+}
+
+Result<MigrateRequest> MigrateRequest::Decode(
+    std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  MigrateRequest m;
+  if (!r.GetI64(&m.superstep) || !r.GetVector(&m.global_loads) ||
+      !r.GetVector(&m.capacities) || !r.GetVector(&m.migration_counts)) {
+    return Truncated("Migrate");
+  }
+  return m;
+}
+
+std::vector<uint8_t> MigrateReply::Encode() const {
+  WireWriter w;
+  w.PutU64(shards.size());
+  for (const ShardMigrateResult& s : shards) {
+    w.PutI32(s.shard);
+    PutMoves(&w, s.moves);
+    w.PutVector(s.loads);
+    w.PutI64(s.migrated);
+    w.PutI64(s.messages);
+  }
+  return w.Take();
+}
+
+Result<MigrateReply> MigrateReply::Decode(std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  MigrateReply m;
+  uint64_t count = 0;
+  if (!r.GetU64(&count)) return Truncated("MigrateReply");
+  for (uint64_t i = 0; i < count; ++i) {
+    ShardMigrateResult s;
+    if (!r.GetI32(&s.shard) || !GetMoves(&r, &s.moves) ||
+        !r.GetVector(&s.loads) || !r.GetI64(&s.migrated) ||
+        !r.GetI64(&s.messages)) {
+      return Truncated("MigrateReply");
+    }
+    m.shards.push_back(std::move(s));
+  }
+  return m;
+}
+
+// --- ApplyDeltas / DeltasAck ---------------------------------------------
+
+std::vector<uint8_t> ApplyDeltasMessage::Encode() const {
+  WireWriter w;
+  PutMoves(&w, moves);
+  return w.Take();
+}
+
+Result<ApplyDeltasMessage> ApplyDeltasMessage::Decode(
+    std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  ApplyDeltasMessage m;
+  if (!GetMoves(&r, &m.moves)) return Truncated("ApplyDeltas");
+  return m;
+}
+
+std::vector<uint8_t> DeltasAck::Encode() const {
+  WireWriter w;
+  w.PutU64(labels_checksum);
+  return w.Take();
+}
+
+Result<DeltasAck> DeltasAck::Decode(std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  DeltasAck m;
+  if (!r.GetU64(&m.labels_checksum)) return Truncated("DeltasAck");
+  return m;
+}
+
+// --- ErrorMessage --------------------------------------------------------
+
+std::vector<uint8_t> ErrorMessage::Encode() const {
+  WireWriter w;
+  w.PutI32(code);
+  w.PutString(message);
+  return w.Take();
+}
+
+Result<ErrorMessage> ErrorMessage::Decode(std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  ErrorMessage m;
+  if (!r.GetI32(&m.code) || !r.GetString(&m.message)) {
+    return Truncated("Error");
+  }
+  return m;
+}
+
+ErrorMessage ErrorMessage::FromStatus(const Status& status) {
+  ErrorMessage m;
+  m.code = static_cast<int32_t>(status.code());
+  m.message = status.message();
+  return m;
+}
+
+Status ErrorMessage::ToStatus() const {
+  return Status(static_cast<StatusCode>(code), message);
+}
+
+uint64_t ChecksumLabels(std::span<const PartitionId> labels) {
+  // FNV-1a over the raw label bytes.
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto* p = reinterpret_cast<const uint8_t*>(labels.data());
+  const size_t size = labels.size() * sizeof(PartitionId);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace spinner::dist

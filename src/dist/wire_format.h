@@ -1,0 +1,330 @@
+// Message layer of the cross-process wire protocol: typed payload codecs
+// for every frame the coordinator and ShardWorker processes exchange
+// (dist/transport.h moves the bytes). The protocol is a strict lockstep
+// RPC per superstep phase, mirroring the SuperstepBackend interface
+// (spinner/superstep_driver.h) on the wire:
+//
+//   Setup          c→w   config + downloaded shard slices (binary_io SPSL)
+//   Init           c→w   initial/restart labels
+//   InitReply      w→c   per-shard label slices + load vectors + messages
+//   Labels         c→w   merged full label array (once, after Init)
+//   Scores         c→w   superstep, frozen global loads, capacities
+//   ScoresReply    w→c   per-block score partials, φ partial, migration
+//                        counters
+//   Migrate        c→w   superstep, frozen loads, capacities, merged
+//                        migration counters
+//   MigrateReply   w→c   label deltas + per-shard load vectors + counters
+//   ApplyDeltas    c→w   merged label deltas of ALL shards
+//   DeltasAck      w→c   label-array checksum (cross-process consistency
+//                        gate, verified every iteration)
+//   Snapshot       c→w   final state request
+//   SnapshotReply  w→c   per-shard label slices + load vectors
+//   Teardown       c→w   clean shutdown request
+//   TeardownAck    w→c   worker is about to exit 0
+//   Error          w→c   Status code + message (decode/validation failure)
+//
+// Everything is little-endian; vectors are u64-count-prefixed and counts
+// are validated against the remaining payload before any allocation. See
+// docs/WIRE_FORMAT.md for the full byte-level layout.
+#ifndef SPINNER_DIST_WIRE_FORMAT_H_
+#define SPINNER_DIST_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/sharded_store.h"
+#include "graph/types.h"
+#include "spinner/config.h"
+#include "spinner/shard_superstep.h"
+
+namespace spinner::dist {
+
+/// Frame type tags (the u32 `type` of dist/transport.h frames).
+enum class MessageType : uint32_t {
+  kError = 0,
+  kSetup = 1,
+  kInit = 2,
+  kInitReply = 3,
+  kLabels = 4,
+  kScores = 5,
+  kScoresReply = 6,
+  kMigrate = 7,
+  kMigrateReply = 8,
+  kApplyDeltas = 9,
+  kDeltasAck = 10,
+  kSnapshot = 11,
+  kSnapshotReply = 12,
+  kTeardown = 13,
+  kTeardownAck = 14,
+};
+
+/// Appends primitive values and count-prefixed vectors to a payload buffer.
+class WireWriter {
+ public:
+  void PutU8(uint8_t v) { PutRaw(v); }
+  void PutU32(uint32_t v) { PutRaw(v); }
+  void PutU64(uint64_t v) { PutRaw(v); }
+  void PutI32(int32_t v) { PutRaw(v); }
+  void PutI64(int64_t v) { PutRaw(v); }
+  void PutDouble(double v) { PutRaw(v); }
+
+  template <typename T>
+  void PutVector(const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PutU64(values.size());
+    Append(values.data(), values.size() * sizeof(T));
+  }
+
+  void PutString(const std::string& s) {
+    PutU64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Appends pre-encoded bytes verbatim (e.g. a binary_io shard slice).
+  void PutBytes(std::span<const uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  std::vector<uint8_t>& buffer() { return buf_; }
+
+ private:
+  template <typename T>
+  void PutRaw(const T& value) {
+    Append(&value, sizeof(T));
+  }
+
+  /// resize + memcpy rather than insert(iter, ptr, ptr): identical
+  /// behavior without tripping GCC's stringop-overflow false positive on
+  /// reinterpret_cast'ed ranges. The size == 0 guard keeps memcpy away
+  /// from the null data() of empty vectors (UB even for zero bytes).
+  void Append(const void* data, size_t size) {
+    if (size == 0) return;
+    const size_t old_size = buf_.size();
+    buf_.resize(old_size + size);
+    std::memcpy(buf_.data() + old_size, data, size);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Truncation-checked reader over a payload. Every Get returns false on a
+/// short or malformed buffer; vector counts are validated against the
+/// remaining bytes BEFORE allocating, so a corrupt count cannot OOM.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool GetU8(uint8_t* v) { return GetRaw(v); }
+  bool GetU32(uint32_t* v) { return GetRaw(v); }
+  bool GetU64(uint64_t* v) { return GetRaw(v); }
+  bool GetI32(int32_t* v) { return GetRaw(v); }
+  bool GetI64(int64_t* v) { return GetRaw(v); }
+  bool GetDouble(double* v) { return GetRaw(v); }
+
+  template <typename T>
+  bool GetVector(std::vector<T>* values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    if (!GetU64(&count)) return false;
+    if (count > (bytes_.size() - pos_) / sizeof(T)) return false;
+    values->resize(static_cast<size_t>(count));
+    if (count == 0) return true;  // empty data() may be null; skip memcpy
+    std::memcpy(values->data(), bytes_.data() + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint64_t count = 0;
+    if (!GetU64(&count)) return false;
+    if (count > bytes_.size() - pos_) return false;
+    s->assign(reinterpret_cast<const char*>(bytes_.data() + pos_),
+              static_cast<size_t>(count));
+    pos_ += count;
+    return true;
+  }
+
+  std::span<const uint8_t> remaining_bytes() const {
+    return bytes_.subspan(pos_);
+  }
+  size_t position() const { return pos_; }
+  void Advance(size_t n) { pos_ += n; }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  template <typename T>
+  bool GetRaw(T* value) {
+    if (bytes_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+// --- Message payloads ----------------------------------------------------
+
+/// Setup: everything a worker needs to execute its shards — the algorithm
+/// config fields the shard superstep kernels read, the global topology
+/// sizes, and the owned shard slices (binary_io SPSL encoding).
+struct SetupMessage {
+  int32_t num_partitions = 0;
+  uint64_t seed = 0;
+  uint8_t balance_on_vertices = 0;  // BalanceMode::kVertices
+  uint8_t per_worker_async = 1;
+  int64_t num_vertices = 0;
+  int32_t num_shards_total = 0;
+  /// Global shard ids of the slices below, ascending.
+  std::vector<int32_t> owned_shards;
+  std::vector<ShardedGraphStore::Shard> shards;
+  /// Test hook: _exit(3) right before replying to the
+  /// (fail_after_score_steps+1)-th Scores request; -1 = never.
+  int32_t fail_after_score_steps = -1;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<SetupMessage> Decode(std::span<const uint8_t> payload);
+
+  /// The SpinnerConfig subset the shard superstep kernels read.
+  SpinnerConfig ToConfig() const;
+
+ private:
+  friend std::vector<uint8_t> EncodeSetupFromStore(
+      const SetupMessage& header, const ShardedGraphStore& store);
+  /// The fixed fields + owned_shards + `slice_count`, everything up to
+  /// the slices themselves.
+  void EncodeHeader(WireWriter* w, uint64_t slice_count) const;
+};
+
+/// Encodes a Setup payload whose slices are appended straight from
+/// `store` for `header.owned_shards` (header.shards stays empty) — the
+/// coordinator's send path, which must not deep-copy every CSR slice
+/// into an intermediate SetupMessage first.
+std::vector<uint8_t> EncodeSetupFromStore(const SetupMessage& header,
+                                          const ShardedGraphStore& store);
+
+struct InitRequest {
+  /// SpinnerProgram initial-label contract: entries < size() that are not
+  /// kNoPartition are fixed restart labels; everything else hash-draws.
+  std::vector<PartitionId> initial_labels;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<InitRequest> Decode(std::span<const uint8_t> payload);
+};
+
+/// One shard's mutable run state: its label slice and load counters. Used
+/// by InitReply and SnapshotReply (messages = label-advertisement count for
+/// Init, 0 for snapshots).
+struct ShardState {
+  int32_t shard = 0;
+  std::vector<PartitionId> labels;  // [begin, end) slice
+  std::vector<int64_t> loads;       // k entries
+  int64_t messages = 0;
+};
+
+struct ShardStateReply {
+  std::vector<ShardState> shards;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ShardStateReply> Decode(std::span<const uint8_t> payload);
+};
+
+struct LabelsBroadcast {
+  std::vector<PartitionId> labels;  // full array, one entry per vertex
+
+  std::vector<uint8_t> Encode() const;
+  static Result<LabelsBroadcast> Decode(std::span<const uint8_t> payload);
+};
+
+struct ScoresRequest {
+  int64_t superstep = 0;
+  std::vector<int64_t> global_loads;
+  std::vector<double> capacities;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ScoresRequest> Decode(std::span<const uint8_t> payload);
+};
+
+struct ScoresReply {
+  /// Per-block score partials of the worker's owned blocks, concatenated
+  /// over owned shards in ascending shard order (block ranges are implied
+  /// by the shard ranges the coordinator assigned).
+  std::vector<double> block_score;
+  int64_t local_weight = 0;
+  /// Migration counters merged over the worker's shards (integer adds are
+  /// order-free, so per-worker merging cannot perturb determinism).
+  std::vector<int64_t> migration_counts;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ScoresReply> Decode(std::span<const uint8_t> payload);
+};
+
+struct MigrateRequest {
+  int64_t superstep = 0;
+  std::vector<int64_t> global_loads;
+  std::vector<double> capacities;
+  std::vector<int64_t> migration_counts;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MigrateRequest> Decode(std::span<const uint8_t> payload);
+};
+
+/// One shard's migration outcome: the label deltas it applied (ascending
+/// vertex order), its post-migration load vector, and counters.
+struct ShardMigrateResult {
+  int32_t shard = 0;
+  std::vector<LabelDelta> moves;
+  std::vector<int64_t> loads;
+  int64_t migrated = 0;
+  int64_t messages = 0;
+};
+
+struct MigrateReply {
+  std::vector<ShardMigrateResult> shards;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<MigrateReply> Decode(std::span<const uint8_t> payload);
+};
+
+struct ApplyDeltasMessage {
+  /// Label deltas of ALL shards this superstep, in fixed shard order.
+  std::vector<LabelDelta> moves;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ApplyDeltasMessage> Decode(std::span<const uint8_t> payload);
+};
+
+struct DeltasAck {
+  /// FNV-1a over the worker's full label array after applying the deltas;
+  /// must equal the coordinator's own checksum.
+  uint64_t labels_checksum = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<DeltasAck> Decode(std::span<const uint8_t> payload);
+};
+
+struct ErrorMessage {
+  int32_t code = 0;  // StatusCode
+  std::string message;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ErrorMessage> Decode(std::span<const uint8_t> payload);
+
+  static ErrorMessage FromStatus(const Status& status);
+  Status ToStatus() const;
+};
+
+/// FNV-1a over the raw label bytes — the per-iteration cross-process
+/// consistency checksum carried by DeltasAck.
+uint64_t ChecksumLabels(std::span<const PartitionId> labels);
+
+}  // namespace spinner::dist
+
+#endif  // SPINNER_DIST_WIRE_FORMAT_H_

@@ -1,0 +1,303 @@
+#include "dist/worker.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "dist/transport.h"
+#include "dist/wire_format.h"
+#include "spinner/shard_superstep.h"
+
+namespace spinner::dist {
+
+namespace {
+
+/// Per-connection worker state machine. One instance per process lifetime;
+/// the coordinator speaks the protocol in a fixed order (Setup first), and
+/// every handler re-validates payloads against the Setup topology.
+class ShardWorker {
+ public:
+  explicit ShardWorker(int fd) : fd_(fd) {}
+
+  /// Protocol loop; see RunShardWorkerLoop for the exit-code contract.
+  int Run() {
+    for (;;) {
+      Result<Frame> frame = RecvFrame(fd_);
+      if (!frame.ok()) return 2;  // coordinator died or stream corrupt
+      Status status = Status::OK();
+      bool teardown = false;
+      switch (static_cast<MessageType>(frame->type)) {
+        case MessageType::kSetup:
+          status = HandleSetup(frame->payload);
+          break;
+        case MessageType::kInit:
+          status = HandleInit(frame->payload);
+          break;
+        case MessageType::kLabels:
+          status = HandleLabels(frame->payload);
+          break;
+        case MessageType::kScores:
+          status = HandleScores(frame->payload);
+          break;
+        case MessageType::kMigrate:
+          status = HandleMigrate(frame->payload);
+          break;
+        case MessageType::kApplyDeltas:
+          status = HandleApplyDeltas(frame->payload);
+          break;
+        case MessageType::kSnapshot:
+          status = HandleSnapshot();
+          break;
+        case MessageType::kTeardown:
+          status = SendFrame(fd_, static_cast<uint32_t>(
+                                      MessageType::kTeardownAck),
+                             {});
+          teardown = true;
+          break;
+        default:
+          status = Status::InvalidArgument(StrFormat(
+              "worker received unexpected frame type %u", frame->type));
+          break;
+      }
+      if (!status.ok()) {
+        // Best-effort error report; the coordinator may already be gone.
+        const std::vector<uint8_t> payload =
+            ErrorMessage::FromStatus(status).Encode();
+        (void)SendFrame(fd_, static_cast<uint32_t>(MessageType::kError),
+                        payload);
+        return 1;
+      }
+      if (teardown) return 0;
+    }
+  }
+
+ private:
+  Status CheckSetup() const {
+    if (!setup_done_) {
+      return Status::FailedPrecondition(
+          "worker received a run message before Setup");
+    }
+    return Status::OK();
+  }
+
+  Status CheckPerPartition(const std::vector<int64_t>& v,
+                           const char* what) const {
+    if (static_cast<int>(v.size()) != config_.num_partitions) {
+      return Status::InvalidArgument(
+          StrFormat("%s carries %zu entries for k=%d", what, v.size(),
+                    config_.num_partitions));
+    }
+    return Status::OK();
+  }
+
+  Status HandleSetup(std::span<const uint8_t> payload) {
+    if (setup_done_) {
+      return Status::FailedPrecondition("worker already set up");
+    }
+    SPINNER_ASSIGN_OR_RETURN(SetupMessage setup,
+                             SetupMessage::Decode(payload));
+    if (setup.num_partitions < 1 || setup.num_vertices < 0 ||
+        setup.num_shards_total < 1) {
+      return Status::InvalidArgument("Setup: nonsensical topology counts");
+    }
+    for (size_t i = 0; i < setup.shards.size(); ++i) {
+      const ShardedGraphStore::Shard& shard = setup.shards[i];
+      if (setup.owned_shards[i] < 0 ||
+          setup.owned_shards[i] >= setup.num_shards_total ||
+          shard.end > setup.num_vertices) {
+        return Status::InvalidArgument(
+            "Setup: shard slice outside the declared topology");
+      }
+      for (const VertexId t : shard.targets) {
+        if (t < 0 || t >= setup.num_vertices) {
+          return Status::InvalidArgument(
+              "Setup: shard slice target outside the vertex range");
+        }
+      }
+    }
+    config_ = setup.ToConfig();
+    n_ = setup.num_vertices;
+    owned_shards_ = std::move(setup.owned_shards);
+    shards_ = std::move(setup.shards);
+    fail_after_score_steps_ = setup.fail_after_score_steps;
+    labels_.assign(static_cast<size_t>(n_), kNoPartition);
+    candidate_.assign(static_cast<size_t>(n_), kNoPartition);
+    const int64_t blocks =
+        (n_ + ShardedGraphStore::kBlockSize - 1) /
+        ShardedGraphStore::kBlockSize;
+    block_score_.assign(static_cast<size_t>(blocks), 0.0);
+    scratch_.resize(shards_.size());
+    for (ShardScratch& sc : scratch_) sc.Prepare(config_.num_partitions);
+    setup_done_ = true;
+    return Status::OK();
+  }
+
+  Status HandleInit(std::span<const uint8_t> payload) {
+    SPINNER_RETURN_IF_ERROR(CheckSetup());
+    SPINNER_ASSIGN_OR_RETURN(InitRequest request,
+                             InitRequest::Decode(payload));
+    if (static_cast<int64_t>(request.initial_labels.size()) > n_) {
+      return Status::InvalidArgument(
+          "Init: more initial labels than vertices");
+    }
+    ShardStateReply reply;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      ShardedGraphStore::Shard& shard = shards_[i];
+      const int64_t messages = ShardInitialize(config_, &shard, labels_,
+                                               request.initial_labels);
+      ShardState state;
+      state.shard = owned_shards_[i];
+      state.labels.assign(labels_.begin() + shard.begin,
+                          labels_.begin() + shard.end);
+      state.loads = shard.loads;
+      state.messages = messages;
+      reply.shards.push_back(std::move(state));
+    }
+    return SendFrame(fd_, static_cast<uint32_t>(MessageType::kInitReply),
+                     reply.Encode());
+  }
+
+  Status HandleLabels(std::span<const uint8_t> payload) {
+    SPINNER_RETURN_IF_ERROR(CheckSetup());
+    SPINNER_ASSIGN_OR_RETURN(LabelsBroadcast broadcast,
+                             LabelsBroadcast::Decode(payload));
+    if (static_cast<int64_t>(broadcast.labels.size()) != n_) {
+      return Status::InvalidArgument(
+          StrFormat("Labels: %zu labels for %lld vertices",
+                    broadcast.labels.size(), static_cast<long long>(n_)));
+    }
+    labels_ = std::move(broadcast.labels);
+    return Status::OK();
+  }
+
+  Status HandleScores(std::span<const uint8_t> payload) {
+    SPINNER_RETURN_IF_ERROR(CheckSetup());
+    SPINNER_ASSIGN_OR_RETURN(ScoresRequest request,
+                             ScoresRequest::Decode(payload));
+    SPINNER_RETURN_IF_ERROR(
+        CheckPerPartition(request.global_loads, "Scores loads"));
+    if (static_cast<int>(request.capacities.size()) !=
+        config_.num_partitions) {
+      return Status::InvalidArgument("Scores: capacity vector size");
+    }
+    if (fail_after_score_steps_ >= 0 &&
+        scores_seen_ == fail_after_score_steps_) {
+      // Test hook: simulate a worker crash mid-superstep — after the
+      // request was consumed, before any reply reaches the coordinator.
+      _exit(3);
+    }
+    ++scores_seen_;
+    ScoresReply reply;
+    reply.local_weight = 0;
+    reply.migration_counts.assign(
+        static_cast<size_t>(config_.num_partitions), 0);
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const ShardedGraphStore::Shard& shard = shards_[i];
+      ShardComputeScores(config_, shard, labels_, request.global_loads,
+                         request.capacities, request.superstep, candidate_,
+                         block_score_, &scratch_[i]);
+      const int64_t block_begin =
+          shard.begin / ShardedGraphStore::kBlockSize;
+      const int64_t block_end =
+          (shard.end + ShardedGraphStore::kBlockSize - 1) /
+          ShardedGraphStore::kBlockSize;
+      reply.block_score.insert(reply.block_score.end(),
+                               block_score_.begin() + block_begin,
+                               block_score_.begin() + block_end);
+      reply.local_weight += scratch_[i].local_weight;
+      for (size_t l = 0; l < reply.migration_counts.size(); ++l) {
+        reply.migration_counts[l] += scratch_[i].migrations[l];
+      }
+    }
+    return SendFrame(fd_, static_cast<uint32_t>(MessageType::kScoresReply),
+                     reply.Encode());
+  }
+
+  Status HandleMigrate(std::span<const uint8_t> payload) {
+    SPINNER_RETURN_IF_ERROR(CheckSetup());
+    SPINNER_ASSIGN_OR_RETURN(MigrateRequest request,
+                             MigrateRequest::Decode(payload));
+    SPINNER_RETURN_IF_ERROR(
+        CheckPerPartition(request.global_loads, "Migrate loads"));
+    SPINNER_RETURN_IF_ERROR(
+        CheckPerPartition(request.migration_counts, "Migrate counters"));
+    if (static_cast<int>(request.capacities.size()) !=
+        config_.num_partitions) {
+      return Status::InvalidArgument("Migrate: capacity vector size");
+    }
+    MigrateReply reply;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      ShardMigrateResult result;
+      result.shard = owned_shards_[i];
+      ShardComputeMigrations(config_, &shards_[i], labels_,
+                             request.global_loads, request.capacities,
+                             request.migration_counts, request.superstep,
+                             candidate_, &result.moves, &scratch_[i]);
+      result.loads = shards_[i].loads;
+      result.migrated = scratch_[i].migrated;
+      result.messages = scratch_[i].messages;
+      reply.shards.push_back(std::move(result));
+    }
+    return SendFrame(fd_,
+                     static_cast<uint32_t>(MessageType::kMigrateReply),
+                     reply.Encode());
+  }
+
+  Status HandleApplyDeltas(std::span<const uint8_t> payload) {
+    SPINNER_RETURN_IF_ERROR(CheckSetup());
+    SPINNER_ASSIGN_OR_RETURN(ApplyDeltasMessage deltas,
+                             ApplyDeltasMessage::Decode(payload));
+    // Own moves were already applied by HandleMigrate; re-applying them is
+    // idempotent, so the whole broadcast is applied uniformly.
+    for (const LabelDelta& move : deltas.moves) {
+      if (move.vertex < 0 || move.vertex >= n_ || move.label < 0 ||
+          move.label >= config_.num_partitions) {
+        return Status::InvalidArgument("ApplyDeltas: move out of range");
+      }
+      labels_[move.vertex] = move.label;
+    }
+    DeltasAck ack;
+    ack.labels_checksum = ChecksumLabels(labels_);
+    return SendFrame(fd_, static_cast<uint32_t>(MessageType::kDeltasAck),
+                     ack.Encode());
+  }
+
+  Status HandleSnapshot() {
+    SPINNER_RETURN_IF_ERROR(CheckSetup());
+    ShardStateReply reply;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      const ShardedGraphStore::Shard& shard = shards_[i];
+      ShardState state;
+      state.shard = owned_shards_[i];
+      state.labels.assign(labels_.begin() + shard.begin,
+                          labels_.begin() + shard.end);
+      state.loads = shard.loads;
+      reply.shards.push_back(std::move(state));
+    }
+    return SendFrame(fd_,
+                     static_cast<uint32_t>(MessageType::kSnapshotReply),
+                     reply.Encode());
+  }
+
+  int fd_;
+  bool setup_done_ = false;
+  SpinnerConfig config_;
+  int64_t n_ = 0;
+  std::vector<int32_t> owned_shards_;
+  std::vector<ShardedGraphStore::Shard> shards_;
+  std::vector<PartitionId> labels_;     // full mirror
+  std::vector<PartitionId> candidate_;  // full-sized, own ranges written
+  std::vector<double> block_score_;     // full-sized, own blocks written
+  std::vector<ShardScratch> scratch_;   // one per owned shard
+  int32_t fail_after_score_steps_ = -1;
+  int32_t scores_seen_ = 0;
+};
+
+}  // namespace
+
+int RunShardWorkerLoop(int fd) { return ShardWorker(fd).Run(); }
+
+}  // namespace spinner::dist

@@ -1,0 +1,28 @@
+// ShardWorker: the per-process executor of the cross-process execution
+// mode. One worker process owns one or more shard-local CSR slices
+// (downloaded from the coordinator at Setup), keeps a full mirror of the
+// label array, and answers the coordinator's lockstep superstep RPCs by
+// running exactly the same shard phase bodies as the in-process substrate
+// (spinner/shard_superstep.h) — which is what makes the two execution
+// modes bit-identical by construction.
+//
+// A worker is single-threaded: its parallelism unit is the process, and
+// within a process shards execute in ascending shard order. It trusts
+// nothing from the wire — every payload is decoded with truncation checks
+// and cross-validated against the Setup topology; a violation is reported
+// back as an Error frame before the process exits nonzero.
+#ifndef SPINNER_DIST_WORKER_H_
+#define SPINNER_DIST_WORKER_H_
+
+namespace spinner::dist {
+
+/// Runs the worker protocol loop over the coordinator connection `fd`
+/// until Teardown (returns 0), the peer closes the connection (returns 2),
+/// or a protocol/validation error occurs (reported as an Error frame,
+/// returns 1). The caller — the forked child in dist/coordinator.cc —
+/// passes the returned value to _exit().
+int RunShardWorkerLoop(int fd);
+
+}  // namespace spinner::dist
+
+#endif  // SPINNER_DIST_WORKER_H_

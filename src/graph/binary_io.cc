@@ -145,6 +145,129 @@ Status WriteSessionSnapshot(const std::string& path,
   return Status::OK();
 }
 
+namespace {
+
+constexpr char kSliceMagic[4] = {'S', 'P', 'S', 'L'};
+constexpr uint32_t kSliceVersion = 1;
+
+/// resize + memcpy rather than insert(iter, ptr, ptr): identical behavior
+/// without tripping GCC's stringop-overflow false positive on
+/// reinterpret_cast'ed ranges. The size == 0 guard keeps memcpy away from
+/// the null data() of empty vectors (UB even for zero bytes).
+void AppendBytes(std::vector<uint8_t>* out, const void* data, size_t size) {
+  if (size == 0) return;
+  const size_t old_size = out->size();
+  out->resize(old_size + size);
+  std::memcpy(out->data() + old_size, data, size);
+}
+
+template <typename T>
+void AppendRaw(std::vector<uint8_t>* out, const T& value) {
+  AppendBytes(out, &value, sizeof(T));
+}
+
+template <typename T>
+void AppendArray(std::vector<uint8_t>* out, const std::vector<T>& values) {
+  AppendBytes(out, values.data(), values.size() * sizeof(T));
+}
+
+/// Cursor over an input buffer with truncation-checked reads.
+class SliceCursor {
+ public:
+  SliceCursor(std::span<const uint8_t> bytes, size_t pos)
+      : bytes_(bytes), pos_(pos) {}
+
+  template <typename T>
+  bool Get(T* value) {
+    if (bytes_.size() - pos_ < sizeof(T)) return false;
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  template <typename T>
+  bool GetArray(std::vector<T>* values, int64_t count) {
+    // Divide, never multiply: count * sizeof(T) could wrap and slip a
+    // huge resize past the bounds check.
+    if (count < 0 ||
+        static_cast<uint64_t>(count) > (bytes_.size() - pos_) / sizeof(T)) {
+      return false;
+    }
+    values->resize(static_cast<size_t>(count));
+    if (count == 0) return true;  // empty data() may be null; skip memcpy
+    const size_t want = static_cast<size_t>(count) * sizeof(T);
+    std::memcpy(values->data(), bytes_.data() + pos_, want);
+    pos_ += want;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_;
+};
+
+}  // namespace
+
+void AppendShardSlice(const ShardedGraphStore::Shard& shard,
+                      std::vector<uint8_t>* out) {
+  out->insert(out->end(), kSliceMagic, kSliceMagic + sizeof(kSliceMagic));
+  AppendRaw(out, kSliceVersion);
+  AppendRaw(out, static_cast<int64_t>(shard.begin));
+  AppendRaw(out, static_cast<int64_t>(shard.end));
+  AppendRaw(out, shard.NumArcs());
+  AppendArray(out, shard.offsets);
+  AppendArray(out, shard.targets);
+  AppendArray(out, shard.weights);
+  AppendArray(out, shard.weighted_degree);
+}
+
+Result<ShardedGraphStore::Shard> DecodeShardSlice(
+    std::span<const uint8_t> bytes, size_t* consumed) {
+  SliceCursor in(bytes, *consumed);
+  char magic[4];
+  if (!in.Get(&magic)) return Status::IOError("truncated shard slice");
+  if (std::memcmp(magic, kSliceMagic, sizeof(kSliceMagic)) != 0) {
+    return Status::InvalidArgument("bad magic (not a SPSL slice)");
+  }
+  uint32_t version = 0;
+  if (!in.Get(&version)) return Status::IOError("truncated shard slice");
+  if (version != kSliceVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported shard slice version %u", version));
+  }
+  ShardedGraphStore::Shard shard;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t num_arcs = 0;
+  if (!in.Get(&begin) || !in.Get(&end) || !in.Get(&num_arcs)) {
+    return Status::IOError("truncated shard slice header");
+  }
+  if (begin < 0 || end < begin || num_arcs < 0) {
+    return Status::InvalidArgument("negative counts in shard slice header");
+  }
+  shard.begin = begin;
+  shard.end = end;
+  const int64_t n_local = end - begin;
+  if (!in.GetArray(&shard.offsets, n_local + 1) ||
+      !in.GetArray(&shard.targets, num_arcs) ||
+      !in.GetArray(&shard.weights, num_arcs) ||
+      !in.GetArray(&shard.weighted_degree, n_local)) {
+    return Status::IOError("truncated shard slice body");
+  }
+  if (shard.offsets.front() != 0 || shard.offsets.back() != num_arcs) {
+    return Status::InvalidArgument("shard slice offsets do not span arcs");
+  }
+  for (size_t i = 1; i < shard.offsets.size(); ++i) {
+    if (shard.offsets[i] < shard.offsets[i - 1]) {
+      return Status::InvalidArgument("shard slice offsets not monotonic");
+    }
+  }
+  *consumed = in.pos();
+  return shard;
+}
+
 Result<SessionSnapshot> ReadSessionSnapshot(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open: " + path);

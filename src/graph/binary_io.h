@@ -6,9 +6,13 @@
 #ifndef SPINNER_GRAPH_BINARY_IO_H_
 #define SPINNER_GRAPH_BINARY_IO_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "graph/sharded_store.h"
 #include "graph/types.h"
 
 namespace spinner::graph_io {
@@ -54,6 +58,27 @@ Status WriteSessionSnapshot(const std::string& path,
 /// Reads a session snapshot, validating every invariant WriteSessionSnapshot
 /// enforces.
 Result<SessionSnapshot> ReadSessionSnapshot(const std::string& path);
+
+/// In-memory codec for one ShardedGraphStore shard slice: the same
+/// magic + version + counts framing as the file formats above, applied to a
+/// byte buffer. This is how the cross-process wire protocol (src/dist)
+/// downloads shard-local CSR slices into ShardWorker processes, and the
+/// intended seed of the distributed store's per-shard persistence format.
+/// Layout (little-endian):
+///   magic "SPSL" (4 bytes) | version u32 | begin i64 | end i64 |
+///   num_arcs i64 | offsets ((end-begin+1) × i64) |
+///   targets (num_arcs × i64) | weights (num_arcs × u32) |
+///   weighted_degree ((end-begin) × i64)
+/// Load counters are run state, not topology, and are not serialized.
+void AppendShardSlice(const ShardedGraphStore::Shard& shard,
+                      std::vector<uint8_t>* out);
+
+/// Decodes one shard slice from the front of `bytes`, advancing `*consumed`
+/// past it. Fails with IOError on truncation and InvalidArgument on bad
+/// magic/version or internally inconsistent counts (non-monotonic offsets,
+/// mismatched array sizes).
+Result<ShardedGraphStore::Shard> DecodeShardSlice(
+    std::span<const uint8_t> bytes, size_t* consumed);
 
 }  // namespace spinner::graph_io
 

@@ -27,11 +27,12 @@ Status SpinnerConfig::Validate() const {
     return Status::InvalidArgument(
         StrFormat("max_iterations must be >= 1 (got %d)", max_iterations));
   }
-  if (num_workers < 0 || num_shards < 0 || num_threads < 0) {
+  if (num_workers < 0 || num_shards < 0 || num_threads < 0 ||
+      num_processes < 0) {
     return Status::InvalidArgument(StrFormat(
-        "num_workers/num_shards/num_threads must be >= 0 (0 = auto; got "
-        "%d/%d/%d)",
-        num_workers, num_shards, num_threads));
+        "num_workers/num_shards/num_threads/num_processes must be >= 0 "
+        "(0 = auto/in-process; got %d/%d/%d/%d)",
+        num_workers, num_shards, num_threads, num_processes));
   }
   if (!partition_weights.empty()) {
     if (static_cast<int>(partition_weights.size()) != num_partitions) {

@@ -72,6 +72,14 @@ struct SpinnerConfig {
   /// end-to-end by both execution substrates; never affects results.
   int num_threads = 0;
 
+  /// Worker *processes* for the cross-process execution mode (src/dist):
+  /// 0 runs in-process on a ThreadPool; > 0 forks that many ShardWorker
+  /// processes that exchange label deltas and load vectors over
+  /// Unix-domain sockets. Like every execution-shape knob, the computed
+  /// partitioning is bit-identical for every choice. Only the sharded
+  /// substrate honors it (in_engine_conversion runs stay in-process).
+  int num_processes = 0;
+
   /// When true, the directed→weighted-undirected conversion runs inside the
   /// engine as the NeighborPropagation/NeighborDiscovery supersteps
   /// (§IV.A.1), exactly as the Giraph implementation does. When false the

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/threadpool.h"
+#include "dist/coordinator.h"
 #include "graph/conversion.h"
 #include "graph/edge_list.h"
 #include "graph/sharded_store.h"
@@ -98,18 +99,31 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
                             run_config));
   } else {
     // Pre-converted graphs run shard-parallel over a ShardedGraphStore;
-    // shard/thread counts never change the result, so a throwaway
+    // shard/thread/process counts never change the result, so a throwaway
     // single-run store is equivalent to a session's persistent one.
     SPINNER_ASSIGN_OR_RETURN(
         ShardedGraphStore store,
         ShardedGraphStore::Build(
             engine_graph,
             ResolveNumShards(run_config, engine_graph.NumVertices())));
-    ThreadPool pool(ResolveNumThreads(run_config, store.num_shards()));
-    SPINNER_ASSIGN_OR_RETURN(
-        ShardedRunResult run,
-        RunShardedSpinner(run_config, &store, std::move(initial_labels),
-                          &pool, observer_.active() ? &observer_ : nullptr));
+    ShardedRunResult run;
+    if (run_config.num_processes > 0) {
+      // Cross-process execution: shards live in forked ShardWorker
+      // processes speaking the dist wire protocol.
+      dist::MultiProcessOptions mp;
+      mp.num_workers = run_config.num_processes;
+      SPINNER_ASSIGN_OR_RETURN(
+          run, dist::RunMultiProcessSpinner(
+                   run_config, &store, std::move(initial_labels), mp,
+                   observer_.active() ? &observer_ : nullptr));
+    } else {
+      ThreadPool pool(ResolveNumThreads(run_config, store.num_shards()));
+      SPINNER_ASSIGN_OR_RETURN(
+          run,
+          RunShardedSpinner(run_config, &store, std::move(initial_labels),
+                            &pool,
+                            observer_.active() ? &observer_ : nullptr));
+    }
     result.iterations = run.iterations;
     result.converged = run.converged;
     result.cancelled = run.cancelled;

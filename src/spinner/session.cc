@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "dist/coordinator.h"
 #include "graph/binary_io.h"
 #include "graph/conversion.h"
 #include "spinner/initial_assignment.h"
@@ -20,6 +21,17 @@ PartitioningSession::PartitioningSession(const SpinnerConfig& config,
   // struct is the single source of truth for the execution shape.
   if (options_.num_shards > 0) config_.num_shards = options_.num_shards;
   if (options_.num_threads > 0) config_.num_threads = options_.num_threads;
+  // Multi-process execution is on when either the options ask for it or
+  // the config carries an explicit worker-process count. num_workers is
+  // honored only in kMultiProcess mode (as documented), where 0 means
+  // "auto" (ResolveNumWorkers), not "in-process".
+  if (options_.execution_mode == ExecutionMode::kMultiProcess &&
+      options_.num_workers > 0) {
+    config_.num_processes = options_.num_workers;
+  }
+  multi_process_ =
+      options_.execution_mode == ExecutionMode::kMultiProcess ||
+      config_.num_processes > 0;
   if (init_status_.ok()) init_status_ = config_.Validate();
 }
 
@@ -56,12 +68,25 @@ Status PartitioningSession::RunLpa(const CsrGraph& metrics_graph,
                                    int k, PartitionResult* out) {
   SpinnerConfig run_config = config_;
   run_config.num_partitions = k;
-  EnsurePool();
-  SPINNER_ASSIGN_OR_RETURN(
-      ShardedRunResult run,
-      RunShardedSpinner(run_config, &store_, std::move(initial_labels),
-                        pool_.get(),
-                        observer_.active() ? &observer_ : nullptr));
+  ShardedRunResult run;
+  if (multi_process_) {
+    // Cross-process execution: fork ShardWorker processes per lifecycle
+    // call; the coordinator drives the identical superstep schedule, so
+    // the session-visible outcome is bit-identical to the in-process path.
+    dist::MultiProcessOptions mp;
+    mp.num_workers = run_config.num_processes;
+    SPINNER_ASSIGN_OR_RETURN(
+        run, dist::RunMultiProcessSpinner(
+                 run_config, &store_, std::move(initial_labels), mp,
+                 observer_.active() ? &observer_ : nullptr));
+  } else {
+    EnsurePool();
+    SPINNER_ASSIGN_OR_RETURN(
+        run,
+        RunShardedSpinner(run_config, &store_, std::move(initial_labels),
+                          pool_.get(),
+                          observer_.active() ? &observer_ : nullptr));
+  }
   out->num_partitions = k;
   out->iterations = run.iterations;
   out->converged = run.converged;

@@ -48,14 +48,33 @@
 
 namespace spinner {
 
+/// Where a session's label propagation executes. Purely an execution-shape
+/// choice: both modes produce bit-identical assignments and float
+/// φ/ρ/score histories for the same seed and graph.
+enum class ExecutionMode {
+  /// Shard-parallel supersteps on a ThreadPool in this process (default).
+  kInProcess,
+  /// Shards distributed over forked ShardWorker processes exchanging
+  /// label deltas and load vectors over Unix-domain sockets
+  /// (dist/coordinator.h). The paper's actual deployment shape (§IV):
+  /// partitioning state lives behind real message passing.
+  kMultiProcess,
+};
+
 /// Execution-shape knobs of a session, orthogonal to the algorithm
-/// configuration: how many shards the graph store is sliced into and how
-/// many OS threads drive them. 0 means auto (see
-/// ResolveNumShards/ResolveNumThreads in spinner/sharded_program.h).
-/// Neither value ever changes the partitioning a session computes.
+/// configuration: how many shards the graph store is sliced into, how
+/// many OS threads drive them in-process, and — for
+/// ExecutionMode::kMultiProcess — how many worker processes own them.
+/// 0 means auto (see ResolveNumShards/ResolveNumThreads in
+/// spinner/sharded_program.h and ResolveNumWorkers in
+/// dist/coordinator.h). No value here ever changes the partitioning a
+/// session computes.
 struct SessionOptions {
   int num_shards = 0;
   int num_threads = 0;
+  ExecutionMode execution_mode = ExecutionMode::kInProcess;
+  /// Worker processes in kMultiProcess mode (ignored in-process).
+  int num_workers = 0;
 };
 
 /// Owns one graph and its maintained partitioning. Not thread-safe; one
@@ -135,6 +154,13 @@ class PartitioningSession {
   /// The execution-shape options the session was constructed with.
   const SessionOptions& options() const { return options_; }
 
+  /// The effective execution mode (options or a config-driven
+  /// num_processes can both select kMultiProcess).
+  ExecutionMode execution_mode() const {
+    return multi_process_ ? ExecutionMode::kMultiProcess
+                          : ExecutionMode::kInProcess;
+  }
+
   /// The maintained assignment: one label in [0, num_partitions()) per
   /// vertex.
   const std::vector<PartitionId>& assignment() const { return assignment_; }
@@ -175,6 +201,7 @@ class PartitioningSession {
   SpinnerConfig config_;   // num_partitions kept equal to current_k_
   SessionOptions options_;
   Status init_status_;     // config validation outcome, reported lazily
+  bool multi_process_ = false;  // effective execution mode
   bool open_ = false;
   bool directed_ = false;
   int current_k_ = 0;

@@ -1,0 +1,135 @@
+#include "spinner/shard_superstep.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "spinner/lpa_kernel.h"
+
+namespace spinner {
+
+int64_t ShardInitialize(const SpinnerConfig& config,
+                        ShardedGraphStore::Shard* shard,
+                        std::span<PartitionId> labels,
+                        std::span<const PartitionId> initial_labels) {
+  const int k = config.num_partitions;
+  shard->loads.assign(static_cast<size_t>(k), 0);
+  const auto initial_size = static_cast<int64_t>(initial_labels.size());
+  for (VertexId v = shard->begin; v < shard->end; ++v) {
+    PartitionId label = v < initial_size ? initial_labels[v] : kNoPartition;
+    if (label == kNoPartition) {
+      label = lpa::InitialLabel(config.seed, v, k);
+    }
+    SPINNER_DCHECK(label >= 0 && label < k);
+    labels[v] = label;
+    shard->loads[label] += LoadUnitsOf(config, shard->WeightedDegreeOf(v));
+  }
+  // Every vertex advertises its initial label along its edges.
+  return shard->NumArcs();
+}
+
+void ShardComputeScores(const SpinnerConfig& config,
+                        const ShardedGraphStore::Shard& shard,
+                        std::span<const PartitionId> labels,
+                        const std::vector<int64_t>& global_loads,
+                        const std::vector<double>& capacities,
+                        int64_t superstep, std::span<PartitionId> candidate,
+                        std::span<double> block_score,
+                        ShardScratch* scratch) {
+  constexpr int64_t kBlock = ShardedGraphStore::kBlockSize;
+  ShardScratch& sc = *scratch;
+  sc.local_weight = 0;
+  sc.messages = 0;
+  std::fill(sc.migrations.begin(), sc.migrations.end(), 0);
+  for (VertexId block_begin = shard.begin; block_begin < shard.end;
+       block_begin += kBlock) {
+    const VertexId block_end =
+        std::min<VertexId>(block_begin + kBlock, shard.end);
+    double score_sum = 0.0;
+    // The asynchronous view resets to the frozen global snapshot at
+    // every block boundary: blocks are independent of S, so the
+    // penalty each vertex sees is too.
+    if (config.per_worker_async) sc.projected = global_loads;
+    const std::vector<int64_t>& penalty =
+        config.per_worker_async ? sc.projected : global_loads;
+    for (VertexId v = block_begin; v < block_end; ++v) {
+      const int64_t deg_w = shard.WeightedDegreeOf(v);
+      if (deg_w == 0) {  // isolated vertex: nothing to do
+        candidate[v] = kNoPartition;
+        continue;
+      }
+      // Weighted label frequencies over the neighborhood (Eq. 4),
+      // reading neighbor labels from the previous-superstep array.
+      const auto neighbors = shard.Neighbors(v);
+      const auto weights = shard.WeightsOf(v);
+      for (size_t j = 0; j < neighbors.size(); ++j) {
+        const PartitionId l = labels[neighbors[j]];
+        SPINNER_DCHECK(l >= 0) << "neighbor label not initialized";
+        if (sc.freq[l] == 0) sc.touched.push_back(l);
+        sc.freq[l] += weights[j];
+      }
+      const PartitionId current = labels[v];
+      const double deg = static_cast<double>(deg_w);
+      const lpa::LabelChoice choice =
+          lpa::PickLabel(sc.freq, sc.touched, current, deg, capacities,
+                         penalty, config.seed, superstep, v);
+      // The global score uses the frozen global loads so the halting
+      // signal is independent of shard count.
+      score_sum += lpa::ScoreTerm(sc.freq[current], deg,
+                                  global_loads[current],
+                                  capacities[current]);
+      sc.local_weight += sc.freq[current];
+      if (choice.better) {
+        candidate[v] = choice.label;
+        const int64_t units = LoadUnitsOf(config, deg_w);
+        sc.migrations[choice.label] += units;
+        if (config.per_worker_async) {
+          // Later vertices in this block see the would-be move.
+          sc.projected[choice.label] += units;
+          sc.projected[current] -= units;
+        }
+      } else {
+        candidate[v] = kNoPartition;
+      }
+      for (const PartitionId l : sc.touched) sc.freq[l] = 0;
+      sc.touched.clear();
+    }
+    block_score[block_begin / kBlock] = score_sum;
+  }
+}
+
+void ShardComputeMigrations(const SpinnerConfig& config,
+                            ShardedGraphStore::Shard* shard,
+                            std::span<PartitionId> labels,
+                            const std::vector<int64_t>& global_loads,
+                            const std::vector<double>& capacities,
+                            const std::vector<int64_t>& migration_counts,
+                            int64_t superstep,
+                            std::span<const PartitionId> candidate,
+                            std::vector<LabelDelta>* moves,
+                            ShardScratch* scratch) {
+  ShardScratch& sc = *scratch;
+  sc.migrated = 0;
+  sc.messages = 0;
+  for (VertexId v = shard->begin; v < shard->end; ++v) {
+    const PartitionId target = candidate[v];
+    if (target == kNoPartition) continue;
+    // Eq. 12–14 with b(l) frozen at the start of the iteration.
+    const double remaining =
+        capacities[target] - static_cast<double>(global_loads[target]);
+    const double wanting = static_cast<double>(migration_counts[target]);
+    const double p = lpa::MigrationProbability(remaining, wanting);
+    if (!lpa::MigrationCoinAccepts(config.seed, v, superstep, p)) {
+      continue;  // migration deferred
+    }
+    const PartitionId old_label = labels[v];
+    const int64_t units = LoadUnitsOf(config, shard->WeightedDegreeOf(v));
+    labels[v] = target;
+    shard->loads[target] += units;
+    shard->loads[old_label] -= units;
+    ++sc.migrated;
+    sc.messages += shard->OutDegree(v);  // label update to neighbors
+    if (moves != nullptr) moves->push_back(LabelDelta{v, target});
+  }
+}
+
+}  // namespace spinner

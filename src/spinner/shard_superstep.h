@@ -1,0 +1,118 @@
+// The per-shard bodies of Spinner's three superstep phases (Initialize,
+// ComputeScores, ComputeMigrations), factored out of the in-process loop so
+// every execution substrate runs literally the same code over one
+// ShardedGraphStore::Shard:
+//  * in-process: RunShardedSpinner submits one call per shard to a
+//    ThreadPool (spinner/sharded_program.cc);
+//  * cross-process: each ShardWorker process calls them over the shard
+//    slices it downloaded from the coordinator (dist/worker.cc).
+// Bit-identical results across substrates follow by construction — the
+// floating-point and hash-decision sequence per vertex is one function, not
+// two copies that could drift.
+//
+// All functions take *global* views (the full label array, global/frozen
+// load vectors, capacities) and touch only shard-owned state: the shard's
+// label slice, its load counters and its blocks of the per-block score
+// array. Nothing here synchronizes; the caller owns phase barriers and
+// merges.
+#ifndef SPINNER_SPINNER_SHARD_SUPERSTEP_H_
+#define SPINNER_SPINNER_SHARD_SUPERSTEP_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/sharded_store.h"
+#include "graph/types.h"
+#include "spinner/config.h"
+
+namespace spinner {
+
+/// One vertex's label change, the unit of cross-shard label traffic: the
+/// in-process path applies these through the shared label array, the wire
+/// protocol ships them as per-superstep label deltas.
+struct LabelDelta {
+  VertexId vertex = 0;
+  PartitionId label = kNoPartition;
+
+  friend bool operator==(const LabelDelta&, const LabelDelta&) = default;
+};
+
+/// Per-shard scratch reused across supersteps, so steady-state supersteps
+/// allocate nothing.
+struct ShardScratch {
+  /// Per-label neighbor weight frequencies + touched-label list, reset in
+  /// O(labels touched) between vertices.
+  std::vector<int64_t> freq;
+  std::vector<PartitionId> touched;
+  /// Block-local asynchronous load view (§IV.A.4 at block granularity).
+  std::vector<int64_t> projected;
+  /// Migration counter partials m_s(l) for the current iteration.
+  std::vector<int64_t> migrations;
+  /// Σ freq[current] partial (φ numerator).
+  int64_t local_weight = 0;
+  /// Vertices this shard migrated in the current superstep.
+  int64_t migrated = 0;
+  /// Label-update messages this shard sent in the current superstep.
+  int64_t messages = 0;
+
+  /// Sizes the per-label vectors for `num_partitions` labels.
+  void Prepare(int num_partitions) {
+    freq.assign(static_cast<size_t>(num_partitions), 0);
+    touched.clear();
+    touched.reserve(static_cast<size_t>(num_partitions));
+    migrations.assign(static_cast<size_t>(num_partitions), 0);
+  }
+};
+
+/// The load contribution of a vertex under the configured balance mode.
+inline int64_t LoadUnitsOf(const SpinnerConfig& config,
+                           int64_t weighted_degree) {
+  return config.balance_mode == BalanceMode::kVertices ? 1 : weighted_degree;
+}
+
+/// Superstep 0 for one shard: assigns every owned vertex its caller-fixed
+/// restart label (entries < initial_labels.size() that are not kNoPartition)
+/// or a hash-drawn uniform label, resets the shard's load counters to k and
+/// accumulates the initial loads. Writes labels only in [begin, end).
+/// Returns the label-advertisement message count (== shard arc count).
+int64_t ShardInitialize(const SpinnerConfig& config,
+                        ShardedGraphStore::Shard* shard,
+                        std::span<PartitionId> labels,
+                        std::span<const PartitionId> initial_labels);
+
+/// ComputeScores for one shard: for every owned vertex scores the
+/// neighborhood labels (Eq. 8) against the frozen `global_loads` — with the
+/// §IV.A.4 asynchronous view applied at fixed vertex-block granularity —
+/// and records the migration candidate in `candidate` (global-sized,
+/// kNoPartition = stay). Fills the shard's blocks of `block_score` (the
+/// global per-block score partials, indexed by vertex block) and the
+/// scratch's migrations/local_weight partials.
+void ShardComputeScores(const SpinnerConfig& config,
+                        const ShardedGraphStore::Shard& shard,
+                        std::span<const PartitionId> labels,
+                        const std::vector<int64_t>& global_loads,
+                        const std::vector<double>& capacities,
+                        int64_t superstep, std::span<PartitionId> candidate,
+                        std::span<double> block_score, ShardScratch* scratch);
+
+/// ComputeMigrations for one shard: applies the probabilistic moves
+/// (Eq. 12–14, coin per (seed, superstep, vertex)) for every owned vertex
+/// with a candidate, updating the shard's label slice and load counters in
+/// place. When `moves` is non-null, every applied move is appended in
+/// ascending vertex order — the label deltas the wire protocol broadcasts.
+/// Updates scratch->migrated / scratch->messages.
+void ShardComputeMigrations(const SpinnerConfig& config,
+                            ShardedGraphStore::Shard* shard,
+                            std::span<PartitionId> labels,
+                            const std::vector<int64_t>& global_loads,
+                            const std::vector<double>& capacities,
+                            const std::vector<int64_t>& migration_counts,
+                            int64_t superstep,
+                            std::span<const PartitionId> candidate,
+                            std::vector<LabelDelta>* moves,
+                            ShardScratch* scratch);
+
+}  // namespace spinner
+
+#endif  // SPINNER_SPINNER_SHARD_SUPERSTEP_H_

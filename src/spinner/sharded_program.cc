@@ -5,40 +5,118 @@
 #include <utility>
 
 #include "common/logging.h"
-#include "common/timer.h"
-#include "spinner/lpa_kernel.h"
+#include "spinner/shard_superstep.h"
+#include "spinner/superstep_driver.h"
 
 namespace spinner {
 
 namespace {
 
-/// Per-shard scratch reused across supersteps, so steady-state supersteps
-/// allocate nothing.
-struct ShardScratch {
-  /// Per-label neighbor weight frequencies + touched-label list, reset in
-  /// O(labels touched) between vertices.
-  std::vector<int64_t> freq;
-  std::vector<PartitionId> touched;
-  /// Block-local asynchronous load view (§IV.A.4 at block granularity).
-  std::vector<int64_t> projected;
-  /// Migration counter partials m_s(l) for the current iteration.
-  std::vector<int64_t> migrations;
-  /// Σ freq[current] partial (φ numerator).
-  int64_t local_weight = 0;
-  /// Vertices this shard migrated in the current superstep.
-  int64_t migrated = 0;
-  /// Label-update messages this shard sent in the current superstep.
-  int64_t messages = 0;
-};
-
-/// The load contribution of a vertex under the configured balance mode.
-int64_t LoadUnitsOf(const SpinnerConfig& config, int64_t weighted_degree) {
-  return config.balance_mode == BalanceMode::kVertices ? 1 : weighted_degree;
-}
-
 int HardwareThreads() {
   return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 }
+
+/// The in-process SuperstepBackend: one ThreadPool task per shard executes
+/// each phase body (spinner/shard_superstep.h) directly over the shared
+/// store. Merges follow the determinism contract of the driver: the float
+/// block-score array is handed over whole (the driver reduces it in fixed
+/// block order), integer counters merge by order-free addition.
+class InProcessBackend final : public SuperstepBackend {
+ public:
+  InProcessBackend(const SpinnerConfig& config, ShardedGraphStore* store,
+                   ThreadPool* pool)
+      : config_(config),
+        store_(store),
+        pool_(pool),
+        scratch_(static_cast<size_t>(store->num_shards())),
+        candidate_(static_cast<size_t>(store->NumVertices()), kNoPartition),
+        block_score_(static_cast<size_t>(store->NumBlocks()), 0.0) {
+    for (ShardScratch& sc : scratch_) sc.Prepare(config.num_partitions);
+  }
+
+  Status Initialize(const std::vector<PartitionId>& initial_labels,
+                    InitOutcome* out) override {
+    const int S = store_->num_shards();
+    std::vector<PartitionId>& labels = store_->labels();
+    for (int s = 0; s < S; ++s) {
+      pool_->Submit([this, &labels, &initial_labels, s] {
+        scratch_[s].messages = ShardInitialize(
+            config_, &store_->mutable_shard(s), labels, initial_labels);
+      });
+    }
+    pool_->Wait();
+    out->messages_out.resize(S);
+    for (int s = 0; s < S; ++s) {
+      out->messages_out[s] = scratch_[s].messages;
+    }
+    return Status::OK();
+  }
+
+  Status ComputeScores(int64_t superstep,
+                       const std::vector<int64_t>& global_loads,
+                       const std::vector<double>& capacities,
+                       ScoreOutcome* out) override {
+    const int S = store_->num_shards();
+    const std::vector<PartitionId>& labels = store_->labels();
+    for (int s = 0; s < S; ++s) {
+      pool_->Submit([this, &labels, &global_loads, &capacities, superstep,
+                     s] {
+        ShardComputeScores(config_, store_->shard(s), labels, global_loads,
+                           capacities, superstep, candidate_, block_score_,
+                           &scratch_[s]);
+      });
+    }
+    pool_->Wait();
+    out->block_score = block_score_;
+    out->local_weight = 0;
+    out->migration_counts.assign(
+        static_cast<size_t>(config_.num_partitions), 0);
+    for (const ShardScratch& sc : scratch_) {
+      out->local_weight += sc.local_weight;
+      for (size_t l = 0; l < out->migration_counts.size(); ++l) {
+        out->migration_counts[l] += sc.migrations[l];
+      }
+    }
+    return Status::OK();
+  }
+
+  Status ComputeMigrations(int64_t superstep,
+                           const std::vector<int64_t>& global_loads,
+                           const std::vector<double>& capacities,
+                           const std::vector<int64_t>& migration_counts,
+                           MigrateOutcome* out) override {
+    const int S = store_->num_shards();
+    std::vector<PartitionId>& labels = store_->labels();
+    for (int s = 0; s < S; ++s) {
+      pool_->Submit([this, &labels, &global_loads, &capacities,
+                     &migration_counts, superstep, s] {
+        ShardComputeMigrations(config_, &store_->mutable_shard(s), labels,
+                               global_loads, capacities, migration_counts,
+                               superstep, candidate_, /*moves=*/nullptr,
+                               &scratch_[s]);
+      });
+    }
+    pool_->Wait();
+    out->migrated = 0;
+    out->messages_out.resize(S);
+    for (int s = 0; s < S; ++s) {
+      out->migrated += scratch_[s].migrated;
+      out->messages_out[s] = scratch_[s].messages;
+    }
+    return Status::OK();
+  }
+
+ private:
+  const SpinnerConfig& config_;
+  ShardedGraphStore* store_;
+  ThreadPool* pool_;
+  std::vector<ShardScratch> scratch_;
+  /// Migration candidate per vertex (kNoPartition = none); written by the
+  /// owning shard each ComputeScores, consumed by ComputeMigrations.
+  std::vector<PartitionId> candidate_;
+  /// Per-block global-score partials (see driver header).
+  std::vector<double> block_score_;
+};
 
 }  // namespace
 
@@ -63,310 +141,12 @@ Result<ShardedRunResult> RunShardedSpinner(
     const ProgressObserver* observer) {
   SPINNER_CHECK(store != nullptr && pool != nullptr);
   SPINNER_RETURN_IF_ERROR(config.Validate());
-  const int64_t n = store->NumVertices();
-  if (n == 0) {
+  if (store->NumVertices() == 0) {
     return Status::InvalidArgument("cannot partition an empty graph");
   }
-  const int k = config.num_partitions;
-  const int S = store->num_shards();
-  constexpr int64_t kBlock = ShardedGraphStore::kBlockSize;
-
-  store->ResetLoads(k);
-  std::vector<PartitionId>& labels = store->labels();
-  labels.assign(static_cast<size_t>(n), kNoPartition);
-
-  std::vector<ShardScratch> scratch(static_cast<size_t>(S));
-  for (ShardScratch& sc : scratch) {
-    sc.freq.assign(static_cast<size_t>(k), 0);
-    sc.touched.reserve(static_cast<size_t>(k));
-    sc.migrations.assign(static_cast<size_t>(k), 0);
-  }
-  /// Migration candidate per vertex (kNoPartition = none); written by the
-  /// owning shard each ComputeScores, consumed by ComputeMigrations.
-  std::vector<PartitionId> candidate(static_cast<size_t>(n), kNoPartition);
-  /// Per-block global-score partials, reduced in fixed block order so the
-  /// floating-point sum is independent of S and scheduling.
-  std::vector<double> block_score(static_cast<size_t>(store->NumBlocks()),
-                                  0.0);
-
-  ShardedRunResult out;
-  pregel::RunStats& stats = out.run_stats;
-  WallTimer total_timer;
-
-  // Superstep stats mirroring the engine's layout: one "worker" per shard;
-  // every vertex computes every superstep (Spinner never votes to halt).
-  auto NewStepStats = [&](int64_t step) {
-    pregel::SuperstepStats ss;
-    ss.superstep = step;
-    ss.active_vertices = n;
-    ss.worker_messages_in.assign(S, 0);
-    ss.worker_remote_messages_in.assign(S, 0);
-    ss.worker_vertices_computed.assign(S, 0);
-    ss.worker_edges_scanned.assign(S, 0);
-    ss.worker_messages_out.assign(S, 0);
-    for (int s = 0; s < S; ++s) {
-      ss.worker_vertices_computed[s] = store->shard(s).NumOwnedVertices();
-      ss.worker_edges_scanned[s] = store->shard(s).NumArcs();
-    }
-    return ss;
-  };
-  auto FinishStep = [&](pregel::SuperstepStats ss, WallTimer& timer,
-                        int64_t messages) {
-    ss.messages_sent = messages;
-    ss.messages_remote = messages;  // per-edge locality is engine-only
-    ss.wall_seconds = timer.ElapsedSeconds();
-    stats.per_superstep.push_back(std::move(ss));
-    ++stats.supersteps;
-  };
-
-  // --- Superstep 0: Initialize (shard-parallel). Labels are the caller's
-  // fixed restart labels or hash-drawn; loads accumulate shard-locally.
-  {
-    WallTimer step_timer;
-    pregel::SuperstepStats ss = NewStepStats(0);
-    const auto initial_size = static_cast<int64_t>(initial_labels.size());
-    for (int s = 0; s < S; ++s) {
-      pool->Submit([&, s] {
-        ShardedGraphStore::Shard& shard = store->mutable_shard(s);
-        for (VertexId v = shard.begin; v < shard.end; ++v) {
-          PartitionId label =
-              v < initial_size ? initial_labels[v] : kNoPartition;
-          if (label == kNoPartition) {
-            label = lpa::InitialLabel(config.seed, v, k);
-          }
-          SPINNER_DCHECK(label >= 0 && label < k);
-          labels[v] = label;
-          shard.loads[label] +=
-              LoadUnitsOf(config, shard.WeightedDegreeOf(v));
-        }
-        // Every vertex advertises its initial label along its edges.
-        scratch[s].messages = shard.NumArcs();
-      });
-    }
-    pool->Wait();
-    int64_t messages = 0;
-    for (int s = 0; s < S; ++s) {
-      ss.worker_messages_out[s] = scratch[s].messages;
-      messages += scratch[s].messages;
-    }
-    FinishStep(std::move(ss), step_timer, messages);
-  }
-
-  std::vector<int64_t> global_loads = store->MergedLoads();
-  int64_t total_load = 0;
-  for (const int64_t l : global_loads) total_load += l;
-
-  // Per-partition capacities C_l (Eq. 5 / §III.B); total load is invariant
-  // over the run, so these are too.
-  std::vector<double> capacities(static_cast<size_t>(k), 0.0);
-  if (config.partition_weights.empty()) {
-    capacities.assign(static_cast<size_t>(k),
-                      config.additional_capacity *
-                          static_cast<double>(total_load) /
-                          static_cast<double>(k));
-  } else {
-    double weight_sum = 0.0;
-    for (const double w : config.partition_weights) weight_sum += w;
-    for (int l = 0; l < k; ++l) {
-      capacities[l] = config.additional_capacity *
-                      static_cast<double>(total_load) *
-                      config.partition_weights[l] / weight_sum;
-    }
-  }
-
-  const bool observing = observer != nullptr && observer->active();
-  double best_score = -1e300;
-  int low_improvement_streak = 0;
-  int64_t last_migrations = 0;
-
-  for (;;) {
-    // --- ComputeScores superstep (index 2·it − 1, matching the engine's
-    // numbering so hash streams line up across substrates).
-    const int64_t score_step = 2 * static_cast<int64_t>(out.iterations) + 1;
-    WallTimer step_timer;
-    pregel::SuperstepStats ss = NewStepStats(score_step);
-    for (int s = 0; s < S; ++s) {
-      pool->Submit([&, s, score_step] {
-        ShardScratch& sc = scratch[s];
-        const ShardedGraphStore::Shard& shard = store->shard(s);
-        sc.local_weight = 0;
-        sc.messages = 0;
-        std::fill(sc.migrations.begin(), sc.migrations.end(), 0);
-        for (VertexId block_begin = shard.begin; block_begin < shard.end;
-             block_begin += kBlock) {
-          const VertexId block_end =
-              std::min<VertexId>(block_begin + kBlock, shard.end);
-          double score_sum = 0.0;
-          // The asynchronous view resets to the frozen global snapshot at
-          // every block boundary: blocks are independent of S, so the
-          // penalty each vertex sees is too.
-          if (config.per_worker_async) sc.projected = global_loads;
-          const std::vector<int64_t>& penalty =
-              config.per_worker_async ? sc.projected : global_loads;
-          for (VertexId v = block_begin; v < block_end; ++v) {
-            const int64_t deg_w = shard.WeightedDegreeOf(v);
-            if (deg_w == 0) {  // isolated vertex: nothing to do
-              candidate[v] = kNoPartition;
-              continue;
-            }
-            // Weighted label frequencies over the neighborhood (Eq. 4),
-            // reading neighbor labels from the previous-superstep array.
-            const auto neighbors = shard.Neighbors(v);
-            const auto weights = shard.WeightsOf(v);
-            for (size_t j = 0; j < neighbors.size(); ++j) {
-              const PartitionId l = labels[neighbors[j]];
-              SPINNER_DCHECK(l >= 0) << "neighbor label not initialized";
-              if (sc.freq[l] == 0) sc.touched.push_back(l);
-              sc.freq[l] += weights[j];
-            }
-            const PartitionId current = labels[v];
-            const double deg = static_cast<double>(deg_w);
-            const lpa::LabelChoice choice = lpa::PickLabel(
-                sc.freq, sc.touched, current, deg, capacities, penalty,
-                config.seed, score_step, v);
-            // The global score uses the frozen global loads so the halting
-            // signal is independent of shard count.
-            score_sum += lpa::ScoreTerm(sc.freq[current], deg,
-                                        global_loads[current],
-                                        capacities[current]);
-            sc.local_weight += sc.freq[current];
-            if (choice.better) {
-              candidate[v] = choice.label;
-              const int64_t units = LoadUnitsOf(config, deg_w);
-              sc.migrations[choice.label] += units;
-              if (config.per_worker_async) {
-                // Later vertices in this block see the would-be move.
-                sc.projected[choice.label] += units;
-                sc.projected[current] -= units;
-              }
-            } else {
-              candidate[v] = kNoPartition;
-            }
-            for (const PartitionId l : sc.touched) sc.freq[l] = 0;
-            sc.touched.clear();
-          }
-          block_score[block_begin / kBlock] = score_sum;
-        }
-      });
-    }
-    pool->Wait();
-    ++out.iterations;
-    const int iteration = out.iterations;
-
-    double score_total = 0.0;  // fixed block-order reduction
-    for (const double b : block_score) score_total += b;
-    const double score = score_total / static_cast<double>(n);
-    FinishStep(std::move(ss), step_timer, /*messages=*/0);
-
-    // --- Master logic after ComputeScores, mirroring
-    // SpinnerProgram::MasterCompute exactly.
-    if (config.record_history || observing) {
-      IterationPoint pt;
-      pt.iteration = iteration;
-      pt.score = score;
-      pt.migrations = last_migrations;
-      int64_t local = 0;
-      for (const ShardScratch& sc : scratch) local += sc.local_weight;
-      pt.phi = total_load == 0 ? 1.0
-                               : static_cast<double>(local) /
-                                     static_cast<double>(total_load);
-      double weight_sum = 0.0;
-      for (const double w : config.partition_weights) weight_sum += w;
-      double rho = 0.0;
-      for (size_t l = 0; l < global_loads.size(); ++l) {
-        const double share =
-            config.partition_weights.empty()
-                ? 1.0 / static_cast<double>(k)
-                : config.partition_weights[l] / weight_sum;
-        const double ideal = static_cast<double>(total_load) * share;
-        if (ideal > 0) {
-          rho = std::max(rho,
-                         static_cast<double>(global_loads[l]) / ideal);
-        }
-      }
-      pt.rho = rho == 0.0 ? 1.0 : rho;
-      pt.loads = global_loads;
-      if (observing) {
-        bool keep_going = true;
-        if (observer->on_iteration) keep_going = observer->on_iteration(pt);
-        if (observer->cancel != nullptr && observer->cancel->IsCancelled()) {
-          keep_going = false;
-        }
-        if (!keep_going) out.cancelled = true;
-      }
-      if (config.record_history) out.history.push_back(std::move(pt));
-    }
-    if (out.cancelled) break;
-
-    // Halting heuristic (§III.C).
-    const double improvement = score - best_score;
-    best_score = std::max(best_score, score);
-    if (improvement < config.halt_epsilon) {
-      ++low_improvement_streak;
-    } else {
-      low_improvement_streak = 0;
-    }
-    if (config.use_halting && iteration > 1 &&
-        low_improvement_streak >= config.halt_window) {
-      out.converged = true;
-      break;
-    }
-    if (iteration >= config.max_iterations) break;
-
-    // --- ComputeMigrations superstep (index 2·it). Migration counters
-    // merge in fixed shard order before the probabilistic moves.
-    std::vector<int64_t> migration_counts(static_cast<size_t>(k), 0);
-    for (const ShardScratch& sc : scratch) {
-      for (int l = 0; l < k; ++l) migration_counts[l] += sc.migrations[l];
-    }
-    const int64_t migration_step = 2 * static_cast<int64_t>(iteration);
-    WallTimer mig_timer;
-    pregel::SuperstepStats ms = NewStepStats(migration_step);
-    for (int s = 0; s < S; ++s) {
-      pool->Submit([&, s, migration_step] {
-        ShardScratch& sc = scratch[s];
-        ShardedGraphStore::Shard& shard = store->mutable_shard(s);
-        sc.migrated = 0;
-        sc.messages = 0;
-        for (VertexId v = shard.begin; v < shard.end; ++v) {
-          const PartitionId target = candidate[v];
-          if (target == kNoPartition) continue;
-          // Eq. 12–14 with b(l) frozen at the start of the iteration.
-          const double remaining =
-              capacities[target] -
-              static_cast<double>(global_loads[target]);
-          const double wanting =
-              static_cast<double>(migration_counts[target]);
-          const double p = lpa::MigrationProbability(remaining, wanting);
-          if (!lpa::MigrationCoinAccepts(config.seed, v, migration_step,
-                                         p)) {
-            continue;  // migration deferred
-          }
-          const PartitionId old_label = labels[v];
-          const int64_t units =
-              LoadUnitsOf(config, shard.WeightedDegreeOf(v));
-          labels[v] = target;
-          shard.loads[target] += units;
-          shard.loads[old_label] -= units;
-          ++sc.migrated;
-          sc.messages += shard.OutDegree(v);  // label update to neighbors
-        }
-      });
-    }
-    pool->Wait();
-    global_loads = store->MergedLoads();
-    last_migrations = 0;
-    int64_t messages = 0;
-    for (int s = 0; s < S; ++s) {
-      last_migrations += scratch[s].migrated;
-      ms.worker_messages_out[s] = scratch[s].messages;
-      messages += scratch[s].messages;
-    }
-    FinishStep(std::move(ms), mig_timer, messages);
-  }
-
-  stats.total_wall_seconds = total_timer.ElapsedSeconds();
-  return out;
+  InProcessBackend backend(config, store, pool);
+  return DriveSpinnerSupersteps(config, store, std::move(initial_labels),
+                                &backend, observer);
 }
 
 }  // namespace spinner

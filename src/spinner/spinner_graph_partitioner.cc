@@ -58,6 +58,9 @@ bool RegisterSpinnerGraphPartitioner() {
         if (options.num_threads > 0) {
           config.num_threads = options.num_threads;
         }
+        if (options.num_processes > 0) {
+          config.num_processes = options.num_processes;
+        }
         return std::unique_ptr<GraphPartitioner>(
             std::make_unique<SpinnerGraphPartitioner>(config));
       });

@@ -1,0 +1,399 @@
+// The cross-process execution mode (src/dist): wire-format round trips and
+// failure paths (truncated/oversized frames rejected, worker crash
+// surfaces a Status, never a hang), and the central guarantee — for a
+// fixed seed, RunMultiProcessSpinner is bit-identical to the in-process
+// substrate (assignments AND float φ/ρ/score histories) for every tested
+// {num_shards, num_workers} combination.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "dist/coordinator.h"
+#include "dist/transport.h"
+#include "dist/wire_format.h"
+#include "graph/binary_io.h"
+#include "graph/conversion.h"
+#include "graph/generators.h"
+#include "graph/sharded_store.h"
+#include "spinner/sharded_program.h"
+
+namespace spinner {
+namespace {
+
+using dist::Frame;
+using dist::MessageType;
+using dist::MultiProcessOptions;
+
+CsrGraph SmallWorldConverted(int64_t n, uint64_t seed = 11) {
+  auto ws = WattsStrogatz(n, 3, 0.3, seed);
+  SPINNER_CHECK(ws.ok());
+  auto converted = BuildSymmetric(ws->num_vertices, ws->edges);
+  SPINNER_CHECK(converted.ok());
+  return std::move(converted).value();
+}
+
+// --- Wire format ---------------------------------------------------------
+
+TEST(WireFormatTest, ShardSliceRoundTripsThroughBinaryIo) {
+  const CsrGraph g = SmallWorldConverted(600);
+  auto store = ShardedGraphStore::Build(g, 3);
+  ASSERT_TRUE(store.ok());
+  for (int s = 0; s < store->num_shards(); ++s) {
+    std::vector<uint8_t> bytes;
+    graph_io::AppendShardSlice(store->shard(s), &bytes);
+    size_t consumed = 0;
+    auto decoded = graph_io::DecodeShardSlice(bytes, &consumed);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(consumed, bytes.size());
+    EXPECT_EQ(decoded->begin, store->shard(s).begin);
+    EXPECT_EQ(decoded->end, store->shard(s).end);
+    EXPECT_EQ(decoded->offsets, store->shard(s).offsets);
+    EXPECT_EQ(decoded->targets, store->shard(s).targets);
+    EXPECT_EQ(decoded->weights, store->shard(s).weights);
+    EXPECT_EQ(decoded->weighted_degree, store->shard(s).weighted_degree);
+  }
+}
+
+TEST(WireFormatTest, ShardSliceRejectsTruncationAndBadMagic) {
+  const CsrGraph g = SmallWorldConverted(400);
+  auto store = ShardedGraphStore::Build(g, 1);
+  ASSERT_TRUE(store.ok());
+  std::vector<uint8_t> bytes;
+  graph_io::AppendShardSlice(store->shard(0), &bytes);
+
+  // Every proper prefix fails cleanly (spot-check a spread of cut points).
+  for (const size_t cut : {size_t{0}, size_t{3}, size_t{9}, size_t{25},
+                           bytes.size() / 2, bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    size_t consumed = 0;
+    EXPECT_FALSE(graph_io::DecodeShardSlice(truncated, &consumed).ok())
+        << "cut=" << cut;
+  }
+  std::vector<uint8_t> corrupt = bytes;
+  corrupt[0] = 'X';
+  size_t consumed = 0;
+  auto decoded = graph_io::DecodeShardSlice(corrupt, &consumed);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFormatTest, SetupMessageRoundTrips) {
+  const CsrGraph g = SmallWorldConverted(700);
+  auto store = ShardedGraphStore::Build(g, 4);
+  ASSERT_TRUE(store.ok());
+  dist::SetupMessage setup;
+  setup.num_partitions = 9;
+  setup.seed = 1234;
+  setup.balance_on_vertices = 1;
+  setup.per_worker_async = 0;
+  setup.num_vertices = g.NumVertices();
+  setup.num_shards_total = 4;
+  setup.owned_shards = {1, 2};
+  setup.shards = {store->shard(1), store->shard(2)};
+  setup.fail_after_score_steps = 5;
+
+  auto decoded = dist::SetupMessage::Decode(setup.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->num_partitions, 9);
+  EXPECT_EQ(decoded->seed, 1234u);
+  EXPECT_EQ(decoded->num_vertices, g.NumVertices());
+  EXPECT_EQ(decoded->owned_shards, setup.owned_shards);
+  EXPECT_EQ(decoded->fail_after_score_steps, 5);
+  ASSERT_EQ(decoded->shards.size(), 2u);
+  EXPECT_EQ(decoded->shards[0].targets, store->shard(1).targets);
+  EXPECT_EQ(decoded->shards[1].offsets, store->shard(2).offsets);
+  const SpinnerConfig config = decoded->ToConfig();
+  EXPECT_EQ(config.balance_mode, BalanceMode::kVertices);
+  EXPECT_FALSE(config.per_worker_async);
+}
+
+TEST(WireFormatTest, RunMessagesRoundTrip) {
+  dist::ScoresRequest scores;
+  scores.superstep = 17;
+  scores.global_loads = {5, 6, 7};
+  scores.capacities = {1.5, 2.5, 3.5};
+  auto scores2 = dist::ScoresRequest::Decode(scores.Encode());
+  ASSERT_TRUE(scores2.ok());
+  EXPECT_EQ(scores2->superstep, 17);
+  EXPECT_EQ(scores2->global_loads, scores.global_loads);
+  EXPECT_EQ(scores2->capacities, scores.capacities);
+
+  dist::MigrateReply reply;
+  dist::ShardMigrateResult r;
+  r.shard = 3;
+  r.moves = {{10, 1}, {12, 0}};
+  r.loads = {4, 4};
+  r.migrated = 2;
+  r.messages = 11;
+  reply.shards.push_back(r);
+  auto reply2 = dist::MigrateReply::Decode(reply.Encode());
+  ASSERT_TRUE(reply2.ok());
+  ASSERT_EQ(reply2->shards.size(), 1u);
+  EXPECT_EQ(reply2->shards[0].moves, r.moves);
+  EXPECT_EQ(reply2->shards[0].loads, r.loads);
+  EXPECT_EQ(reply2->shards[0].migrated, 2);
+
+  dist::ErrorMessage error =
+      dist::ErrorMessage::FromStatus(Status::InvalidArgument("boom"));
+  auto error2 = dist::ErrorMessage::Decode(error.Encode());
+  ASSERT_TRUE(error2.ok());
+  EXPECT_EQ(error2->ToStatus(),
+            Status::InvalidArgument("boom"));
+}
+
+TEST(WireFormatTest, DecodersRejectTruncatedPayloads) {
+  dist::ScoresRequest scores;
+  scores.superstep = 1;
+  scores.global_loads = {1, 2, 3, 4};
+  scores.capacities = {0.5};
+  const std::vector<uint8_t> bytes = scores.Encode();
+  for (size_t cut = 0; cut < bytes.size(); cut += 3) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(dist::ScoresRequest::Decode(truncated).ok())
+        << "cut=" << cut;
+  }
+  // A vector count pointing past the payload must be rejected before any
+  // allocation (no OOM on corrupt counts).
+  std::vector<uint8_t> corrupt = bytes;
+  corrupt[8] = 0xff;  // global_loads count low byte
+  corrupt[9] = 0xff;
+  EXPECT_FALSE(dist::ScoresRequest::Decode(corrupt).ok());
+}
+
+TEST(WireFormatTest, ChecksumDetectsLabelDivergence) {
+  std::vector<PartitionId> a = {0, 1, 2, 3, 4};
+  std::vector<PartitionId> b = a;
+  EXPECT_EQ(dist::ChecksumLabels(a), dist::ChecksumLabels(b));
+  b[3] = 0;
+  EXPECT_NE(dist::ChecksumLabels(a), dist::ChecksumLabels(b));
+}
+
+// --- Transport -----------------------------------------------------------
+
+TEST(TransportTest, FramesRoundTripOverSocketPair) {
+  auto pair = dist::CreateSocketPair();
+  ASSERT_TRUE(pair.ok());
+  const std::vector<uint8_t> payload = {1, 2, 3, 250, 251};
+  ASSERT_TRUE(dist::SendFrame(pair->first.fd(),
+                              static_cast<uint32_t>(MessageType::kLabels),
+                              payload)
+                  .ok());
+  auto frame = dist::RecvFrame(pair->second.fd());
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, static_cast<uint32_t>(MessageType::kLabels));
+  EXPECT_EQ(frame->payload, payload);
+
+  // Empty payloads are legal (Teardown, Snapshot).
+  ASSERT_TRUE(dist::SendFrame(pair->first.fd(), 7, {}).ok());
+  auto empty = dist::RecvFrame(pair->second.fd());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->payload.empty());
+}
+
+TEST(TransportTest, TruncatedFrameAndClosedPeerAreIOErrors) {
+  auto pair = dist::CreateSocketPair();
+  ASSERT_TRUE(pair.ok());
+  // A partial header followed by close: the reader must not hang and must
+  // report a truncation, not garbage.
+  const uint8_t partial[6] = {0x53, 0x50, 0x4d, 0x46, 1, 0};
+  ASSERT_EQ(::send(pair->first.fd(), partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  pair->first.Close();
+  auto frame = dist::RecvFrame(pair->second.fd());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+
+  // Clean close with no bytes at all: "peer closed".
+  auto pair2 = dist::CreateSocketPair();
+  ASSERT_TRUE(pair2.ok());
+  pair2->first.Close();
+  auto eof = dist::RecvFrame(pair2->second.fd());
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), StatusCode::kIOError);
+}
+
+TEST(TransportTest, OversizedAndBadMagicFramesAreRejected) {
+  auto pair = dist::CreateSocketPair();
+  ASSERT_TRUE(pair.ok());
+  // Header announcing a payload over the hard limit.
+  uint8_t header[16] = {0};
+  const uint32_t magic = dist::kFrameMagic;
+  const uint32_t type = 5;
+  const uint64_t huge = dist::kMaxFramePayload + 1;
+  memcpy(header, &magic, 4);
+  memcpy(header + 4, &type, 4);
+  memcpy(header + 8, &huge, 8);
+  ASSERT_EQ(::send(pair->first.fd(), header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  auto oversized = dist::RecvFrame(pair->second.fd());
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kInvalidArgument);
+
+  auto pair2 = dist::CreateSocketPair();
+  ASSERT_TRUE(pair2.ok());
+  uint8_t bad[16] = {0xde, 0xad, 0xbe, 0xef};
+  ASSERT_EQ(::send(pair2->first.fd(), bad, sizeof(bad), 0),
+            static_cast<ssize_t>(sizeof(bad)));
+  auto desync = dist::RecvFrame(pair2->second.fd());
+  ASSERT_FALSE(desync.ok());
+  EXPECT_EQ(desync.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- Multi-process execution ---------------------------------------------
+
+/// One in-process reference run over a fresh store.
+Result<ShardedRunResult> ReferenceRun(const SpinnerConfig& config,
+                                      const CsrGraph& g, int num_shards,
+                                      std::vector<PartitionId>* labels) {
+  auto store = ShardedGraphStore::Build(g, num_shards);
+  if (!store.ok()) return store.status();
+  ThreadPool pool(2);
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = RunShardedSpinner(config, &*store, no_labels, &pool, nullptr);
+  if (run.ok()) *labels = store->labels();
+  return run;
+}
+
+TEST(MultiProcessSpinnerTest, BitIdenticalToInProcessAcrossShapes) {
+  const CsrGraph g = SmallWorldConverted(1100, 21);
+  SpinnerConfig config;
+  config.num_partitions = 6;
+  config.seed = 7;
+  config.max_iterations = 10;
+  config.use_halting = false;
+
+  for (const int num_shards : {1, 2, 7}) {
+    std::vector<PartitionId> reference_labels;
+    auto reference =
+        ReferenceRun(config, g, num_shards, &reference_labels);
+    ASSERT_TRUE(reference.ok());
+    for (const int num_workers : {1, 3}) {
+      auto store = ShardedGraphStore::Build(g, num_shards);
+      ASSERT_TRUE(store.ok());
+      MultiProcessOptions options;
+      options.num_workers = num_workers;
+      std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+      auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                              options, nullptr);
+      ASSERT_TRUE(run.ok())
+          << "S=" << num_shards << " W=" << num_workers << ": "
+          << run.status();
+      EXPECT_EQ(store->labels(), reference_labels)
+          << "S=" << num_shards << " W=" << num_workers;
+      EXPECT_EQ(run->iterations, reference->iterations);
+      EXPECT_EQ(run->converged, reference->converged);
+      // The float convergence curves must match bit-for-bit too.
+      ASSERT_EQ(run->history.size(), reference->history.size());
+      for (size_t i = 0; i < run->history.size(); ++i) {
+        EXPECT_EQ(run->history[i].score, reference->history[i].score) << i;
+        EXPECT_EQ(run->history[i].phi, reference->history[i].phi) << i;
+        EXPECT_EQ(run->history[i].rho, reference->history[i].rho) << i;
+        EXPECT_EQ(run->history[i].loads, reference->history[i].loads) << i;
+      }
+    }
+  }
+}
+
+TEST(MultiProcessSpinnerTest, MoreWorkersThanShardsIsFine) {
+  const CsrGraph g = SmallWorldConverted(500, 5);
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  std::vector<PartitionId> reference_labels;
+  auto reference = ReferenceRun(config, g, 2, &reference_labels);
+  ASSERT_TRUE(reference.ok());
+
+  auto store = ShardedGraphStore::Build(g, 2);
+  ASSERT_TRUE(store.ok());
+  MultiProcessOptions options;
+  options.num_workers = 5;  // three workers own zero shards
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                          options, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(store->labels(), reference_labels);
+}
+
+TEST(MultiProcessSpinnerTest, StoreLoadsConsistentWithAssignment) {
+  const CsrGraph g = SmallWorldConverted(700, 9);
+  SpinnerConfig config;
+  config.num_partitions = 5;
+  auto store = ShardedGraphStore::Build(g, 4);
+  ASSERT_TRUE(store.ok());
+  MultiProcessOptions options;
+  options.num_workers = 2;
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                          options, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status();
+  std::vector<int64_t> expected(5, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    expected[store->labels()[v]] += g.WeightedDegree(v);
+  }
+  EXPECT_EQ(store->MergedLoads(), expected);
+}
+
+TEST(MultiProcessSpinnerTest, ObserverRunsCoordinatorSideAndCanCancel) {
+  const CsrGraph g = SmallWorldConverted(600, 13);
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.max_iterations = 50;
+  config.use_halting = false;
+  auto store = ShardedGraphStore::Build(g, 3);
+  ASSERT_TRUE(store.ok());
+  int iterations_seen = 0;
+  ProgressObserver observer;
+  observer.on_iteration = [&](const IterationPoint& pt) {
+    ++iterations_seen;
+    EXPECT_GT(pt.score, -1.0);
+    return iterations_seen < 3;  // stop after three iterations
+  };
+  MultiProcessOptions options;
+  options.num_workers = 2;
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                          options, &observer);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->cancelled);
+  EXPECT_EQ(iterations_seen, 3);
+  EXPECT_EQ(run->iterations, 3);
+}
+
+TEST(MultiProcessSpinnerTest, WorkerCrashMidSuperstepSurfacesStatus) {
+  const CsrGraph g = SmallWorldConverted(800, 17);
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.max_iterations = 20;
+  config.use_halting = false;
+  for (const int fail_worker : {0, 1}) {
+    auto store = ShardedGraphStore::Build(g, 4);
+    ASSERT_TRUE(store.ok());
+    MultiProcessOptions options;
+    options.num_workers = 2;
+    options.fail_after_score_steps = 2;  // dies in its 3rd ComputeScores
+    options.fail_worker = fail_worker;
+    std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+    auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                            options, nullptr);
+    ASSERT_FALSE(run.ok()) << "fail_worker=" << fail_worker;
+    EXPECT_EQ(run.status().code(), StatusCode::kIOError)
+        << run.status();
+    // The error names the worker so operators can find the corpse.
+    EXPECT_NE(run.status().message().find("died"), std::string::npos)
+        << run.status();
+  }
+}
+
+TEST(MultiProcessSpinnerTest, ResolveNumWorkersHonorsExplicitRequest) {
+  EXPECT_EQ(dist::ResolveNumWorkers(3, 8), 3);
+  EXPECT_GE(dist::ResolveNumWorkers(0, 8), 1);
+  EXPECT_LE(dist::ResolveNumWorkers(0, 8), 8);
+  EXPECT_EQ(dist::ResolveNumWorkers(0, 1), 1);
+}
+
+}  // namespace
+}  // namespace spinner

@@ -387,5 +387,87 @@ TEST(PartitioningSessionTest, CancellationTokenStopsTheRun) {
   EXPECT_TRUE(session.last_result().cancelled);
 }
 
+// --- Cross-process execution: the same lifecycle over worker processes ---
+
+TEST(MultiProcessSessionTest, LifecycleMatchesInProcessAcrossShapes) {
+  // The full Open → ApplyDelta → Rescale → Refine lifecycle must produce
+  // identical assignments whether the shards live on a ThreadPool or in
+  // forked worker processes, for every {num_shards, num_workers}.
+  const GeneratedGraph g = SmallWorld(31);
+  const auto reference =
+      LifecycleAssignments(g, SessionOptions{.num_shards = 1,
+                                             .num_threads = 1});
+  for (const int num_shards : {1, 2, 7}) {
+    for (const int num_workers : {1, 3}) {
+      const SessionOptions options{
+          .num_shards = num_shards,
+          .execution_mode = ExecutionMode::kMultiProcess,
+          .num_workers = num_workers};
+      const auto got = LifecycleAssignments(g, options);
+      ASSERT_EQ(got.size(), reference.size());
+      for (size_t step = 0; step < reference.size(); ++step) {
+        EXPECT_EQ(got[step], reference[step])
+            << "step " << step << " S=" << num_shards
+            << " W=" << num_workers;
+      }
+    }
+  }
+}
+
+TEST(MultiProcessSessionTest, FloatHistoriesMatchInProcess) {
+  const GeneratedGraph g = SmallWorld(23);
+  SpinnerConfig config = SmallConfig();
+  config.max_iterations = 8;
+  config.use_halting = false;
+
+  PartitioningSession in_process(config, SessionOptions{.num_shards = 3});
+  ASSERT_TRUE(
+      in_process.Open(g.num_vertices, g.edges, g.directed).ok());
+  PartitioningSession multi_process(
+      config, SessionOptions{.num_shards = 3,
+                             .execution_mode = ExecutionMode::kMultiProcess,
+                             .num_workers = 2});
+  ASSERT_TRUE(
+      multi_process.Open(g.num_vertices, g.edges, g.directed).ok());
+
+  const auto& a = in_process.last_result().history;
+  const auto& b = multi_process.last_result().history;
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].score, b[i].score) << i;
+    EXPECT_EQ(a[i].phi, b[i].phi) << i;
+    EXPECT_EQ(a[i].rho, b[i].rho) << i;
+    EXPECT_EQ(a[i].loads, b[i].loads) << i;
+  }
+  EXPECT_EQ(in_process.assignment(), multi_process.assignment());
+}
+
+TEST(MultiProcessSessionTest, ExecutionModeIsIntrospectableAndConfigDriven) {
+  PartitioningSession defaulted(SmallConfig());
+  EXPECT_EQ(defaulted.execution_mode(), ExecutionMode::kInProcess);
+
+  // num_workers is documented as ignored in-process: it must not flip an
+  // explicitly-in-process session into forking workers.
+  PartitioningSession workers_only(
+      SmallConfig(), SessionOptions{.num_workers = 2});
+  EXPECT_EQ(workers_only.execution_mode(), ExecutionMode::kInProcess);
+
+  PartitioningSession by_options(
+      SmallConfig(),
+      SessionOptions{.execution_mode = ExecutionMode::kMultiProcess});
+  EXPECT_EQ(by_options.execution_mode(), ExecutionMode::kMultiProcess);
+
+  // A config-driven process count selects multi-process execution too
+  // (the path partition_tool --processes takes).
+  SpinnerConfig config = SmallConfig();
+  config.num_processes = 2;
+  PartitioningSession by_config(config);
+  EXPECT_EQ(by_config.execution_mode(), ExecutionMode::kMultiProcess);
+
+  const GeneratedGraph g = SmallWorld();
+  ASSERT_TRUE(by_config.Open(g.num_vertices, g.edges, g.directed).ok());
+  ExpectValidAssignment(by_config);
+}
+
 }  // namespace
 }  // namespace spinner
