@@ -23,6 +23,7 @@
 // merely proves it executes.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <map>
 #include <memory>
 
@@ -120,6 +121,48 @@ void BM_IterationTime_Processes(benchmark::State& state, int64_t n) {
   state.counters["processes"] = processes;
 }
 
+/// Smoke-mode wire report: runs the cross-process mode over the fixed
+/// graph and prints the coordinator's wire counters — total and
+/// per-superstep bytes — so the CI bench artifact tracks the
+/// O(V·workers) → O(boundary) label-traffic trajectory across PRs.
+void PrintWireReport(int64_t n) {
+  const CsrGraph& g = CachedWsGraph(n);
+  for (const int processes : {1, 2}) {
+    SpinnerConfig config;
+    config.num_partitions = 64;
+    config.num_processes = processes;
+    // Pin the shard count so the reported boundary sizes and byte counts
+    // are comparable across runners (auto-resolution follows the host's
+    // core count).
+    config.num_shards = 8;
+    config.max_iterations = 3;
+    config.use_halting = false;
+    config.record_history = false;
+    SpinnerPartitioner partitioner(config);
+    auto result = partitioner.Partition(g);
+    SPINNER_CHECK(result.ok());
+    const WireTraffic& wire = result->wire;
+    std::printf(
+        "wire_traffic processes=%d vertices=%lld bytes_sent=%lld "
+        "bytes_received=%lld frames_sent=%lld chunked_messages=%lld "
+        "subscribed_vertices=%lld label_values_sent=%lld "
+        "delta_entries_sent=%lld\n",
+        processes, static_cast<long long>(n),
+        static_cast<long long>(wire.bytes_sent),
+        static_cast<long long>(wire.bytes_received),
+        static_cast<long long>(wire.frames_sent),
+        static_cast<long long>(wire.chunked_messages),
+        static_cast<long long>(wire.subscribed_vertices),
+        static_cast<long long>(wire.label_values_sent),
+        static_cast<long long>(wire.delta_entries_sent));
+    for (size_t step = 0; step < wire.per_superstep_bytes.size(); ++step) {
+      std::printf("wire_superstep processes=%d step=%zu bytes=%lld\n",
+                  processes, step,
+                  static_cast<long long>(wire.per_superstep_bytes[step]));
+    }
+  }
+}
+
 void RegisterAll(bool smoke) {
   // Smoke mode shrinks everything so CI executes every curve in seconds.
   const int64_t n_min = smoke ? 2048 : 16384;
@@ -184,5 +227,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  // The wire report rides the smoke artifact so the perf trajectory
+  // includes per-superstep wire bytes, not just wall times.
+  if (smoke) spinner::bench::PrintWireReport(/*n=*/8192);
   return 0;
 }

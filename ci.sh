@@ -11,10 +11,18 @@
 # Cross-process mode (one Release configuration):
 #   ./ci.sh --mode=multiprocess
 # Builds Release, runs the dist-subsystem tests (wire format, transport,
-# multi-process invariance and crash paths), then smoke-tests
-# `partition_tool --processes=3` and diffs its assignment byte-for-byte
-# against the in-process run — the execution mode must never change the
-# partitioning.
+# chunked streaming, multi-process invariance and crash paths), then
+# smoke-tests `partition_tool --processes=3` and diffs its assignment
+# byte-for-byte against the in-process run — the execution mode must never
+# change the partitioning.
+#
+# Wire-stress mode (one Release configuration):
+#   ./ci.sh --mode=wire-stress
+# The multiprocess lane with the transport's frame payload ceiling forced
+# to 4 KiB (SPINNER_WIRE_MAX_PAYLOAD + --wire-max-payload): every Setup
+# slice download, label transfer and snapshot upload exceeds one frame, so
+# the chunk split/reassembly paths execute end-to-end on every push and
+# the result must still be byte-identical to in-process.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -31,8 +39,10 @@ for arg in "$@"; do
       exit 2
       ;;
     --mode=multiprocess) MODE="multiprocess" ;;
+    --mode=wire-stress) MODE="wire-stress" ;;
     --mode=*)
-      echo "ci.sh: unknown mode '${arg#--mode=}' (multiprocess)" >&2
+      echo "ci.sh: unknown mode '${arg#--mode=}'" \
+        "(multiprocess|wire-stress)" >&2
       exit 2
       ;;
     *)
@@ -43,8 +53,16 @@ for arg in "$@"; do
 done
 
 if [[ -n "${MODE}" ]]; then
-  build_dir="build-ci-multiprocess"
-  echo "=== Release (-Werror, cross-process lane) ==="
+  build_dir="build-ci-${MODE}"
+  wire_flags=()
+  if [[ "${MODE}" == "wire-stress" ]]; then
+    # Force every whole-graph message across many 4 KiB frames: the env
+    # var covers the ctest processes, the explicit flag additionally
+    # exercises the config/CLI plumbing in the smoke run.
+    export SPINNER_WIRE_MAX_PAYLOAD=4096
+    wire_flags=(--wire-max-payload=4096)
+  fi
+  echo "=== Release (-Werror, ${MODE} lane) ==="
   cmake -B "${build_dir}" -S . \
     -DCMAKE_BUILD_TYPE=Release \
     -DSPINNER_WERROR=ON
@@ -58,6 +76,8 @@ if [[ -n "${MODE}" ]]; then
   echo "=== partition_tool --processes=3 smoke (byte-for-byte diff) ==="
   smoke_dir="$(mktemp -d)"
   trap 'rm -rf "${smoke_dir}"' EXIT
+  # 5000 vertices: the label array alone is ~20 KiB and each shard slice
+  # far larger, so under wire-stress every transfer needs several chunks.
   "./${build_dir}/partition_tool" generate \
     --out="${smoke_dir}/edges.txt" --vertices=5000 --seed=7
   "./${build_dir}/partition_tool" partition \
@@ -65,9 +85,10 @@ if [[ -n "${MODE}" ]]; then
     --out="${smoke_dir}/in_process.txt"
   "./${build_dir}/partition_tool" partition \
     --input="${smoke_dir}/edges.txt" --k=16 --seed=11 --processes=3 \
+    ${wire_flags[@]+"${wire_flags[@]}"} \
     --out="${smoke_dir}/multi_process.txt"
   cmp "${smoke_dir}/in_process.txt" "${smoke_dir}/multi_process.txt"
-  echo "ci.sh: multiprocess assignment is byte-identical to in-process"
+  echo "ci.sh: ${MODE} assignment is byte-identical to in-process"
   exit 0
 fi
 

@@ -32,8 +32,11 @@
 // --shards (graph-store shards for the parallel partitioners),
 // --threads (OS threads), --processes (fork N ShardWorker processes and
 // run cross-process; 0 = in-process — none of the execution-shape flags
-// changes results), --balance=edges|vertices.
+// changes results), --wire-max-payload (cross-process frame payload
+// ceiling in bytes; larger messages stream across chunk frames),
+// --balance=edges|vertices.
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "baselines/partitioner_registry.h"
@@ -98,6 +101,19 @@ PartitionerOptions OptionsFrom(const CommandLine& cli) {
   options.num_shards = static_cast<int>(cli.GetInt("shards", 0));
   options.num_threads = static_cast<int>(cli.GetInt("threads", 0));
   options.num_processes = static_cast<int>(cli.GetInt("processes", 0));
+  // Cross-process transport: frame payload ceiling in bytes; larger
+  // messages stream across chunk frames (0 = transport default). The
+  // wire-stress CI lane forces this tiny to execute every chunk path.
+  // Negative values would wrap through the unsigned cast into a silently
+  // clamped huge limit; reject them here with a real diagnostic.
+  const int64_t wire_max_payload = cli.GetInt("wire-max-payload", 0);
+  if (wire_max_payload < 0) {
+    std::fprintf(stderr,
+                 "error: --wire-max-payload must be >= 0 (got %lld)\n",
+                 static_cast<long long>(wire_max_payload));
+    std::exit(2);
+  }
+  options.wire_max_payload = static_cast<uint64_t>(wire_max_payload);
   if (cli.GetString("balance", "edges") == "vertices") {
     options.spinner.balance_mode = BalanceMode::kVertices;
     options.balance_on_edges = false;

@@ -47,6 +47,12 @@ struct PartitionerOptions {
   int num_threads = 0;
   int num_processes = 0;
 
+  /// Cross-process wire transport: per-frame payload ceiling in bytes
+  /// (larger messages stream across chunk frames). 0 = transport default
+  /// (SPINNER_WIRE_MAX_PAYLOAD env override, or 1 GiB). Ignored
+  /// in-process.
+  uint64_t wire_max_payload = 0;
+
   /// Fennel: γ exponent and ν balance cap (WSDM'14 defaults).
   double fennel_gamma = 1.5;
   double fennel_balance_cap = 1.1;

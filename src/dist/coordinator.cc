@@ -40,6 +40,7 @@ Status Coordinator::Spawn(const SpinnerConfig& config,
     return Status::InvalidArgument(
         StrFormat("num_workers must be >= 1 (got %d)", num_workers));
   }
+  transport_ = options.transport;
   const int S = store.num_shards();
   for (int w = 0; w < num_workers; ++w) {
     auto pair = CreateSocketPair();
@@ -57,10 +58,12 @@ Status Coordinator::Spawn(const SpinnerConfig& config,
     if (pid == 0) {
       // Child: drop every descriptor that is not this worker's own
       // connection, so a dead sibling's socket reads EOF promptly and the
-      // coordinator's death is observable.
+      // coordinator's death is observable. The transport options cross
+      // the fork by inheritance — both sides always agree on the frame
+      // payload ceiling.
       coordinator_end.Close();
       for (Worker& sibling : workers_) sibling.socket.Close();
-      _exit(RunShardWorkerLoop(worker_end.Release()));
+      _exit(RunShardWorkerLoop(worker_end.Release(), transport_));
     }
     worker_end.Close();
     Worker worker;
@@ -80,7 +83,8 @@ Status Coordinator::Spawn(const SpinnerConfig& config,
   }
 
   // Shard slice download: each worker receives its Setup with the slices
-  // it owns (graph/binary_io SPSL encoding).
+  // it owns (graph/binary_io SPSL encoding), streamed across chunk frames
+  // when it exceeds the frame payload ceiling.
   for (int w = 0; w < num_workers; ++w) {
     SetupMessage setup;
     setup.num_partitions = config.num_partitions;
@@ -106,10 +110,50 @@ Status Coordinator::Spawn(const SpinnerConfig& config,
   return Status::OK();
 }
 
+Status Coordinator::CollectSubscriptions(const ShardedGraphStore& store) {
+  const int64_t n = store.NumVertices();
+  for (int w = 0; w < num_workers(); ++w) {
+    SPINNER_ASSIGN_OR_RETURN(Frame frame,
+                             RecvFrom(w, MessageType::kSubscribe));
+    SPINNER_ASSIGN_OR_RETURN(SubscribeMessage subscribe,
+                             SubscribeMessage::Decode(frame.payload));
+    // A worker's shards are one contiguous ascending range (assigned in
+    // Spawn), so ownership is a single interval test per vertex — the
+    // boundary can approach V, this loop must not be O(shards) per entry.
+    const std::vector<int32_t>& shards = workers_[w].shards;
+    const VertexId owned_begin =
+        shards.empty() ? 0 : store.shard(shards.front()).begin;
+    const VertexId owned_end =
+        shards.empty() ? 0 : store.shard(shards.back()).end;
+    VertexId previous = -1;
+    for (const VertexId v : subscribe.vertices) {
+      if (v < 0 || v >= n) {
+        return Status::Internal(StrFormat(
+            "worker %d subscribed to out-of-range vertex %lld", w,
+            static_cast<long long>(v)));
+      }
+      if (v <= previous) {
+        return Status::Internal(StrFormat(
+            "worker %d subscription is not strictly ascending", w));
+      }
+      previous = v;
+      if (v >= owned_begin && v < owned_end) {
+        return Status::Internal(StrFormat(
+            "worker %d subscribed to vertex %lld it owns", w,
+            static_cast<long long>(v)));
+      }
+    }
+    workers_[w].subscription = std::move(subscribe.vertices);
+  }
+  return Status::OK();
+}
+
 Status Coordinator::SendTo(int w, MessageType type,
                            std::span<const uint8_t> payload) {
-  const Status status = SendFrame(workers_[static_cast<size_t>(w)].socket.fd(),
-                                  static_cast<uint32_t>(type), payload);
+  const Status status =
+      SendMessage(workers_[static_cast<size_t>(w)].socket.fd(),
+                  static_cast<uint32_t>(type), payload, transport_,
+                  next_message_id_++, &counters_);
   if (!status.ok()) {
     return Status::IOError(StrFormat(
         "worker %d (pid %d) unreachable: %s", w,
@@ -129,12 +173,19 @@ Status Coordinator::SendToAll(MessageType type,
 
 Result<Frame> Coordinator::RecvFrom(int w, MessageType expected) {
   Result<Frame> frame =
-      RecvFrame(workers_[static_cast<size_t>(w)].socket.fd());
+      RecvMessage(workers_[static_cast<size_t>(w)].socket.fd(), transport_,
+                  &counters_);
   if (!frame.ok()) {
-    return Status::IOError(StrFormat(
-        "worker %d (pid %d) died mid-superstep: %s", w,
-        static_cast<int>(workers_[static_cast<size_t>(w)].pid),
-        frame.status().message().c_str()));
+    // EOF/EPIPE means the worker process is gone; anything else (chunk
+    // reassembly rejections are InvalidArgument) is a live worker with a
+    // corrupt stream — keep the code so operators chase the right bug.
+    const bool died = frame.status().code() == StatusCode::kIOError;
+    return Status(
+        frame.status().code(),
+        StrFormat(died ? "worker %d (pid %d) died mid-superstep: %s"
+                       : "worker %d (pid %d) sent a corrupt stream: %s",
+                  w, static_cast<int>(workers_[static_cast<size_t>(w)].pid),
+                  frame.status().message().c_str()));
   }
   if (frame->type == static_cast<uint32_t>(MessageType::kError)) {
     auto error = ErrorMessage::Decode(frame->payload);
@@ -193,6 +244,17 @@ void Coordinator::ForceKill() {
 
 namespace {
 
+/// Folds the coordinator's connection counters into a run's WireTraffic
+/// totals (the per-message/entry counters are the backend's own).
+void CopyCounters(const WireCounters& counters, WireTraffic* out) {
+  out->bytes_sent = counters.bytes_sent;
+  out->bytes_received = counters.bytes_received;
+  out->frames_sent = counters.frames_sent;
+  out->frames_received = counters.frames_received;
+  out->chunked_messages =
+      counters.chunked_messages_sent + counters.chunked_messages_received;
+}
+
 /// The cross-process SuperstepBackend: each phase is one lockstep RPC
 /// round. The coordinator-side store is kept authoritative after every
 /// round (labels via slices/deltas, loads via the replies' vectors), so
@@ -203,8 +265,23 @@ class MultiProcessBackend final : public SuperstepBackend {
                       Coordinator* coordinator)
       : config_(config), store_(store), coordinator_(coordinator) {}
 
+  Status SetupSubscriptions() override {
+    SPINNER_RETURN_IF_ERROR(coordinator_->CollectSubscriptions(*store_));
+    for (int w = 0; w < coordinator_->num_workers(); ++w) {
+      wire_.subscribed_vertices +=
+          static_cast<int64_t>(coordinator_->subscription(w).size());
+    }
+    return Status::OK();
+  }
+
+  void CollectWireTraffic(WireTraffic* out) override {
+    CopyCounters(coordinator_->counters(), &wire_);
+    *out = wire_;
+  }
+
   Status Initialize(const std::vector<PartitionId>& initial_labels,
                     InitOutcome* out) override {
+    const int64_t step_start = coordinator_->counters().bytes_sent;
     InitRequest request;
     request.initial_labels = initial_labels;
     SPINNER_RETURN_IF_ERROR(
@@ -218,18 +295,33 @@ class MultiProcessBackend final : public SuperstepBackend {
                                ShardStateReply::Decode(frame.payload));
       SPINNER_RETURN_IF_ERROR(ApplyShardStates(w, reply, out));
     }
-    // Every worker now needs the other workers' initial label slices: one
-    // full-array broadcast seeds the mirrors; afterwards only deltas flow.
-    LabelsBroadcast broadcast;
-    broadcast.labels = store_->labels();
-    return coordinator_->SendToAll(MessageType::kLabels,
-                                   broadcast.Encode());
+    // Seed each worker's boundary mirror: the labels of exactly its
+    // subscribed vertices, in subscription order — the cut-proportional
+    // replacement of the full-array broadcast. Afterwards only
+    // subscription-filtered deltas flow.
+    const std::vector<PartitionId>& labels = store_->labels();
+    for (int w = 0; w < coordinator_->num_workers(); ++w) {
+      const std::vector<VertexId>& subscription =
+          coordinator_->subscription(w);
+      LabelValues values;
+      values.values.reserve(subscription.size());
+      for (const VertexId v : subscription) {
+        values.values.push_back(labels[v]);
+      }
+      wire_.label_values_sent +=
+          static_cast<int64_t>(values.values.size());
+      SPINNER_RETURN_IF_ERROR(
+          coordinator_->SendTo(w, MessageType::kLabels, values.Encode()));
+    }
+    FinishStep(step_start);
+    return Status::OK();
   }
 
   Status ComputeScores(int64_t superstep,
                        const std::vector<int64_t>& global_loads,
                        const std::vector<double>& capacities,
                        ScoreOutcome* out) override {
+    const int64_t step_start = coordinator_->counters().bytes_sent;
     ScoresRequest request;
     request.superstep = superstep;
     request.global_loads = global_loads;
@@ -277,6 +369,7 @@ class MultiProcessBackend final : public SuperstepBackend {
         out->migration_counts[l] += reply.migration_counts[l];
       }
     }
+    FinishStep(step_start);
     return Status::OK();
   }
 
@@ -285,6 +378,7 @@ class MultiProcessBackend final : public SuperstepBackend {
                            const std::vector<double>& capacities,
                            const std::vector<int64_t>& migration_counts,
                            MigrateOutcome* out) override {
+    const int64_t step_start = coordinator_->counters().bytes_sent;
     MigrateRequest request;
     request.superstep = superstep;
     request.global_loads = global_loads;
@@ -294,7 +388,11 @@ class MultiProcessBackend final : public SuperstepBackend {
         coordinator_->SendToAll(MessageType::kMigrate, request.Encode()));
     out->migrated = 0;
     out->messages_out.assign(static_cast<size_t>(store_->num_shards()), 0);
-    ApplyDeltasMessage deltas;
+    // Workers own contiguous ascending ranges, replies are read in worker
+    // order and each shard's moves are ascending, so `moves` stays
+    // globally ascending by vertex — the invariant the per-worker
+    // subscription filter's merge walk relies on.
+    std::vector<LabelDelta> moves;
     std::vector<PartitionId>& labels = store_->labels();
     for (int w = 0; w < coordinator_->num_workers(); ++w) {
       SPINNER_ASSIGN_OR_RETURN(Frame frame,
@@ -316,23 +414,41 @@ class MultiProcessBackend final : public SuperstepBackend {
         store_->mutable_shard(result.shard).loads = result.loads;
         out->messages_out[result.shard] = result.messages;
         out->migrated += result.migrated;
-        // Workers own contiguous ascending ranges and replies arrive in
-        // worker order, so appending preserves the fixed shard order.
-        deltas.moves.insert(deltas.moves.end(), result.moves.begin(),
-                            result.moves.end());
+        moves.insert(moves.end(), result.moves.begin(),
+                     result.moves.end());
       }
     }
-    // Broadcast the merged deltas and gate the iteration on every mirror
-    // matching the coordinator's label array.
-    SPINNER_RETURN_IF_ERROR(coordinator_->SendToAll(
-        MessageType::kApplyDeltas, deltas.Encode()));
-    const uint64_t expected = ChecksumLabels(labels);
+    // Send each worker only the deltas for vertices it subscribed to (its
+    // own moves were applied locally in HandleMigrate), then gate the
+    // iteration on every worker's owned+mirror checksum matching the
+    // authoritative label array.
+    for (int w = 0; w < coordinator_->num_workers(); ++w) {
+      const std::vector<VertexId>& subscription =
+          coordinator_->subscription(w);
+      ApplyDeltasMessage deltas;
+      size_t cursor = 0;
+      for (const LabelDelta& move : moves) {
+        while (cursor < subscription.size() &&
+               subscription[cursor] < move.vertex) {
+          ++cursor;
+        }
+        if (cursor < subscription.size() &&
+            subscription[cursor] == move.vertex) {
+          deltas.moves.push_back(move);
+        }
+      }
+      wire_.delta_entries_sent +=
+          static_cast<int64_t>(deltas.moves.size());
+      SPINNER_RETURN_IF_ERROR(coordinator_->SendTo(
+          w, MessageType::kApplyDeltas, deltas.Encode()));
+    }
     for (int w = 0; w < coordinator_->num_workers(); ++w) {
       SPINNER_ASSIGN_OR_RETURN(Frame frame,
                                coordinator_->RecvFrom(
                                    w, MessageType::kDeltasAck));
       SPINNER_ASSIGN_OR_RETURN(DeltasAck ack,
                                DeltasAck::Decode(frame.payload));
+      const uint64_t expected = ExpectedStateChecksum(w);
       if (ack.labels_checksum != expected) {
         return Status::Internal(StrFormat(
             "worker %d label mirror diverged after superstep %lld "
@@ -342,6 +458,7 @@ class MultiProcessBackend final : public SuperstepBackend {
             static_cast<unsigned long long>(expected)));
       }
     }
+    FinishStep(step_start);
     return Status::OK();
   }
 
@@ -377,6 +494,30 @@ class MultiProcessBackend final : public SuperstepBackend {
   }
 
  private:
+  /// What worker w's DeltasAck digest must be, computed from the
+  /// coordinator's authoritative labels: owned slices in ascending shard
+  /// order, then subscribed mirror values in subscription order — the
+  /// exact fold the worker performs over its own state.
+  uint64_t ExpectedStateChecksum(int w) const {
+    const std::vector<PartitionId>& labels = store_->labels();
+    LabelChecksum sum;
+    for (const int32_t s : coordinator_->owned_shards(w)) {
+      const ShardedGraphStore::Shard& shard = store_->shard(s);
+      sum.Update(std::span<const PartitionId>(labels).subspan(
+          static_cast<size_t>(shard.begin),
+          static_cast<size_t>(shard.end - shard.begin)));
+    }
+    for (const VertexId v : coordinator_->subscription(w)) {
+      sum.UpdateOne(labels[v]);
+    }
+    return sum.digest();
+  }
+
+  void FinishStep(int64_t step_start_bytes) {
+    wire_.per_superstep_bytes.push_back(
+        coordinator_->counters().bytes_sent - step_start_bytes);
+  }
+
   Status CheckReplyShards(int w, const MigrateReply& reply) const {
     const std::vector<int32_t>& owned = coordinator_->owned_shards(w);
     if (reply.shards.size() != owned.size()) {
@@ -400,6 +541,7 @@ class MultiProcessBackend final : public SuperstepBackend {
   const SpinnerConfig& config_;
   ShardedGraphStore* store_;
   Coordinator* coordinator_;
+  WireTraffic wire_;
 };
 
 /// Final cross-process consistency gate: every worker's shard state must
@@ -469,6 +611,9 @@ Result<ShardedRunResult> RunMultiProcessSpinner(
     return verified;
   }
   SPINNER_RETURN_IF_ERROR(coordinator.Shutdown());
+  // Snapshot/teardown bytes postdate the driver's collection; refresh the
+  // totals so the reported traffic covers the whole run.
+  CopyCounters(coordinator.counters(), &run->wire);
   return run;
 }
 

@@ -1,20 +1,29 @@
 // Coordinator: the master side of the cross-process execution mode. It
 // forks ShardWorker processes connected by Unix-domain socket pairs,
-// downloads each worker's shard slices (Setup), and implements the
-// SuperstepBackend interface by turning every superstep phase into one
-// lockstep RPC round — so DriveSpinnerSupersteps runs the exact same
-// master schedule over processes as it does over ThreadPool tasks, and
-// RunMultiProcessSpinner is bit-identical to RunShardedSpinner for every
-// {num_shards, num_workers} (the invariance tests assert assignments AND
-// float φ/ρ/score histories).
+// downloads each worker's shard slices (Setup, streamed across chunk
+// frames for graphs of any size), collects each worker's boundary
+// subscription, and implements the SuperstepBackend interface by turning
+// every superstep phase into one lockstep RPC round — so
+// DriveSpinnerSupersteps runs the exact same master schedule over
+// processes as it does over ThreadPool tasks, and RunMultiProcessSpinner
+// is bit-identical to RunShardedSpinner for every {num_shards,
+// num_workers} (the invariance tests assert assignments AND float
+// φ/ρ/score histories).
+//
+// Label traffic is cut-proportional: after Init each worker receives the
+// labels of exactly its subscribed (out-of-range neighbor) vertices, and
+// each iteration's delta broadcast is filtered per worker to its
+// subscription — O(boundary) bytes per superstep instead of O(V·workers).
+// The WireCounters expose this for tests and the bench wire report.
 //
 // Failure contract: a worker that dies mid-superstep (EOF/EPIPE on its
 // socket) or sends a malformed reply surfaces as a non-OK Status from the
 // run — never a hang — and every remaining worker is force-killed and
 // reaped before the error returns. Cross-process state is verified, not
-// assumed: each iteration's delta broadcast is acknowledged with a label
-// checksum, and a final Snapshot round checks every worker's shard state
-// against the coordinator's merged view bit-for-bit.
+// assumed: each iteration's delta broadcast is acknowledged with a
+// checksum over the worker's owned slices and subscribed mirror, and a
+// final Snapshot round checks every worker's shard state against the
+// coordinator's merged view bit-for-bit.
 #ifndef SPINNER_DIST_COORDINATOR_H_
 #define SPINNER_DIST_COORDINATOR_H_
 
@@ -37,6 +46,10 @@ namespace spinner::dist {
 struct MultiProcessOptions {
   /// Worker processes to fork (0 = min(num_shards, hardware threads)).
   int num_workers = 0;
+
+  /// Transport knobs (frame payload ceiling, reassembly guard), shared
+  /// with every forked worker. Defaults honor SPINNER_WIRE_MAX_PAYLOAD.
+  TransportOptions transport = TransportOptions::FromEnv();
 
   /// Test hooks: worker `fail_worker` calls _exit(3) right before replying
   /// to its (fail_after_score_steps+1)-th ComputeScores request — a
@@ -64,6 +77,12 @@ class Coordinator {
   Status Spawn(const SpinnerConfig& config, const ShardedGraphStore& store,
                int num_workers, const MultiProcessOptions& options);
 
+  /// Receives every worker's Subscribe message (its out-of-range neighbor
+  /// set, sent right after Setup) and builds the per-worker subscription
+  /// index, validating each set against `store` (strictly ascending,
+  /// in-range, none owned by the sender). Must run once, before Init.
+  Status CollectSubscriptions(const ShardedGraphStore& store);
+
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
   /// Global shard ids owned by worker `w`, ascending.
@@ -71,15 +90,25 @@ class Coordinator {
     return workers_[static_cast<size_t>(w)].shards;
   }
 
-  /// Sends one frame to worker `w` / to every worker.
+  /// Vertices worker `w` subscribed to (ascending); empty until
+  /// CollectSubscriptions succeeds.
+  const std::vector<VertexId>& subscription(int w) const {
+    return workers_[static_cast<size_t>(w)].subscription;
+  }
+
+  /// Sends one message to worker `w` / to every worker (chunked across
+  /// frames when it exceeds the transport's payload ceiling).
   Status SendTo(int w, MessageType type, std::span<const uint8_t> payload);
   Status SendToAll(MessageType type, std::span<const uint8_t> payload);
 
-  /// Receives the next frame from worker `w` and checks its type. An
+  /// Receives the next message from worker `w` and checks its type. An
   /// Error frame decodes into the worker's Status; EOF (a dead worker)
   /// becomes an IOError naming the worker — callers never hang on a
   /// crashed process.
   Result<Frame> RecvFrom(int w, MessageType expected);
+
+  /// Bytes/frames moved through this coordinator, all workers combined.
+  const WireCounters& counters() const { return counters_; }
 
   /// Clean teardown handshake + reap. Force-kills (and still reaps) every
   /// worker if any step fails, then returns the first error.
@@ -93,9 +122,14 @@ class Coordinator {
     pid_t pid = -1;
     UnixSocket socket;
     std::vector<int32_t> shards;
+    /// Ascending out-of-range neighbor set the worker subscribed to.
+    std::vector<VertexId> subscription;
   };
 
   std::vector<Worker> workers_;
+  TransportOptions transport_;
+  WireCounters counters_;
+  uint64_t next_message_id_ = 1;
 };
 
 /// Runs Spinner label propagation over `store` across forked worker
@@ -103,8 +137,9 @@ class Coordinator {
 /// same contract: on success store->labels() holds the final assignment
 /// and every shard's load counters are consistent with it, and the result
 /// (assignment and float history) is bit-identical to the in-process path
-/// for every {num_shards, num_workers}. `observer` runs coordinator-side
-/// and may be null.
+/// for every {num_shards, num_workers}. The result's `wire` field reports
+/// the run's wire traffic. `observer` runs coordinator-side and may be
+/// null.
 Result<ShardedRunResult> RunMultiProcessSpinner(
     const SpinnerConfig& config, ShardedGraphStore* store,
     std::vector<PartitionId> initial_labels,

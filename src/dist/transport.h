@@ -1,8 +1,20 @@
 // Frame transport for the cross-process execution mode: length-prefixed
-// binary frames over Unix-domain stream sockets. This is the lowest layer
-// of the dist subsystem — it moves opaque byte payloads reliably (full
-// frames or a clean Status error, never a torn read) and knows nothing
-// about Spinner; message payload layouts live in dist/wire_format.h.
+// binary frames over Unix-domain stream sockets, plus a chunked message
+// layer that streams payloads of any size across many frames. This is the
+// lowest layer of the dist subsystem — it moves opaque byte payloads
+// reliably (full messages or a clean Status error, never a torn read) and
+// knows nothing about Spinner; message payload layouts live in
+// dist/wire_format.h.
+//
+// The effective per-frame payload ceiling is a runtime knob
+// (TransportOptions::max_frame_payload, default 1 GiB). SendMessage splits
+// anything larger into chunk frames carrying a fixed envelope (message id,
+// chunk index/count, total size, per-message checksum); RecvMessage
+// reassembles them, rejecting out-of-order, duplicate, missing, zero-length
+// and oversized chunks — and any total above max_message_size — BEFORE
+// allocating, so no corrupt header can OOM or stall the receiver. Forcing
+// max_frame_payload tiny (the wire-stress CI lane uses 4 KiB via
+// SPINNER_WIRE_MAX_PAYLOAD) drives every chunk path on ordinary graphs.
 //
 // Failure semantics are load-bearing for the coordinator's no-hang
 // guarantee: a peer that dies mid-superstep surfaces as an IOError from
@@ -68,10 +80,65 @@ Result<std::pair<UnixSocket, UnixSocket>> CreateSocketPair();
 /// foreign byte streams immediately.
 inline constexpr uint32_t kFrameMagic = 0x464d5053u;
 
-/// Hard ceiling on a frame payload. A header announcing more than this is
-/// rejected as malformed before any allocation, so a corrupt length field
-/// cannot OOM the receiver or stall it waiting for absent bytes.
+/// Absolute ceiling on a single frame payload (1 GiB) and the default of
+/// TransportOptions::max_frame_payload. A header announcing more than the
+/// effective limit is rejected as malformed before any allocation, so a
+/// corrupt length field cannot OOM the receiver or stall it waiting for
+/// absent bytes.
 inline constexpr uint64_t kMaxFramePayload = 1ull << 30;
+
+/// Smallest configurable frame payload: the chunk envelope plus some
+/// actual bytes must fit in every frame. SpinnerConfig::Validate repeats
+/// this bound as a literal (spinner/ cannot include dist/); a static_assert
+/// in transport.cc keeps the two in sync.
+inline constexpr uint64_t kMinFramePayload = 64;
+
+/// Default ceiling on a reassembled chunked message (1 TiB): the
+/// allocation guard of the chunk layer, far above any realistic transfer
+/// but finite so a corrupt total_size still fails cleanly.
+inline constexpr uint64_t kMaxMessageSize = 1ull << 40;
+
+/// Frame type reserved for chunk-envelope frames; dist/wire_format.h's
+/// MessageType values must stay clear of it.
+inline constexpr uint32_t kChunkFrameType = 0xffffffffu;
+
+/// Runtime knobs of the transport. Both sides of a connection must use
+/// the same options; the coordinator passes its options into the forked
+/// worker, so one MultiProcessOptions is the single source of truth.
+struct TransportOptions {
+  /// Effective per-frame payload ceiling. Messages larger than this are
+  /// chunked by SendMessage. Clamped to [kMinFramePayload,
+  /// kMaxFramePayload] by FromEnv/Resolve.
+  uint64_t max_frame_payload = kMaxFramePayload;
+
+  /// Reassembly allocation guard: a chunked message announcing a larger
+  /// total is rejected before allocation.
+  uint64_t max_message_size = kMaxMessageSize;
+
+  /// Default options, honoring the SPINNER_WIRE_MAX_PAYLOAD environment
+  /// variable (bytes; clamped into the valid range) when set — how the
+  /// wire-stress CI lane forces every chunk path without touching call
+  /// sites.
+  static TransportOptions FromEnv();
+
+  /// FromEnv(), with `max_frame_payload_override` (when non-zero, e.g.
+  /// SpinnerConfig::wire_max_payload) winning over the environment.
+  static TransportOptions Resolve(uint64_t max_frame_payload_override);
+};
+
+/// Byte/frame counters of one connection endpoint, updated by
+/// SendMessage/RecvMessage (header + payload bytes). The coordinator
+/// aggregates these across workers — the observability hook behind the
+/// O(boundary) wire-traffic assertions and the bench-smoke wire report.
+struct WireCounters {
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t frames_sent = 0;
+  int64_t frames_received = 0;
+  /// Messages that crossed the wire in more than one frame.
+  int64_t chunked_messages_sent = 0;
+  int64_t chunked_messages_received = 0;
+};
 
 /// One decoded frame: a type tag (dist/wire_format.h's MessageType) and an
 /// opaque payload.
@@ -81,13 +148,45 @@ struct Frame {
 };
 
 /// Writes one frame: { magic u32 | type u32 | payload_size u64 | payload }.
-/// Blocks until fully written; IOError on a closed/dead peer.
-Status SendFrame(int fd, uint32_t type, std::span<const uint8_t> payload);
+/// Fails (InvalidArgument) if the payload exceeds
+/// `options.max_frame_payload` — callers with larger messages use
+/// SendMessage. Blocks until fully written; IOError on a closed/dead peer.
+Status SendFrame(int fd, uint32_t type, std::span<const uint8_t> payload,
+                 const TransportOptions& options = {});
 
 /// Reads exactly one frame. IOError on EOF or a short read (peer died,
-/// truncated frame), InvalidArgument on bad magic or an oversized
-/// announced payload.
-Result<Frame> RecvFrame(int fd);
+/// truncated frame), InvalidArgument on bad magic or an announced payload
+/// above `options.max_frame_payload`.
+Result<Frame> RecvFrame(int fd, const TransportOptions& options = {});
+
+/// Sends one message of any size: payloads within the frame limit travel
+/// as one plain frame; larger payloads are split into chunk frames whose
+/// envelope carries `message_id` (unique per sender), the original `type`,
+/// chunk index/count, the total size and an FNV-1a checksum over the whole
+/// payload. `counters` (optional) accrues bytes/frames sent.
+Status SendMessage(int fd, uint32_t type, std::span<const uint8_t> payload,
+                   const TransportOptions& options, uint64_t message_id,
+                   WireCounters* counters = nullptr);
+
+/// Receives one message: a plain frame is returned as-is; a chunk frame
+/// triggers reassembly of the full message, validating the envelope of
+/// every chunk (same message id/type/count/total/checksum, strictly
+/// sequential indices, no zero-length or oversized chunks) and the total
+/// size against `options.max_message_size` BEFORE allocating, then the
+/// per-message checksum after the last chunk. Every violation is a
+/// descriptive InvalidArgument — never a hang or an unbounded allocation.
+Result<Frame> RecvMessage(int fd, const TransportOptions& options = {},
+                          WireCounters* counters = nullptr);
+
+/// FNV-1a offset basis — the seed of an empty ChecksumBytes fold.
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+/// FNV-1a over raw bytes, continuing from `seed` — the per-message
+/// integrity checksum of the chunk layer, and the single FNV
+/// implementation behind dist/wire_format.h's label checksums
+/// (incremental folds chain the previous digest as the seed).
+uint64_t ChecksumBytes(std::span<const uint8_t> bytes,
+                       uint64_t seed = kFnvOffsetBasis);
 
 }  // namespace spinner::dist
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "dist/transport.h"
 #include "graph/binary_io.h"
 
 namespace spinner::dist {
@@ -66,6 +67,14 @@ std::vector<uint8_t> EncodeSetupFromStore(const SetupMessage& header,
                                           const ShardedGraphStore& store) {
   WireWriter w;
   header.EncodeHeader(&w, header.owned_shards.size());
+  // Reserve the exact slice footprint up front: a Setup payload can reach
+  // many chunk frames' worth of bytes, and growth reallocations at that
+  // scale double the peak memory of the send path.
+  size_t total = w.buffer().size();
+  for (const int32_t s : header.owned_shards) {
+    total += graph_io::EncodedShardSliceSize(store.shard(s));
+  }
+  w.buffer().reserve(total);
   for (const int32_t s : header.owned_shards) {
     graph_io::AppendShardSlice(store.shard(s), &w.buffer());
   }
@@ -153,19 +162,32 @@ Result<ShardStateReply> ShardStateReply::Decode(
   return m;
 }
 
-// --- LabelsBroadcast -----------------------------------------------------
+// --- SubscribeMessage / LabelValues --------------------------------------
 
-std::vector<uint8_t> LabelsBroadcast::Encode() const {
+std::vector<uint8_t> SubscribeMessage::Encode() const {
   WireWriter w;
-  w.PutVector(labels);
+  w.PutVector(vertices);
   return w.Take();
 }
 
-Result<LabelsBroadcast> LabelsBroadcast::Decode(
+Result<SubscribeMessage> SubscribeMessage::Decode(
     std::span<const uint8_t> payload) {
   WireReader r(payload);
-  LabelsBroadcast m;
-  if (!r.GetVector(&m.labels)) return Truncated("Labels");
+  SubscribeMessage m;
+  if (!r.GetVector(&m.vertices)) return Truncated("Subscribe");
+  return m;
+}
+
+std::vector<uint8_t> LabelValues::Encode() const {
+  WireWriter w;
+  w.PutVector(values);
+  return w.Take();
+}
+
+Result<LabelValues> LabelValues::Decode(std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  LabelValues m;
+  if (!r.GetVector(&m.values)) return Truncated("Labels");
   return m;
 }
 
@@ -319,15 +341,10 @@ Status ErrorMessage::ToStatus() const {
 }
 
 uint64_t ChecksumLabels(std::span<const PartitionId> labels) {
-  // FNV-1a over the raw label bytes.
-  uint64_t h = 0xcbf29ce484222325ull;
-  const auto* p = reinterpret_cast<const uint8_t*>(labels.data());
-  const size_t size = labels.size() * sizeof(PartitionId);
-  for (size_t i = 0; i < size; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ull;
-  }
-  return h;
+  // FNV-1a over the raw label bytes (the transport's message checksum).
+  return ChecksumBytes(
+      {reinterpret_cast<const uint8_t*>(labels.data()),
+       labels.size() * sizeof(PartitionId)});
 }
 
 }  // namespace spinner::dist

@@ -5,18 +5,24 @@
 // (spinner/superstep_driver.h) on the wire:
 //
 //   Setup          c→w   config + downloaded shard slices (binary_io SPSL)
+//   Subscribe      w→c   the out-of-range neighbor set of the worker's
+//                        shards — the only vertices whose labels it will
+//                        ever be sent (its boundary mirror)
 //   Init           c→w   initial/restart labels
 //   InitReply      w→c   per-shard label slices + load vectors + messages
-//   Labels         c→w   merged full label array (once, after Init)
+//   Labels         c→w   subscribed label values, subscription order
+//                        (once, after Init — seeds the boundary mirror)
 //   Scores         c→w   superstep, frozen global loads, capacities
 //   ScoresReply    w→c   per-block score partials, φ partial, migration
 //                        counters
 //   Migrate        c→w   superstep, frozen loads, capacities, merged
 //                        migration counters
 //   MigrateReply   w→c   label deltas + per-shard load vectors + counters
-//   ApplyDeltas    c→w   merged label deltas of ALL shards
-//   DeltasAck      w→c   label-array checksum (cross-process consistency
-//                        gate, verified every iteration)
+//   ApplyDeltas    c→w   label deltas filtered to the worker's
+//                        subscription (its own moves were applied locally)
+//   DeltasAck      w→c   checksum over owned slices + subscribed mirror
+//                        (cross-process consistency gate, verified every
+//                        iteration)
 //   Snapshot       c→w   final state request
 //   SnapshotReply  w→c   per-shard label slices + load vectors
 //   Teardown       c→w   clean shutdown request
@@ -24,8 +30,11 @@
 //   Error          w→c   Status code + message (decode/validation failure)
 //
 // Everything is little-endian; vectors are u64-count-prefixed and counts
-// are validated against the remaining payload before any allocation. See
-// docs/WIRE_FORMAT.md for the full byte-level layout.
+// are validated against the remaining payload before any allocation.
+// Messages of any size stream across frames via the transport's chunk
+// layer (dist/transport.h SendMessage/RecvMessage), so none of these
+// payloads is bounded by the frame limit. See docs/WIRE_FORMAT.md for the
+// full byte-level layout.
 #ifndef SPINNER_DIST_WIRE_FORMAT_H_
 #define SPINNER_DIST_WIRE_FORMAT_H_
 
@@ -37,6 +46,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "dist/transport.h"
 #include "graph/sharded_store.h"
 #include "graph/types.h"
 #include "spinner/config.h"
@@ -44,7 +54,8 @@
 
 namespace spinner::dist {
 
-/// Frame type tags (the u32 `type` of dist/transport.h frames).
+/// Frame type tags (the u32 `type` of dist/transport.h frames; the value
+/// kChunkFrameType is reserved by the transport's chunk layer).
 enum class MessageType : uint32_t {
   kError = 0,
   kSetup = 1,
@@ -61,6 +72,7 @@ enum class MessageType : uint32_t {
   kSnapshotReply = 12,
   kTeardown = 13,
   kTeardownAck = 14,
+  kSubscribe = 15,
 };
 
 /// Appends primitive values and count-prefixed vectors to a payload buffer.
@@ -236,11 +248,26 @@ struct ShardStateReply {
   static Result<ShardStateReply> Decode(std::span<const uint8_t> payload);
 };
 
-struct LabelsBroadcast {
-  std::vector<PartitionId> labels;  // full array, one entry per vertex
+/// Subscribe (w→c): the sorted, unique out-of-range neighbor set of the
+/// worker's shards — the PowerGraph-style mirror set. The coordinator
+/// indexes it once and thereafter sends the worker labels for exactly
+/// these vertices, so steady-state label traffic is proportional to the
+/// edge cut, not the vertex count.
+struct SubscribeMessage {
+  std::vector<VertexId> vertices;  // strictly ascending, none owned
 
   std::vector<uint8_t> Encode() const;
-  static Result<LabelsBroadcast> Decode(std::span<const uint8_t> payload);
+  static Result<SubscribeMessage> Decode(std::span<const uint8_t> payload);
+};
+
+/// Labels (c→w): label values for the receiving worker's subscribed
+/// vertices, in subscription order — sent once after Init to seed the
+/// boundary mirror (afterwards only subscription-filtered deltas flow).
+struct LabelValues {
+  std::vector<PartitionId> values;  // one per subscribed vertex, in order
+
+  std::vector<uint8_t> Encode() const;
+  static Result<LabelValues> Decode(std::span<const uint8_t> payload);
 };
 
 struct ScoresRequest {
@@ -302,8 +329,10 @@ struct ApplyDeltasMessage {
 };
 
 struct DeltasAck {
-  /// FNV-1a over the worker's full label array after applying the deltas;
-  /// must equal the coordinator's own checksum.
+  /// FNV-1a over the worker's owned label slices (ascending shard order)
+  /// followed by its subscribed mirror values (subscription order) after
+  /// applying the deltas; must equal the checksum the coordinator computes
+  /// from its authoritative label array for that worker.
   uint64_t labels_checksum = 0;
 
   std::vector<uint8_t> Encode() const;
@@ -324,6 +353,34 @@ struct ErrorMessage {
 /// FNV-1a over the raw label bytes — the per-iteration cross-process
 /// consistency checksum carried by DeltasAck.
 uint64_t ChecksumLabels(std::span<const PartitionId> labels);
+
+/// Incremental FNV-1a over label values: both sides of the DeltasAck gate
+/// fold a worker's owned slices and subscribed mirror values through one
+/// of these in the same order, so the digests agree iff the states do.
+/// Update(all labels).digest() == ChecksumLabels(all labels) by
+/// construction — every fold chains through transport.h's ChecksumBytes.
+class LabelChecksum {
+ public:
+  LabelChecksum& Update(std::span<const PartitionId> labels) {
+    h_ = ChecksumBytes(
+        {reinterpret_cast<const uint8_t*>(labels.data()),
+         labels.size() * sizeof(PartitionId)},
+        h_);
+    return *this;
+  }
+
+  LabelChecksum& UpdateOne(PartitionId label) {
+    uint8_t bytes[sizeof(PartitionId)];
+    std::memcpy(bytes, &label, sizeof(label));
+    h_ = ChecksumBytes(bytes, h_);
+    return *this;
+  }
+
+  uint64_t digest() const { return h_; }
+
+ private:
+  uint64_t h_ = kFnvOffsetBasis;
+};
 
 }  // namespace spinner::dist
 

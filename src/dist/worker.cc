@@ -20,12 +20,13 @@ namespace {
 /// every handler re-validates payloads against the Setup topology.
 class ShardWorker {
  public:
-  explicit ShardWorker(int fd) : fd_(fd) {}
+  ShardWorker(int fd, const TransportOptions& options)
+      : fd_(fd), options_(options) {}
 
   /// Protocol loop; see RunShardWorkerLoop for the exit-code contract.
   int Run() {
     for (;;) {
-      Result<Frame> frame = RecvFrame(fd_);
+      Result<Frame> frame = RecvMessage(fd_, options_);
       if (!frame.ok()) return 2;  // coordinator died or stream corrupt
       Status status = Status::OK();
       bool teardown = false;
@@ -52,9 +53,7 @@ class ShardWorker {
           status = HandleSnapshot();
           break;
         case MessageType::kTeardown:
-          status = SendFrame(fd_, static_cast<uint32_t>(
-                                      MessageType::kTeardownAck),
-                             {});
+          status = Send(MessageType::kTeardownAck, {});
           teardown = true;
           break;
         default:
@@ -64,10 +63,8 @@ class ShardWorker {
       }
       if (!status.ok()) {
         // Best-effort error report; the coordinator may already be gone.
-        const std::vector<uint8_t> payload =
-            ErrorMessage::FromStatus(status).Encode();
-        (void)SendFrame(fd_, static_cast<uint32_t>(MessageType::kError),
-                        payload);
+        (void)Send(MessageType::kError,
+                   ErrorMessage::FromStatus(status).Encode());
         return 1;
       }
       if (teardown) return 0;
@@ -75,6 +72,11 @@ class ShardWorker {
   }
 
  private:
+  Status Send(MessageType type, std::span<const uint8_t> payload) {
+    return SendMessage(fd_, static_cast<uint32_t>(type), payload, options_,
+                       next_message_id_++);
+  }
+
   Status CheckSetup() const {
     if (!setup_done_) {
       return Status::FailedPrecondition(
@@ -93,6 +95,35 @@ class ShardWorker {
     return Status::OK();
   }
 
+  /// True iff a shard of this worker owns vertex v. Owned shards arrive in
+  /// ascending range order (validated in HandleSetup).
+  bool Owns(VertexId v) const {
+    auto it = std::upper_bound(
+        shards_.begin(), shards_.end(), v,
+        [](VertexId value, const ShardedGraphStore::Shard& shard) {
+          return value < shard.begin;
+        });
+    return it != shards_.begin() && v < std::prev(it)->end;
+  }
+
+  bool Subscribed(VertexId v) const {
+    return std::binary_search(subscription_.begin(), subscription_.end(), v);
+  }
+
+  /// The DeltasAck gate digest: owned label slices in ascending shard
+  /// order, then subscribed mirror values in subscription order. The
+  /// coordinator computes the same from its authoritative label array.
+  uint64_t StateChecksum() const {
+    LabelChecksum sum;
+    for (const ShardedGraphStore::Shard& shard : shards_) {
+      sum.Update(std::span<const PartitionId>(labels_).subspan(
+          static_cast<size_t>(shard.begin),
+          static_cast<size_t>(shard.end - shard.begin)));
+    }
+    for (const VertexId v : subscription_) sum.UpdateOne(labels_[v]);
+    return sum.digest();
+  }
+
   Status HandleSetup(std::span<const uint8_t> payload) {
     if (setup_done_) {
       return Status::FailedPrecondition("worker already set up");
@@ -103,6 +134,7 @@ class ShardWorker {
         setup.num_shards_total < 1) {
       return Status::InvalidArgument("Setup: nonsensical topology counts");
     }
+    VertexId previous_end = 0;
     for (size_t i = 0; i < setup.shards.size(); ++i) {
       const ShardedGraphStore::Shard& shard = setup.shards[i];
       if (setup.owned_shards[i] < 0 ||
@@ -111,6 +143,12 @@ class ShardWorker {
         return Status::InvalidArgument(
             "Setup: shard slice outside the declared topology");
       }
+      if (i > 0 && shard.begin < previous_end) {
+        // Owns() and the checksum gate rely on ascending ranges.
+        return Status::InvalidArgument(
+            "Setup: shard slices are not in ascending range order");
+      }
+      previous_end = shard.end;
       for (const VertexId t : shard.targets) {
         if (t < 0 || t >= setup.num_vertices) {
           return Status::InvalidArgument(
@@ -131,8 +169,26 @@ class ShardWorker {
     block_score_.assign(static_cast<size_t>(blocks), 0.0);
     scratch_.resize(shards_.size());
     for (ShardScratch& sc : scratch_) sc.Prepare(config_.num_partitions);
+
+    // The boundary mirror set: every out-of-range neighbor of an owned
+    // vertex, subscribed exactly once. This is the full set of labels the
+    // shard kernels can ever read outside the owned ranges, so
+    // subscription-filtered updates keep the worker bit-identical to the
+    // in-process substrate.
+    for (const ShardedGraphStore::Shard& shard : shards_) {
+      for (const VertexId t : shard.targets) {
+        if (!Owns(t)) subscription_.push_back(t);
+      }
+    }
+    std::sort(subscription_.begin(), subscription_.end());
+    subscription_.erase(
+        std::unique(subscription_.begin(), subscription_.end()),
+        subscription_.end());
     setup_done_ = true;
-    return Status::OK();
+
+    SubscribeMessage subscribe;
+    subscribe.vertices = subscription_;
+    return Send(MessageType::kSubscribe, subscribe.Encode());
   }
 
   Status HandleInit(std::span<const uint8_t> payload) {
@@ -156,20 +212,21 @@ class ShardWorker {
       state.messages = messages;
       reply.shards.push_back(std::move(state));
     }
-    return SendFrame(fd_, static_cast<uint32_t>(MessageType::kInitReply),
-                     reply.Encode());
+    return Send(MessageType::kInitReply, reply.Encode());
   }
 
   Status HandleLabels(std::span<const uint8_t> payload) {
     SPINNER_RETURN_IF_ERROR(CheckSetup());
-    SPINNER_ASSIGN_OR_RETURN(LabelsBroadcast broadcast,
-                             LabelsBroadcast::Decode(payload));
-    if (static_cast<int64_t>(broadcast.labels.size()) != n_) {
+    SPINNER_ASSIGN_OR_RETURN(LabelValues message,
+                             LabelValues::Decode(payload));
+    if (message.values.size() != subscription_.size()) {
       return Status::InvalidArgument(
-          StrFormat("Labels: %zu labels for %lld vertices",
-                    broadcast.labels.size(), static_cast<long long>(n_)));
+          StrFormat("Labels: %zu values for %zu subscribed vertices",
+                    message.values.size(), subscription_.size()));
     }
-    labels_ = std::move(broadcast.labels);
+    for (size_t i = 0; i < subscription_.size(); ++i) {
+      labels_[subscription_[i]] = message.values[i];
+    }
     return Status::OK();
   }
 
@@ -212,8 +269,7 @@ class ShardWorker {
         reply.migration_counts[l] += scratch_[i].migrations[l];
       }
     }
-    return SendFrame(fd_, static_cast<uint32_t>(MessageType::kScoresReply),
-                     reply.Encode());
+    return Send(MessageType::kScoresReply, reply.Encode());
   }
 
   Status HandleMigrate(std::span<const uint8_t> payload) {
@@ -241,28 +297,31 @@ class ShardWorker {
       result.messages = scratch_[i].messages;
       reply.shards.push_back(std::move(result));
     }
-    return SendFrame(fd_,
-                     static_cast<uint32_t>(MessageType::kMigrateReply),
-                     reply.Encode());
+    return Send(MessageType::kMigrateReply, reply.Encode());
   }
 
   Status HandleApplyDeltas(std::span<const uint8_t> payload) {
     SPINNER_RETURN_IF_ERROR(CheckSetup());
     SPINNER_ASSIGN_OR_RETURN(ApplyDeltasMessage deltas,
                              ApplyDeltasMessage::Decode(payload));
-    // Own moves were already applied by HandleMigrate; re-applying them is
-    // idempotent, so the whole broadcast is applied uniformly.
+    // Own moves were already applied by HandleMigrate; the coordinator
+    // sends only the subscription-filtered remainder, so anything outside
+    // the mirror set is a protocol violation.
     for (const LabelDelta& move : deltas.moves) {
       if (move.vertex < 0 || move.vertex >= n_ || move.label < 0 ||
           move.label >= config_.num_partitions) {
         return Status::InvalidArgument("ApplyDeltas: move out of range");
       }
+      if (!Subscribed(move.vertex)) {
+        return Status::InvalidArgument(StrFormat(
+            "ApplyDeltas: move for unsubscribed vertex %lld",
+            static_cast<long long>(move.vertex)));
+      }
       labels_[move.vertex] = move.label;
     }
     DeltasAck ack;
-    ack.labels_checksum = ChecksumLabels(labels_);
-    return SendFrame(fd_, static_cast<uint32_t>(MessageType::kDeltasAck),
-                     ack.Encode());
+    ack.labels_checksum = StateChecksum();
+    return Send(MessageType::kDeltasAck, ack.Encode());
   }
 
   Status HandleSnapshot() {
@@ -277,18 +336,22 @@ class ShardWorker {
       state.loads = shard.loads;
       reply.shards.push_back(std::move(state));
     }
-    return SendFrame(fd_,
-                     static_cast<uint32_t>(MessageType::kSnapshotReply),
-                     reply.Encode());
+    return Send(MessageType::kSnapshotReply, reply.Encode());
   }
 
   int fd_;
+  TransportOptions options_;
+  uint64_t next_message_id_ = 1;
   bool setup_done_ = false;
   SpinnerConfig config_;
   int64_t n_ = 0;
   std::vector<int32_t> owned_shards_;
   std::vector<ShardedGraphStore::Shard> shards_;
-  std::vector<PartitionId> labels_;     // full mirror
+  /// Out-of-range neighbors of the owned shards, ascending: the only
+  /// vertices beyond the owned ranges whose labels_ entries are ever
+  /// written (or read by the shard kernels).
+  std::vector<VertexId> subscription_;
+  std::vector<PartitionId> labels_;     // owned ranges + subscribed mirror
   std::vector<PartitionId> candidate_;  // full-sized, own ranges written
   std::vector<double> block_score_;     // full-sized, own blocks written
   std::vector<ShardScratch> scratch_;   // one per owned shard
@@ -298,6 +361,8 @@ class ShardWorker {
 
 }  // namespace
 
-int RunShardWorkerLoop(int fd) { return ShardWorker(fd).Run(); }
+int RunShardWorkerLoop(int fd, const TransportOptions& options) {
+  return ShardWorker(fd, options).Run();
+}
 
 }  // namespace spinner::dist

@@ -1,27 +1,32 @@
 // ShardWorker: the per-process executor of the cross-process execution
 // mode. One worker process owns one or more shard-local CSR slices
-// (downloaded from the coordinator at Setup), keeps a full mirror of the
-// label array, and answers the coordinator's lockstep superstep RPCs by
-// running exactly the same shard phase bodies as the in-process substrate
-// (spinner/shard_superstep.h) — which is what makes the two execution
-// modes bit-identical by construction.
+// (downloaded from the coordinator at Setup) and mirrors the labels of
+// exactly its boundary — the out-of-range neighbors of its shards, which
+// it subscribes to right after Setup. It answers the coordinator's
+// lockstep superstep RPCs by running exactly the same shard phase bodies
+// as the in-process substrate (spinner/shard_superstep.h) — which is what
+// makes the two execution modes bit-identical by construction.
 //
 // A worker is single-threaded: its parallelism unit is the process, and
 // within a process shards execute in ascending shard order. It trusts
 // nothing from the wire — every payload is decoded with truncation checks
-// and cross-validated against the Setup topology; a violation is reported
-// back as an Error frame before the process exits nonzero.
+// and cross-validated against the Setup topology (label updates must
+// target subscribed vertices); a violation is reported back as an Error
+// frame before the process exits nonzero.
 #ifndef SPINNER_DIST_WORKER_H_
 #define SPINNER_DIST_WORKER_H_
+
+#include "dist/transport.h"
 
 namespace spinner::dist {
 
 /// Runs the worker protocol loop over the coordinator connection `fd`
 /// until Teardown (returns 0), the peer closes the connection (returns 2),
 /// or a protocol/validation error occurs (reported as an Error frame,
-/// returns 1). The caller — the forked child in dist/coordinator.cc —
-/// passes the returned value to _exit().
-int RunShardWorkerLoop(int fd);
+/// returns 1). `options` must match the coordinator's transport options
+/// (the forked child inherits them). The caller — the forked child in
+/// dist/coordinator.cc — passes the returned value to _exit().
+int RunShardWorkerLoop(int fd, const TransportOptions& options);
 
 }  // namespace spinner::dist
 

@@ -210,6 +210,16 @@ class SliceCursor {
 
 }  // namespace
 
+size_t EncodedShardSliceSize(const ShardedGraphStore::Shard& shard) {
+  const size_t owned = static_cast<size_t>(shard.NumOwnedVertices());
+  const size_t arcs = static_cast<size_t>(shard.NumArcs());
+  return sizeof(kSliceMagic) + sizeof(kSliceVersion) +
+         3 * sizeof(int64_t) +  // begin, end, num_arcs
+         (owned + 1) * sizeof(int64_t) +  // offsets
+         arcs * sizeof(VertexId) + arcs * sizeof(EdgeWeight) +
+         owned * sizeof(int64_t);  // weighted_degree
+}
+
 void AppendShardSlice(const ShardedGraphStore::Shard& shard,
                       std::vector<uint8_t>* out) {
   out->insert(out->end(), kSliceMagic, kSliceMagic + sizeof(kSliceMagic));

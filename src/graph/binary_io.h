@@ -73,6 +73,12 @@ Result<SessionSnapshot> ReadSessionSnapshot(const std::string& path);
 void AppendShardSlice(const ShardedGraphStore::Shard& shard,
                       std::vector<uint8_t>* out);
 
+/// Exact byte size AppendShardSlice will append for `shard` — lets
+/// multi-slice encoders (the Setup slice download, which may stream
+/// across many chunk frames) reserve their buffer once instead of growing
+/// it realloc-by-realloc at GB scale.
+size_t EncodedShardSliceSize(const ShardedGraphStore::Shard& shard);
+
 /// Decodes one shard slice from the front of `bytes`, advancing `*consumed`
 /// past it. Fails with IOError on truncation and InvalidArgument on bad
 /// magic/version or internally inconsistent counts (non-monotonic offsets,

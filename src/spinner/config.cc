@@ -34,6 +34,14 @@ Status SpinnerConfig::Validate() const {
         "(0 = auto/in-process; got %d/%d/%d/%d)",
         num_workers, num_shards, num_threads, num_processes));
   }
+  // 64 = dist/transport.h kMinFramePayload (spinner/ cannot include
+  // dist/; a static_assert in transport.cc keeps the literal in sync).
+  if (wire_max_payload != 0 && wire_max_payload < 64) {
+    return Status::InvalidArgument(StrFormat(
+        "wire_max_payload must be 0 (transport default) or >= 64 bytes "
+        "(got %llu)",
+        static_cast<unsigned long long>(wire_max_payload)));
+  }
   if (!partition_weights.empty()) {
     if (static_cast<int>(partition_weights.size()) != num_partitions) {
       return Status::InvalidArgument(StrFormat(

@@ -80,6 +80,14 @@ struct SpinnerConfig {
   /// substrate honors it (in_engine_conversion runs stay in-process).
   int num_processes = 0;
 
+  /// Per-frame payload ceiling (bytes) of the cross-process wire
+  /// transport; messages larger than this stream across chunk frames.
+  /// 0 = the transport default (SPINNER_WIRE_MAX_PAYLOAD env override, or
+  /// 1 GiB — see dist/transport.h TransportOptions). A pure transport
+  /// knob: like every execution-shape setting it never changes the
+  /// computed partitioning. Minimum 64 (the chunk envelope must fit).
+  uint64_t wire_max_payload = 0;
+
   /// When true, the directed→weighted-undirected conversion runs inside the
   /// engine as the NeighborPropagation/NeighborDiscovery supersteps
   /// (§IV.A.1), exactly as the Giraph implementation does. When false the

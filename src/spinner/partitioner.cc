@@ -112,6 +112,8 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
       // processes speaking the dist wire protocol.
       dist::MultiProcessOptions mp;
       mp.num_workers = run_config.num_processes;
+      mp.transport =
+          dist::TransportOptions::Resolve(run_config.wire_max_payload);
       SPINNER_ASSIGN_OR_RETURN(
           run, dist::RunMultiProcessSpinner(
                    run_config, &store, std::move(initial_labels), mp,
@@ -129,6 +131,7 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
     result.cancelled = run.cancelled;
     result.history = std::move(run.history);
     result.run_stats = std::move(run.run_stats);
+    result.wire = std::move(run.wire);
     result.assignment = std::move(store.labels());
   }
   result.num_partitions = k;

@@ -29,6 +29,7 @@
 #include "spinner/config.h"
 #include "spinner/metrics.h"
 #include "spinner/observer.h"
+#include "spinner/sharded_program.h"
 #include "spinner/types.h"
 
 namespace spinner {
@@ -54,6 +55,9 @@ struct PartitionResult {
   std::vector<IterationPoint> history;
   /// Engine statistics: supersteps, wall time, messages.
   pregel::RunStats run_stats;
+  /// Wire traffic of the cross-process execution mode (zeros when the run
+  /// stayed in-process).
+  WireTraffic wire;
 };
 
 /// Stateless facade; safe to reuse and — observer mutation aside — to

@@ -21,6 +21,9 @@ PartitioningSession::PartitioningSession(const SpinnerConfig& config,
   // struct is the single source of truth for the execution shape.
   if (options_.num_shards > 0) config_.num_shards = options_.num_shards;
   if (options_.num_threads > 0) config_.num_threads = options_.num_threads;
+  if (options_.wire_max_payload != 0) {
+    config_.wire_max_payload = options_.wire_max_payload;
+  }
   // Multi-process execution is on when either the options ask for it or
   // the config carries an explicit worker-process count. num_workers is
   // honored only in kMultiProcess mode (as documented), where 0 means
@@ -75,6 +78,8 @@ Status PartitioningSession::RunLpa(const CsrGraph& metrics_graph,
     // the session-visible outcome is bit-identical to the in-process path.
     dist::MultiProcessOptions mp;
     mp.num_workers = run_config.num_processes;
+    mp.transport =
+        dist::TransportOptions::Resolve(run_config.wire_max_payload);
     SPINNER_ASSIGN_OR_RETURN(
         run, dist::RunMultiProcessSpinner(
                  run_config, &store_, std::move(initial_labels), mp,
@@ -93,6 +98,7 @@ Status PartitioningSession::RunLpa(const CsrGraph& metrics_graph,
   out->cancelled = run.cancelled;
   out->history = std::move(run.history);
   out->run_stats = std::move(run.run_stats);
+  out->wire = std::move(run.wire);
   out->assignment = store_.labels();
 
   BalanceSpec spec;

@@ -75,6 +75,10 @@ struct SessionOptions {
   ExecutionMode execution_mode = ExecutionMode::kInProcess;
   /// Worker processes in kMultiProcess mode (ignored in-process).
   int num_workers = 0;
+  /// Per-frame payload ceiling (bytes) of the kMultiProcess wire
+  /// transport; larger messages stream across chunk frames. 0 = transport
+  /// default (SPINNER_WIRE_MAX_PAYLOAD env override, or 1 GiB).
+  uint64_t wire_max_payload = 0;
 };
 
 /// Owns one graph and its maintained partitioning. Not thread-safe; one

@@ -38,6 +38,32 @@
 
 namespace spinner {
 
+/// Wire traffic of one run, reported by message-passing backends (the
+/// cross-process coordinator); all zeros for in-process runs, whose label
+/// exchange is shared memory. The per-superstep bytes make the
+/// O(V·workers) → O(boundary) label-traffic win observable: after Init,
+/// each superstep's label bytes cover only subscribed (edge-cut) vertices.
+struct WireTraffic {
+  /// Total bytes/frames moved over every worker connection, including
+  /// Setup/Subscribe/Snapshot/Teardown outside the superstep loop.
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  int64_t frames_sent = 0;
+  int64_t frames_received = 0;
+  /// Messages that crossed the wire in more than one chunk frame.
+  int64_t chunked_messages = 0;
+  /// Σ over workers of the subscribed (boundary mirror) vertex count.
+  int64_t subscribed_vertices = 0;
+  /// Label values sent by the one post-Init mirror seed (Σ subscription
+  /// sizes) and label-delta entries sent by all per-iteration
+  /// subscription-filtered broadcasts.
+  int64_t label_values_sent = 0;
+  int64_t delta_entries_sent = 0;
+  /// Bytes sent to workers during each driver superstep, in the order of
+  /// run_stats.per_superstep (Initialize, then Scores/Migrate rounds).
+  std::vector<int64_t> per_superstep_bytes;
+};
+
 /// Outcome of a sharded run; the final assignment lives in the store's
 /// label array.
 struct ShardedRunResult {
@@ -52,6 +78,8 @@ struct ShardedRunResult {
   /// Superstep statistics, mirroring the Pregel engine's layout with one
   /// "worker" per shard (message counts model label-update traffic).
   pregel::RunStats run_stats;
+  /// Wire traffic of message-passing backends (zeros in-process).
+  WireTraffic wire;
 };
 
 /// The shard count a run should use: config.num_shards when set, else

@@ -61,6 +61,9 @@ bool RegisterSpinnerGraphPartitioner() {
         if (options.num_processes > 0) {
           config.num_processes = options.num_processes;
         }
+        if (options.wire_max_payload != 0) {
+          config.wire_max_payload = options.wire_max_payload;
+        }
         return std::unique_ptr<GraphPartitioner>(
             std::make_unique<SpinnerGraphPartitioner>(config));
       });

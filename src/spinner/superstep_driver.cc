@@ -54,6 +54,10 @@ Result<ShardedRunResult> DriveSpinnerSupersteps(
     ++stats.supersteps;
   };
 
+  // Message-passing backends wire up their label subscriptions before any
+  // label state exists (no-op in-process).
+  SPINNER_RETURN_IF_ERROR(backend->SetupSubscriptions());
+
   // --- Superstep 0: Initialize. Labels are the caller's fixed restart
   // labels or hash-drawn; loads accumulate shard-locally.
   {
@@ -188,6 +192,7 @@ Result<ShardedRunResult> DriveSpinnerSupersteps(
   }
 
   stats.total_wall_seconds = total_timer.ElapsedSeconds();
+  backend->CollectWireTraffic(&out.wire);
   return out;
 }
 

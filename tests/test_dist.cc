@@ -395,5 +395,185 @@ TEST(MultiProcessSpinnerTest, ResolveNumWorkersHonorsExplicitRequest) {
   EXPECT_EQ(dist::ResolveNumWorkers(0, 1), 1);
 }
 
+// --- Chunked streaming through the full protocol --------------------------
+
+TEST(MultiProcessSpinnerTest, TinyFrameLimitStreamsEveryBigMessage) {
+  // With the frame payload forced to 1 KiB, the Setup slice download, the
+  // snapshot upload and (on dense-enough graphs) the delta broadcasts all
+  // cross the wire in chunks — and the run stays bit-identical.
+  const CsrGraph g = SmallWorldConverted(1100, 21);
+  SpinnerConfig config;
+  config.num_partitions = 6;
+  config.seed = 7;
+  config.max_iterations = 10;
+  config.use_halting = false;
+
+  std::vector<PartitionId> reference_labels;
+  auto reference = ReferenceRun(config, g, 7, &reference_labels);
+  ASSERT_TRUE(reference.ok());
+
+  auto store = ShardedGraphStore::Build(g, 7);
+  ASSERT_TRUE(store.ok());
+  MultiProcessOptions options;
+  options.num_workers = 3;
+  options.transport.max_frame_payload = 1024;
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                          options, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(store->labels(), reference_labels);
+  ASSERT_EQ(run->history.size(), reference->history.size());
+  for (size_t i = 0; i < run->history.size(); ++i) {
+    EXPECT_EQ(run->history[i].score, reference->history[i].score) << i;
+    EXPECT_EQ(run->history[i].phi, reference->history[i].phi) << i;
+    EXPECT_EQ(run->history[i].rho, reference->history[i].rho) << i;
+  }
+  // The point of the exercise: chunk reassembly actually ran.
+  EXPECT_GT(run->wire.chunked_messages, 0);
+  EXPECT_GT(run->wire.frames_sent, run->wire.chunked_messages);
+}
+
+// --- Boundary subscriptions -----------------------------------------------
+
+/// Two disjoint 256-vertex rings, each exactly one shard (kBlockSize
+/// aligned): with S = W = 2 the cross-worker cut is empty.
+CsrGraph TwoRingsConverted(bool bridge) {
+  EdgeList edges;
+  for (int64_t half = 0; half < 2; ++half) {
+    const int64_t base = half * 256;
+    for (int64_t i = 0; i < 256; ++i) {
+      edges.push_back({base + i, base + (i + 1) % 256});
+    }
+  }
+  if (bridge) edges.push_back({255, 256});  // one edge across the cut
+  auto converted = BuildSymmetric(512, edges);
+  SPINNER_CHECK(converted.ok());
+  return std::move(converted).value();
+}
+
+/// Complete bipartite K_{256,256} across the two shards: every vertex has
+/// an out-of-range neighbor, so every vertex is subscribed by the other
+/// worker.
+CsrGraph BipartiteConverted() {
+  EdgeList edges;
+  for (int64_t u = 0; u < 256; ++u) {
+    for (int64_t v = 256; v < 512; ++v) {
+      edges.push_back({u, v});
+    }
+  }
+  auto converted = BuildSymmetric(512, edges);
+  SPINNER_CHECK(converted.ok());
+  return std::move(converted).value();
+}
+
+struct SubscriptionRun {
+  std::vector<PartitionId> labels;
+  ShardedRunResult result;
+};
+
+Result<SubscriptionRun> RunTwoWorkerCase(const CsrGraph& g,
+                                         const SpinnerConfig& config) {
+  auto store = ShardedGraphStore::Build(g, 2);
+  if (!store.ok()) return store.status();
+  MultiProcessOptions options;
+  options.num_workers = 2;
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                          options, nullptr);
+  if (!run.ok()) return run.status();
+  SubscriptionRun out;
+  out.labels = store->labels();
+  out.result = std::move(run).value();
+  return out;
+}
+
+TEST(MultiProcessSubscriptionTest, EmptyCutMeansNoLabelTraffic) {
+  const CsrGraph g = TwoRingsConverted(/*bridge=*/false);
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.seed = 3;
+  config.max_iterations = 8;
+  config.use_halting = false;
+
+  std::vector<PartitionId> reference_labels;
+  auto reference = ReferenceRun(config, g, 2, &reference_labels);
+  ASSERT_TRUE(reference.ok());
+  auto run = RunTwoWorkerCase(g, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->labels, reference_labels);
+  ASSERT_EQ(run->result.history.size(), reference->history.size());
+  for (size_t i = 0; i < run->result.history.size(); ++i) {
+    EXPECT_EQ(run->result.history[i].score, reference->history[i].score);
+    EXPECT_EQ(run->result.history[i].phi, reference->history[i].phi);
+    EXPECT_EQ(run->result.history[i].rho, reference->history[i].rho);
+  }
+  // No shard has an out-of-range neighbor: nothing is mirrored, and after
+  // Init not a single label value or delta crosses the wire.
+  EXPECT_EQ(run->result.wire.subscribed_vertices, 0);
+  EXPECT_EQ(run->result.wire.label_values_sent, 0);
+  EXPECT_EQ(run->result.wire.delta_entries_sent, 0);
+}
+
+TEST(MultiProcessSubscriptionTest, CompleteBipartiteCutSubscribesEveryone) {
+  const CsrGraph g = BipartiteConverted();
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.seed = 5;
+  config.max_iterations = 6;
+  config.use_halting = false;
+
+  std::vector<PartitionId> reference_labels;
+  auto reference = ReferenceRun(config, g, 2, &reference_labels);
+  ASSERT_TRUE(reference.ok());
+  auto run = RunTwoWorkerCase(g, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->labels, reference_labels);
+  ASSERT_EQ(run->result.history.size(), reference->history.size());
+  for (size_t i = 0; i < run->result.history.size(); ++i) {
+    EXPECT_EQ(run->result.history[i].score, reference->history[i].score);
+    EXPECT_EQ(run->result.history[i].phi, reference->history[i].phi);
+    EXPECT_EQ(run->result.history[i].rho, reference->history[i].rho);
+  }
+  // Every vertex is some other worker's boundary: the mirror seed covers
+  // the whole graph exactly once.
+  EXPECT_EQ(run->result.wire.subscribed_vertices, g.NumVertices());
+  EXPECT_EQ(run->result.wire.label_values_sent, g.NumVertices());
+}
+
+TEST(MultiProcessSubscriptionTest, LowCutLabelTrafficIsBoundaryBound) {
+  // One bridge edge between the rings: exactly two boundary vertices.
+  // Label traffic after Init must cover only those — the coordinator's
+  // wire counters make the O(V·workers) → O(boundary) change observable.
+  const CsrGraph g = TwoRingsConverted(/*bridge=*/true);
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.seed = 11;
+  config.max_iterations = 8;
+  config.use_halting = false;
+
+  std::vector<PartitionId> reference_labels;
+  auto reference = ReferenceRun(config, g, 2, &reference_labels);
+  ASSERT_TRUE(reference.ok());
+  auto run = RunTwoWorkerCase(g, config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->labels, reference_labels);
+
+  const WireTraffic& wire = run->result.wire;
+  EXPECT_EQ(wire.subscribed_vertices, 2);
+  EXPECT_EQ(wire.label_values_sent, 2);
+  // A subscribed vertex can move at most once per iteration.
+  EXPECT_LE(wire.delta_entries_sent,
+            wire.subscribed_vertices * run->result.iterations);
+  // One per-superstep bytes entry per driver superstep, all accounted.
+  EXPECT_EQ(wire.per_superstep_bytes.size(),
+            run->result.run_stats.per_superstep.size());
+  int64_t step_total = 0;
+  for (const int64_t bytes : wire.per_superstep_bytes) {
+    EXPECT_GT(bytes, 0);
+    step_total += bytes;
+  }
+  EXPECT_LE(step_total, wire.bytes_sent);
+}
+
 }  // namespace
 }  // namespace spinner
