@@ -23,6 +23,13 @@
 //   # Generate a deterministic synthetic edge list (CI smoke, demos):
 //   ./partition_tool generate --out=edges.txt --vertices=5000 --seed=7
 //
+//   # Maintain a partitioning over a live edge stream read from stdin
+//   # (one event per line: "add U V" | "remove U V" | "vertices N"),
+//   # re-partitioning incrementally every --watermark events; on EOF the
+//   # stream is drained and the final partitioning written:
+//   ./partition_tool serve --input=edges.txt --k=32 --watermark=256
+//       --out=parts.txt [--checkpoint=state.spns]
+//
 //   # List the registered partitioners:
 //   ./partition_tool list
 //
@@ -37,7 +44,11 @@
 // --balance=edges|vertices.
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <utility>
 
 #include "baselines/partitioner_registry.h"
 #include "common/cli.h"
@@ -48,6 +59,8 @@
 #include "graph/remap.h"
 #include "graph/stats.h"
 #include "spinner/metrics.h"
+#include "spinner/session.h"
+#include "stream/ingestion_service.h"
 
 using namespace spinner;
 
@@ -61,7 +74,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: partition_tool "
-               "<partition|adapt|rescale|metrics|generate|list> "
+               "<partition|adapt|rescale|metrics|serve|generate|list> "
                "--input=<edges.txt> [flags]\n"
                "see the header of examples/partition_tool.cpp for the "
                "full flag list\n");
@@ -163,6 +176,100 @@ int main(int argc, char** argv) {
       std::printf("%-12s%s%s\n", name.c_str(),
                   p.ok() && (*p)->SupportsRepartition() ? " [adapt]" : "",
                   p.ok() && (*p)->SupportsRescale() ? " [rescale]" : "");
+    }
+    return 0;
+  }
+
+  if (command == "serve") {
+    // Long-lived mode: partition --input once, then keep the partitioning
+    // maintained against an edge stream read from stdin, one event per
+    // line ("add U V" | "remove U V" | "vertices N"; '#' comments). Ids
+    // are used as-is — dense ids as produced by `generate` are expected.
+    // EOF drains the stream, reports, and writes --out.
+    const std::string input = cli.GetString("input", "");
+    if (input.empty()) return Usage();
+    auto edges = graph_io::ReadEdgeList(input);
+    if (!edges.ok()) return Fail(edges.status());
+    const int64_t n = MaxVertexId(*edges) + 1;
+    const PartitionerOptions options = OptionsFrom(cli);
+
+    PartitioningSession session(
+        options.spinner, SessionOptions{.num_shards = options.num_shards,
+                                        .num_threads = options.num_threads});
+    Status opened = session.Open(n, std::move(*edges), /*directed=*/true);
+    if (!opened.ok()) return Fail(opened);
+    std::printf("serving: |V|=%lld |E|=%zu k=%d phi=%.4f rho=%.4f\n",
+                static_cast<long long>(session.num_vertices()),
+                session.edges().size(), session.num_partitions(),
+                session.last_result().metrics.phi,
+                session.last_result().metrics.rho);
+
+    stream::IngestionOptions ingest;
+    ingest.policy = std::make_unique<stream::EventCountPolicy>(
+        cli.GetInt("watermark", 256));
+    ingest.checkpoint_base_path = cli.GetString("checkpoint", "");
+    ingest.on_apply = [](const stream::IngestStats& stats) {
+      std::printf("window %lld: %lld events in (%lld coalesced away) "
+                  "phi=%.4f rho=%.4f apply=%.1fms staleness=%.1fms\n",
+                  static_cast<long long>(stats.windows_applied),
+                  static_cast<long long>(stats.events_ingested),
+                  static_cast<long long>(stats.events_coalesced),
+                  stats.last_phi, stats.last_rho,
+                  static_cast<double>(stats.last_apply_micros) / 1000.0,
+                  static_cast<double>(stats.last_staleness_micros) / 1000.0);
+      std::fflush(stdout);
+      return true;
+    };
+    stream::IngestionService service(&session, std::move(ingest));
+    Status started = service.Start();
+    if (!started.ok()) return Fail(started);
+
+    std::string line;
+    int64_t line_number = 0;
+    while (std::getline(std::cin, line)) {
+      ++line_number;
+      std::istringstream fields(line);
+      std::string op;
+      if (!(fields >> op) || op[0] == '#') continue;
+      Status submitted = Status::OK();
+      long long u = 0;
+      long long v = 0;
+      if (op == "add" && fields >> u >> v) {
+        submitted =
+            service.Submit(stream::EdgeEvent::AddEdge(u, v));
+      } else if (op == "remove" && fields >> u >> v) {
+        submitted =
+            service.Submit(stream::EdgeEvent::RemoveEdge(u, v));
+      } else if (op == "vertices" && fields >> u) {
+        submitted = service.Submit(stream::EdgeEvent::AddVertices(u));
+      } else {
+        std::fprintf(stderr,
+                     "stdin:%lld: unrecognized event \"%s\" (want add U V "
+                     "| remove U V | vertices N)\n",
+                     static_cast<long long>(line_number), line.c_str());
+        continue;
+      }
+      if (!submitted.ok()) break;  // the service died: Stop() has the why
+    }
+
+    Status stopped = service.Stop();  // drain + apply the final window
+    if (!stopped.ok()) return Fail(stopped);
+    const stream::IngestStats stats = service.stats();
+    std::printf("stream done: %lld events, %lld windows, %lld coalesced "
+                "away, queue high-water %lld\n",
+                static_cast<long long>(stats.events_ingested),
+                static_cast<long long>(stats.windows_applied),
+                static_cast<long long>(stats.events_coalesced),
+                static_cast<long long>(stats.queue_high_water));
+    std::printf("final: |V|=%lld |E|=%zu phi=%.4f rho=%.4f\n",
+                static_cast<long long>(session.num_vertices()),
+                session.edges().size(), session.last_result().metrics.phi,
+                session.last_result().metrics.rho);
+    const std::string out = cli.GetString("out", "");
+    if (!out.empty()) {
+      Status s = graph_io::WritePartitioning(out, session.assignment());
+      if (!s.ok()) return Fail(s);
+      std::printf("wrote %s\n", out.c_str());
     }
     return 0;
   }

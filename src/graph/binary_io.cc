@@ -278,6 +278,68 @@ Result<ShardedGraphStore::Shard> DecodeShardSlice(
   return shard;
 }
 
+namespace {
+constexpr char kDeltaRecordMagic[4] = {'S', 'P', 'D', 'R'};
+}  // namespace
+
+void AppendDeltaLogRecord(const DeltaLogRecord& record,
+                          std::vector<uint8_t>* out) {
+  out->insert(out->end(), kDeltaRecordMagic,
+              kDeltaRecordMagic + sizeof(kDeltaRecordMagic));
+  AppendRaw(out, record.delta.num_new_vertices);
+  AppendRaw(out, static_cast<int64_t>(record.delta.added_edges.size()));
+  AppendRaw(out, static_cast<int64_t>(record.delta.removed_edges.size()));
+  AppendRaw(out, record.new_k);
+  AppendRaw(out, static_cast<int64_t>(record.label_updates.size()));
+  AppendArray(out, record.delta.added_edges);
+  AppendArray(out, record.delta.removed_edges);
+  // Pairs are written field-by-field: std::pair layout is not a wire
+  // format.
+  for (const auto& [vertex, label] : record.label_updates) {
+    AppendRaw(out, vertex);
+    AppendRaw(out, label);
+  }
+}
+
+Result<DeltaLogRecord> DecodeDeltaLogRecord(std::span<const uint8_t> bytes,
+                                            size_t* consumed) {
+  SliceCursor in(bytes, *consumed);
+  char magic[4];
+  if (!in.Get(&magic)) return Status::IOError("truncated delta record");
+  if (std::memcmp(magic, kDeltaRecordMagic, sizeof(kDeltaRecordMagic)) != 0) {
+    return Status::InvalidArgument("bad magic (not a SPDR delta record)");
+  }
+  DeltaLogRecord record;
+  int64_t num_added = 0;
+  int64_t num_removed = 0;
+  int64_t num_updates = 0;
+  if (!in.Get(&record.delta.num_new_vertices) || !in.Get(&num_added) ||
+      !in.Get(&num_removed) || !in.Get(&record.new_k) ||
+      !in.Get(&num_updates)) {
+    return Status::IOError("truncated delta record header");
+  }
+  if (record.delta.num_new_vertices < 0 || num_added < 0 ||
+      num_removed < 0 || record.new_k < 0 || num_updates < 0) {
+    return Status::InvalidArgument("negative counts in delta record header");
+  }
+  if (!in.GetArray(&record.delta.added_edges, num_added) ||
+      !in.GetArray(&record.delta.removed_edges, num_removed)) {
+    return Status::IOError("truncated delta record edge section");
+  }
+  record.label_updates.reserve(static_cast<size_t>(
+      std::min(num_updates, kMaxReserve)));
+  for (int64_t i = 0; i < num_updates; ++i) {
+    VertexId vertex = 0;
+    PartitionId label = kNoPartition;
+    if (!in.Get(&vertex) || !in.Get(&label)) {
+      return Status::IOError("truncated delta record label updates");
+    }
+    record.label_updates.emplace_back(vertex, label);
+  }
+  *consumed = in.pos();
+  return record;
+}
+
 Result<SessionSnapshot> ReadSessionSnapshot(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open: " + path);

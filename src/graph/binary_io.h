@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "graph/delta.h"
 #include "graph/sharded_store.h"
 #include "graph/types.h"
 
@@ -85,6 +87,40 @@ size_t EncodedShardSliceSize(const ShardedGraphStore::Shard& shard);
 /// mismatched array sizes).
 Result<ShardedGraphStore::Shard> DecodeShardSlice(
     std::span<const uint8_t> bytes, size_t* consumed);
+
+/// One record of the append-only delta-log checkpoint
+/// (stream/checkpoint_log.h): the graph change applied to the session and
+/// the assignment transition it caused. Replaying base snapshot + records
+/// reconstructs the exact session state without ever re-serializing the
+/// full edge list — a checkpoint after a small delta costs O(delta), not
+/// O(E).
+struct DeltaLogRecord {
+  /// The (coalesced) change applied via PartitioningSession::ApplyDelta.
+  GraphDelta delta;
+  /// Partition count after the change (Rescale records carry an empty
+  /// delta and a new k).
+  int32_t new_k = 0;
+  /// Labels that differ from the pre-change assignment, ascending by
+  /// vertex id: every new vertex plus every vertex label propagation
+  /// migrated. O(moved + new), the real footprint of an incremental step.
+  std::vector<std::pair<VertexId, PartitionId>> label_updates;
+};
+
+/// Appends the record's byte encoding to `out`. Layout (little-endian):
+///   magic "SPDR" (4 bytes) | num_new_vertices i64 | num_added i64 |
+///   num_removed i64 | new_k i32 | num_label_updates i64 |
+///   added (num_added × {i64, i64}) | removed (num_removed × {i64, i64}) |
+///   updates (num_label_updates × {vertex i64, label i32})
+/// Integrity (per-record checksum, file header) is the log file's concern
+/// — see stream/checkpoint_log.h for the framing that wraps this.
+void AppendDeltaLogRecord(const DeltaLogRecord& record,
+                          std::vector<uint8_t>* out);
+
+/// Decodes one record from `bytes` starting at `*consumed`, advancing
+/// `*consumed` past it. Fails with IOError on truncation and
+/// InvalidArgument on bad magic or negative counts.
+Result<DeltaLogRecord> DecodeDeltaLogRecord(std::span<const uint8_t> bytes,
+                                            size_t* consumed);
 
 }  // namespace spinner::graph_io
 

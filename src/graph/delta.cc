@@ -1,6 +1,7 @@
 #include "graph/delta.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/random.h"
@@ -8,6 +9,54 @@
 #include "graph/edge_list.h"
 
 namespace spinner {
+
+namespace {
+/// Exact-match key: (u,v) and (v,u) stay distinct, like ApplyDelta removal.
+uint64_t EdgeKey(const Edge& e) {
+  return (static_cast<uint64_t>(e.src) << 32) ^
+         static_cast<uint64_t>(e.dst) * 0x9E3779B97F4A7C15ull;
+}
+}  // namespace
+
+GraphDelta& GraphDelta::Coalesce() {
+  // Pass 1: dedupe adds, first occurrence wins (deterministic order).
+  std::unordered_map<uint64_t, int64_t> add_count;
+  add_count.reserve(added_edges.size() * 2);
+  EdgeList deduped;
+  deduped.reserve(added_edges.size());
+  for (const Edge& e : added_edges) {
+    if (add_count[EdgeKey(e)]++ == 0) deduped.push_back(e);
+  }
+
+  // Pass 2: each surviving add cancels at most one matching remove.
+  std::unordered_map<uint64_t, int64_t> cancel;
+  cancel.reserve(removed_edges.size() * 2);
+  for (const Edge& e : removed_edges) {
+    const uint64_t key = EdgeKey(e);
+    auto it = add_count.find(key);
+    if (it != add_count.end() && it->second > 0) {
+      it->second = 0;  // the (deduped) add is consumed
+      ++cancel[key];
+    }
+  }
+
+  added_edges.clear();
+  for (const Edge& e : deduped) {
+    if (add_count[EdgeKey(e)] > 0) added_edges.push_back(e);
+  }
+  EdgeList kept_removed;
+  kept_removed.reserve(removed_edges.size());
+  for (const Edge& e : removed_edges) {
+    auto it = cancel.find(EdgeKey(e));
+    if (it != cancel.end() && it->second > 0) {
+      --it->second;  // cancelled against an in-delta add
+      continue;
+    }
+    kept_removed.push_back(e);
+  }
+  removed_edges = std::move(kept_removed);
+  return *this;
+}
 
 Result<EdgeList> ApplyDelta(int64_t num_vertices, const EdgeList& edges,
                             const GraphDelta& delta) {

@@ -35,6 +35,25 @@ struct GraphDelta {
     removed_edges.push_back({src, dst});
     return *this;
   }
+
+  /// Folds redundant work out of the delta, in place:
+  ///   * duplicate adds of the same (src,dst) collapse to one (duplicate
+  ///     add events in a stream are retries, not parallel edges),
+  ///   * an add and a remove of the same edge cancel pairwise (the edge
+  ///     came and went within one batch; neither side reaches the graph),
+  ///   * vertex grows are already merged (num_new_vertices is a sum).
+  /// Matching is exact — (u,v) never pairs with (v,u) — mirroring
+  /// ApplyDelta's removal semantics. Dedupe runs before cancellation, so
+  /// added [e,e] + removed [e,e] coalesces to one net removal. Surviving
+  /// entries keep their first-occurrence order, so coalescing is
+  /// deterministic. Returns *this for chaining.
+  ///
+  /// This is the windowing primitive of the streaming ingestion service
+  /// (stream/ingestion_service.h): a window's events fold into one delta,
+  /// and cancellation is what makes an in-window add-then-remove legal —
+  /// expressed uncoalesced, ApplyDelta would reject removing an edge the
+  /// base graph never contained.
+  GraphDelta& Coalesce();
 };
 
 /// Applies `delta` to (num_vertices, edges): appends vertices, removes then

@@ -244,9 +244,27 @@ Status PartitioningSession::Restore(const std::string& path) {
   SPINNER_RETURN_IF_ERROR(init_status_);
   SPINNER_ASSIGN_OR_RETURN(graph_io::SessionSnapshot snapshot,
                            graph_io::ReadSessionSnapshot(path));
+  return RestoreSnapshot(std::move(snapshot));
+}
+
+Status PartitioningSession::RestoreSnapshot(
+    graph_io::SessionSnapshot snapshot) {
+  SPINNER_RETURN_IF_ERROR(init_status_);
   if (snapshot.num_partitions < 1) {
     return Status::InvalidArgument(
         "snapshot carries no assignment; cannot restore a session from it");
+  }
+  // In-memory snapshots (delta-log replay) bypass ReadSessionSnapshot's
+  // validation; re-check the assignment invariants here.
+  if (static_cast<int64_t>(snapshot.assignment.size()) !=
+      snapshot.num_vertices) {
+    return Status::InvalidArgument(
+        "snapshot assignment does not cover every vertex");
+  }
+  for (PartitionId l : snapshot.assignment) {
+    if (l < 0 || l >= snapshot.num_partitions) {
+      return Status::InvalidArgument("snapshot assignment label out of range");
+    }
   }
   directed_ = snapshot.directed;
   SPINNER_ASSIGN_OR_RETURN(

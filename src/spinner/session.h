@@ -37,6 +37,7 @@
 
 #include "common/result.h"
 #include "common/threadpool.h"
+#include "graph/binary_io.h"
 #include "graph/csr_graph.h"
 #include "graph/delta.h"
 #include "graph/sharded_store.h"
@@ -129,6 +130,12 @@ class PartitioningSession {
   /// propagation. A session can Restore() whether or not it was open.
   Status Restore(const std::string& path);
 
+  /// Restore() from an in-memory snapshot — the entry point of the
+  /// incremental (base + delta-log) checkpoint path
+  /// (stream/checkpoint_log.h), which replays a log into a snapshot and
+  /// installs it here without a temp-file round trip.
+  Status RestoreSnapshot(graph_io::SessionSnapshot snapshot);
+
   // --- Observation -------------------------------------------------------
 
   /// Installs a per-iteration observer (φ/ρ/score callback + cancellation
@@ -147,6 +154,11 @@ class PartitioningSession {
   int num_shards() const { return store_.num_shards(); }
 
   int64_t num_vertices() const { return num_vertices_; }
+
+  /// True if the owned edge list is directed (the conversion applied the
+  /// paper's Eq. 3 weighting). Fixed by Open()/Restore().
+  bool directed() const { return directed_; }
+
   const EdgeList& edges() const { return edges_; }
   const CsrGraph& converted() const { return converted_; }
 

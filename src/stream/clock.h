@@ -1,0 +1,55 @@
+// Injected time source for the streaming ingestion service. Trigger
+// policies (stream/trigger_policy.h) decide *when* a window of edge events
+// is applied; routing every "now" through this interface makes those
+// decisions deterministic under test — a ManualClock advances exactly when
+// the test says so, while production uses the monotonic SystemClock.
+#ifndef SPINNER_STREAM_CLOCK_H_
+#define SPINNER_STREAM_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace spinner::stream {
+
+/// Monotonic microsecond clock. Implementations must be safe to read from
+/// any thread (producers stamp events, the ingestion thread evaluates
+/// trigger policies).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual int64_t NowMicros() const = 0;
+};
+
+/// Production clock: std::chrono::steady_clock in microseconds.
+class SystemClock : public Clock {
+ public:
+  int64_t NowMicros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+};
+
+/// Test clock: time moves only when Advance()/Set() is called.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_micros = 0) : now_(start_micros) {}
+
+  int64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void AdvanceMicros(int64_t micros) {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+  void SetMicros(int64_t micros) {
+    now_.store(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace spinner::stream
+
+#endif  // SPINNER_STREAM_CLOCK_H_

@@ -1,0 +1,121 @@
+// When does a window of buffered edge events become a repartitioning?
+// That trade-off — apply often (fresh partitioning, high per-apply
+// overhead) vs. batch long (amortized cost, stale partitioning) — is the
+// latency/quality SLO of real-time dynamic partitioning (SDP, arXiv
+// 2110.15669). TriggerPolicy pins it behind one pluggable decision point
+// evaluated by the ingestion thread; every time input comes from the
+// injected Clock, so policies are deterministic under test.
+#ifndef SPINNER_STREAM_TRIGGER_POLICY_H_
+#define SPINNER_STREAM_TRIGGER_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spinner::stream {
+
+/// What the ingestion loop knows when it asks "apply now?". All times are
+/// in the service clock's microsecond domain.
+struct WindowState {
+  /// Events folded into the current (unapplied) window.
+  int64_t window_events = 0;
+  /// Events still queued behind the window.
+  int64_t queue_depth = 0;
+  /// Timestamp of the first event in the window, or -1 if empty.
+  int64_t window_opened_micros = -1;
+  /// Timestamp of the oldest unapplied event anywhere (window or queue),
+  /// or -1 if there is none. now - this = current staleness.
+  int64_t oldest_event_micros = -1;
+  int64_t now_micros = 0;
+};
+
+/// Decides when the current window is applied. Implementations must be
+/// stateless or confine state to the ingestion thread (ShouldTrigger is
+/// only ever called from it, never concurrently).
+class TriggerPolicy {
+ public:
+  virtual ~TriggerPolicy() = default;
+  virtual bool ShouldTrigger(const WindowState& state) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Apply once the window holds `watermark` events. The deterministic
+/// policy: window boundaries depend only on the event sequence, never on
+/// timing — the one the bit-identity tests drive.
+class EventCountPolicy : public TriggerPolicy {
+ public:
+  explicit EventCountPolicy(int64_t watermark)
+      : watermark_(watermark < 1 ? 1 : watermark) {}
+  bool ShouldTrigger(const WindowState& state) const override {
+    return state.window_events >= watermark_;
+  }
+  std::string name() const override { return "event-count"; }
+  int64_t watermark() const { return watermark_; }
+
+ private:
+  int64_t watermark_;
+};
+
+/// Apply once the window has been open for `window_micros` of clock time.
+/// Fixed-size time windows: an idle stream costs nothing (an empty window
+/// never triggers), a busy one is applied on a steady cadence.
+class WallClockWindowPolicy : public TriggerPolicy {
+ public:
+  explicit WallClockWindowPolicy(int64_t window_micros)
+      : window_micros_(window_micros < 1 ? 1 : window_micros) {}
+  bool ShouldTrigger(const WindowState& state) const override {
+    return state.window_opened_micros >= 0 &&
+           state.now_micros - state.window_opened_micros >= window_micros_;
+  }
+  std::string name() const override { return "wall-clock-window"; }
+
+ private:
+  int64_t window_micros_;
+};
+
+/// Bounded staleness: apply before any unapplied event (queued or
+/// windowed) grows older than `max_staleness_micros`. The difference from
+/// WallClockWindowPolicy is the anchor — this one watches the oldest
+/// event the partitioning has not yet absorbed, which is the SLO a
+/// serving system actually promises ("the partitioning reflects every
+/// change older than X").
+class StalenessSloPolicy : public TriggerPolicy {
+ public:
+  explicit StalenessSloPolicy(int64_t max_staleness_micros)
+      : max_staleness_micros_(max_staleness_micros < 1 ? 1
+                                                       : max_staleness_micros) {
+  }
+  bool ShouldTrigger(const WindowState& state) const override {
+    return state.oldest_event_micros >= 0 &&
+           state.now_micros - state.oldest_event_micros >=
+               max_staleness_micros_;
+  }
+  std::string name() const override { return "staleness-slo"; }
+
+ private:
+  int64_t max_staleness_micros_;
+};
+
+/// Triggers when any member policy does — e.g. "every 10k events, but
+/// never let staleness exceed 500ms".
+class AnyOfPolicy : public TriggerPolicy {
+ public:
+  explicit AnyOfPolicy(std::vector<std::unique_ptr<TriggerPolicy>> policies)
+      : policies_(std::move(policies)) {}
+  bool ShouldTrigger(const WindowState& state) const override {
+    for (const auto& p : policies_) {
+      if (p->ShouldTrigger(state)) return true;
+    }
+    return false;
+  }
+  std::string name() const override { return "any-of"; }
+
+ private:
+  std::vector<std::unique_ptr<TriggerPolicy>> policies_;
+};
+
+}  // namespace spinner::stream
+
+#endif  // SPINNER_STREAM_TRIGGER_POLICY_H_

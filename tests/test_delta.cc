@@ -132,6 +132,120 @@ TEST(ApplyDeltaTest, FailedApplyLeavesNoPartialResult) {
   EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
 }
 
+// --- Coalesce: the windowing primitive of the ingestion service ----------
+
+TEST(CoalesceTest, DedupesDuplicateAddsKeepingFirstOccurrenceOrder) {
+  GraphDelta delta =
+      GraphDelta{}.AddEdge(0, 1).AddEdge(2, 3).AddEdge(0, 1).AddEdge(2, 3);
+  delta.Coalesce();
+  EXPECT_EQ(delta.added_edges, (EdgeList{{0, 1}, {2, 3}}));
+  EXPECT_TRUE(delta.removed_edges.empty());
+}
+
+TEST(CoalesceTest, CancelsAddThenRemovePair) {
+  GraphDelta delta = GraphDelta{}.AddEdge(0, 1).RemoveEdge(0, 1);
+  delta.Coalesce();
+  EXPECT_TRUE(delta.added_edges.empty());
+  EXPECT_TRUE(delta.removed_edges.empty());
+}
+
+TEST(CoalesceTest, RemoveWithoutMatchingAddSurvives) {
+  GraphDelta delta = GraphDelta{}.AddEdge(0, 1).RemoveEdge(1, 2);
+  delta.Coalesce();
+  EXPECT_EQ(delta.added_edges, (EdgeList{{0, 1}}));
+  EXPECT_EQ(delta.removed_edges, (EdgeList{{1, 2}}));
+}
+
+TEST(CoalesceTest, MatchingIsExactNotSymmetric) {
+  // (0,1) and (1,0) are distinct edges, mirroring ApplyDelta removal.
+  GraphDelta delta = GraphDelta{}.AddEdge(0, 1).RemoveEdge(1, 0);
+  delta.Coalesce();
+  EXPECT_EQ(delta.added_edges, (EdgeList{{0, 1}}));
+  EXPECT_EQ(delta.removed_edges, (EdgeList{{1, 0}}));
+}
+
+TEST(CoalesceTest, DedupeRunsBeforeCancellation) {
+  // added [e,e] + removed [e,e]: dedupe collapses the adds to one, which
+  // cancels one remove; the survivor is a net removal from the base.
+  GraphDelta delta =
+      GraphDelta{}.AddEdge(0, 1).AddEdge(0, 1).RemoveEdge(0, 1).RemoveEdge(
+          0, 1);
+  delta.Coalesce();
+  EXPECT_TRUE(delta.added_edges.empty());
+  EXPECT_EQ(delta.removed_edges, (EdgeList{{0, 1}}));
+}
+
+TEST(CoalesceTest, VertexGrowsAreMergedAndPreserved) {
+  GraphDelta delta = GraphDelta{}.AddVertex(2).AddVertex(3).AddEdge(0, 1);
+  EXPECT_EQ(delta.num_new_vertices, 5);  // builder already merges grows
+  delta.Coalesce();
+  EXPECT_EQ(delta.num_new_vertices, 5);
+  EXPECT_EQ(delta.added_edges, (EdgeList{{0, 1}}));
+}
+
+TEST(CoalesceTest, IsChainable) {
+  const GraphDelta delta =
+      GraphDelta{}.AddEdge(0, 1).RemoveEdge(0, 1).Coalesce().AddVertex(1);
+  EXPECT_TRUE(delta.added_edges.empty());
+  EXPECT_EQ(delta.num_new_vertices, 1);
+}
+
+TEST(CoalesceTest, EmptyDeltaIsANoOp) {
+  GraphDelta delta;
+  delta.Coalesce();
+  EXPECT_EQ(delta.num_new_vertices, 0);
+  EXPECT_TRUE(delta.added_edges.empty());
+  EXPECT_TRUE(delta.removed_edges.empty());
+}
+
+TEST(CoalesceTest, MakesInWindowAddThenRemoveApplicable) {
+  // A window that adds (1,2) and removes it again cannot be expressed as
+  // one uncoalesced delta: ApplyDelta removes first, and the base never
+  // contained (1,2). Coalescing cancels the pair and the window applies.
+  const EdgeList base = {{0, 1}};
+  GraphDelta window = GraphDelta{}.AddEdge(1, 2).RemoveEdge(1, 2);
+  EXPECT_FALSE(ApplyDelta(3, base, window).ok());
+  auto out = ApplyDelta(3, base, window.Coalesce());
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(*out, base);
+}
+
+TEST(CoalesceTest, CoalescedWindowMatchesEventAtATimeApplication) {
+  // A realistic window: new edges, a retry-duplicated add, an edge that
+  // came and went, a base-edge removal, and a vertex grow. The coalesced
+  // single ApplyDelta must land on the same edge multiset as applying the
+  // events one at a time.
+  const EdgeList base = {{0, 1}, {1, 2}, {2, 3}};
+  GraphDelta window = GraphDelta{}
+                          .AddVertex(1)
+                          .AddEdge(3, 4)
+                          .AddEdge(3, 4)   // producer retry
+                          .AddEdge(0, 4)
+                          .RemoveEdge(0, 4)  // came and went
+                          .RemoveEdge(1, 2);  // base removal
+  auto coalesced = ApplyDelta(4, base, window.Coalesce());
+  ASSERT_TRUE(coalesced.ok()) << coalesced.status();
+
+  // Event-at-a-time equivalent (each event its own delta; retries and the
+  // transient edge collapse to the same multiset).
+  auto step = ApplyDelta(4, base, GraphDelta{}.AddVertex(1));
+  ASSERT_TRUE(step.ok());
+  auto step2 = ApplyDelta(5, *step, GraphDelta{}.AddEdge(3, 4));
+  ASSERT_TRUE(step2.ok());
+  auto step3 = ApplyDelta(5, *step2, GraphDelta{}.AddEdge(0, 4));
+  ASSERT_TRUE(step3.ok());
+  auto step4 = ApplyDelta(5, *step3, GraphDelta{}.RemoveEdge(0, 4));
+  ASSERT_TRUE(step4.ok());
+  auto step5 = ApplyDelta(5, *step4, GraphDelta{}.RemoveEdge(1, 2));
+  ASSERT_TRUE(step5.ok());
+
+  EdgeList got = *coalesced;
+  EdgeList want = *step5;
+  std::sort(got.begin(), got.end());
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
 TEST(RandomEdgeAdditionsTest, CountNoveltyAndDeterminism) {
   const EdgeList existing = {{0, 1}, {1, 2}};
   auto delta = RandomEdgeAdditions(50, existing, 30, 5);

@@ -1,0 +1,192 @@
+// EventQueue: the bounded MPSC edge-event queue behind IngestionService —
+// FIFO semantics, backpressure (blocking, try, timed enqueue), close
+// semantics, and multi-producer interleavings. The blocking tests here are
+// what the TSan CI lane chews on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "stream/event_queue.h"
+
+namespace spinner::stream {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(EventQueueTest, FifoOrderAndDrainAll) {
+  EventQueue queue(8);
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(0, 1, /*timestamp=*/10)));
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::RemoveEdge(1, 2, /*timestamp=*/20)));
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddVertices(3, /*timestamp=*/30)));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_EQ(queue.oldest_timestamp_micros(), 10);
+
+  std::vector<EdgeEvent> out;
+  ASSERT_TRUE(queue.DequeueAll(&out, milliseconds(100)));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].kind, EdgeEvent::Kind::kAddEdge);
+  EXPECT_EQ(out[0].src, 0);
+  EXPECT_EQ(out[0].dst, 1);
+  EXPECT_EQ(out[1].kind, EdgeEvent::Kind::kRemoveEdge);
+  EXPECT_EQ(out[2].kind, EdgeEvent::Kind::kAddVertices);
+  EXPECT_EQ(out[2].count, 3);
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.oldest_timestamp_micros(), -1);
+}
+
+TEST(EventQueueTest, TryEnqueueFailsOnlyWhenFull) {
+  EventQueue queue(2);
+  EXPECT_TRUE(queue.TryEnqueue(EdgeEvent::AddEdge(0, 1)));
+  EXPECT_TRUE(queue.TryEnqueue(EdgeEvent::AddEdge(1, 2)));
+  EXPECT_FALSE(queue.TryEnqueue(EdgeEvent::AddEdge(2, 3)));
+
+  std::vector<EdgeEvent> out;
+  ASSERT_TRUE(queue.DequeueAll(&out, milliseconds(0)));
+  EXPECT_TRUE(queue.TryEnqueue(EdgeEvent::AddEdge(2, 3)));
+}
+
+TEST(EventQueueTest, EnqueueForTimesOutOnAFullQueue) {
+  EventQueue queue(1);
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(0, 1)));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.EnqueueFor(EdgeEvent::AddEdge(1, 2), milliseconds(20)));
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(waited, milliseconds(15));  // actually waited, minus jitter
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, EnqueueForSucceedsWhenSpaceOpensUp) {
+  EventQueue queue(1);
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(0, 1)));
+  std::thread drainer([&] {
+    std::this_thread::sleep_for(milliseconds(10));
+    std::vector<EdgeEvent> out;
+    queue.DequeueAll(&out, milliseconds(0));
+  });
+  EXPECT_TRUE(
+      queue.EnqueueFor(EdgeEvent::AddEdge(1, 2), std::chrono::seconds(10)));
+  drainer.join();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, ProducerBlocksAtCapacityUntilConsumerDrains) {
+  EventQueue queue(2);
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(0, 1)));
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(1, 2)));
+
+  std::atomic<bool> enqueued{false};
+  std::thread producer([&] {
+    queue.Enqueue(EdgeEvent::AddEdge(2, 3));  // must block: queue is full
+    enqueued.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(enqueued.load());  // still stuck behind backpressure
+
+  std::vector<EdgeEvent> out;
+  ASSERT_TRUE(queue.DequeueAll(&out, milliseconds(100)));
+  producer.join();
+  EXPECT_TRUE(enqueued.load());
+  EXPECT_EQ(queue.size(), 1u);  // the unblocked producer's event
+}
+
+TEST(EventQueueTest, CloseWakesBlockedProducersWithFailure) {
+  EventQueue queue(1);
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(0, 1)));
+  std::atomic<bool> accepted{true};
+  std::thread producer(
+      [&] { accepted.store(queue.Enqueue(EdgeEvent::AddEdge(1, 2))); });
+  std::this_thread::sleep_for(milliseconds(10));
+  queue.Close();
+  producer.join();
+  EXPECT_FALSE(accepted.load());
+  EXPECT_FALSE(queue.Enqueue(EdgeEvent::AddEdge(2, 3)));
+  EXPECT_FALSE(queue.TryEnqueue(EdgeEvent::AddEdge(2, 3)));
+  EXPECT_FALSE(queue.EnqueueFor(EdgeEvent::AddEdge(2, 3), milliseconds(1)));
+}
+
+TEST(EventQueueTest, CloseStillDrainsBufferedEventsThenSignalsDone) {
+  EventQueue queue(8);
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(0, 1)));
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(1, 2)));
+  queue.Close();
+
+  std::vector<EdgeEvent> out;
+  // First drain returns the buffered events; the queue is closed but not
+  // yet fully consumed.
+  ASSERT_TRUE(queue.DequeueAll(&out, milliseconds(0)));
+  EXPECT_EQ(out.size(), 2u);
+  // Now closed *and* empty: the consumer-termination signal.
+  out.clear();
+  EXPECT_FALSE(queue.DequeueAll(&out, milliseconds(0)));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EventQueueTest, DequeueAllTimesOutEmptyOnAnIdleQueue) {
+  EventQueue queue(4);
+  std::vector<EdgeEvent> out;
+  EXPECT_TRUE(queue.DequeueAll(&out, milliseconds(5)));  // open, just idle
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EventQueueTest, TracksHighWaterMarkAndTotals) {
+  EventQueue queue(4);
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(0, 1)));
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(1, 2)));
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(2, 3)));
+  std::vector<EdgeEvent> out;
+  ASSERT_TRUE(queue.DequeueAll(&out, milliseconds(0)));
+  ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(3, 4)));
+  EXPECT_EQ(queue.high_water_mark(), 3u);
+  EXPECT_EQ(queue.total_enqueued(), 4);
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(EventQueueTest, MultiProducerEventsAllArriveInPerProducerOrder) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  EventQueue queue(16);  // far smaller than the stream: forces contention
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        // src tags the producer, dst the per-producer sequence number.
+        ASSERT_TRUE(queue.Enqueue(EdgeEvent::AddEdge(p, i)));
+      }
+    });
+  }
+
+  std::vector<EdgeEvent> all;
+  std::thread consumer([&] {
+    std::vector<EdgeEvent> batch;
+    while (queue.DequeueAll(&batch, milliseconds(50))) {
+      all.insert(all.end(), batch.begin(), batch.end());
+      batch.clear();
+    }
+    all.insert(all.end(), batch.begin(), batch.end());
+  });
+
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  consumer.join();
+
+  ASSERT_EQ(all.size(), static_cast<size_t>(kProducers * kPerProducer));
+  // The interleaving is arbitrary, but each producer's events must appear
+  // in submission order — the queue never reorders within a producer.
+  std::vector<VertexId> next_seq(kProducers, 0);
+  for (const EdgeEvent& event : all) {
+    ASSERT_GE(event.src, 0);
+    ASSERT_LT(event.src, kProducers);
+    EXPECT_EQ(event.dst, next_seq[static_cast<size_t>(event.src)]);
+    ++next_seq[static_cast<size_t>(event.src)];
+  }
+  EXPECT_EQ(queue.total_enqueued(), kProducers * kPerProducer);
+  EXPECT_LE(queue.high_water_mark(), 16u);
+}
+
+}  // namespace
+}  // namespace spinner::stream
