@@ -26,6 +26,8 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "spinner/partitioner.h"
@@ -223,8 +225,28 @@ void RegisterAll(bool smoke) {
 int main(int argc, char** argv) {
   const bool smoke = spinner::bench::ConsumeSmokeFlag(&argc, argv);
   spinner::bench::RegisterAll(smoke);
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Publish the google-benchmark JSON artifact by default — CI archives
+  // BENCH_*.json and this bench used to print to the console only. An
+  // explicit --benchmark_out on the command line wins.
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_fig6_scalability.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  args.push_back(nullptr);
+  int args_count = static_cast<int>(args.size()) - 1;
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   // The wire report rides the smoke artifact so the perf trajectory

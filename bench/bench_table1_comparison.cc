@@ -17,6 +17,7 @@
 
 #include "baselines/partitioner_registry.h"
 #include "bench_util.h"
+#include "common/cli.h"
 #include "spinner/metrics.h"
 
 namespace spinner::bench {
@@ -29,7 +30,37 @@ struct Row {
   std::vector<double> rho;
 };
 
-void Run(bool smoke) {
+/// Writes the sweep as a JSON artifact (CI archives BENCH_*.json; the
+/// console table is for humans).
+void WriteJson(const std::string& path, bool smoke,
+               const std::vector<int>& ks, const std::vector<Row>& rows) {
+  std::FILE* json = std::fopen(path.c_str(), "w");
+  SPINNER_CHECK(json != nullptr) << "cannot write " << path;
+  std::fprintf(json, "{\n  \"bench\": \"table1_comparison\",\n");
+  std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(json, "  \"k\": [");
+  for (size_t i = 0; i < ks.size(); ++i) {
+    std::fprintf(json, "%s%d", i ? ", " : "", ks[i]);
+  }
+  std::fprintf(json, "],\n  \"rows\": [\n");
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(json, "    {\"partitioner\": \"%s\", \"phi\": [",
+                 rows[r].registry_name.c_str());
+    for (size_t i = 0; i < rows[r].phi.size(); ++i) {
+      std::fprintf(json, "%s%.6f", i ? ", " : "", rows[r].phi[i]);
+    }
+    std::fprintf(json, "], \"rho\": [");
+    for (size_t i = 0; i < rows[r].rho.size(); ++i) {
+      std::fprintf(json, "%s%.6f", i ? ", " : "", rows[r].rho[i]);
+    }
+    std::fprintf(json, "]}%s\n", r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void Run(bool smoke, const std::string& out_path) {
   PrintBanner(
       "TABLE I — comparison with state-of-the-art on the Twitter stand-in",
       "multilevel(METIS) best phi, Spinner within ~2-12% of it, both ~1.05 "
@@ -91,12 +122,17 @@ void Run(bool smoke) {
   std::printf(
       "\n(paper Table I, Twitter: Spinner phi 0.85/0.69/0.51/0.39/0.31,\n"
       " rho ~1.02-1.05; Metis phi 0.88/0.76/0.64/0.46/0.37, rho 1.02-1.03)\n");
+  WriteJson(out_path, smoke, ks, rows);
 }
 
 }  // namespace
 }  // namespace spinner::bench
 
 int main(int argc, char** argv) {
-  spinner::bench::Run(spinner::bench::ConsumeSmokeFlag(&argc, argv));
+  const bool smoke = spinner::bench::ConsumeSmokeFlag(&argc, argv);
+  spinner::CommandLine cli;
+  SPINNER_CHECK(cli.Parse(argc, argv).ok());
+  spinner::bench::Run(smoke,
+                      cli.GetString("out", "BENCH_table1_comparison.json"));
   return 0;
 }

@@ -23,6 +23,15 @@
 # slice download, label transfer and snapshot upload exceeds one frame, so
 # the chunk split/reassembly paths execute end-to-end on every push and
 # the result must still be byte-identical to in-process.
+#
+# TCP mode (one Release configuration):
+#   ./ci.sh --mode=tcp
+# Builds Release, runs the TCP/registry/shard-store/execution-options
+# tests, then the docs/DISTRIBUTED.md walkthrough: a coordinator plus 3
+# dial-in `partition_tool worker` processes over 127.0.0.1, each with a
+# persistent shard store, diffed byte-for-byte against the in-process
+# run — twice, so the second run exercises the Assign/Resume
+# zero-download restart path against the populated stores.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -40,9 +49,10 @@ for arg in "$@"; do
       ;;
     --mode=multiprocess) MODE="multiprocess" ;;
     --mode=wire-stress) MODE="wire-stress" ;;
+    --mode=tcp) MODE="tcp" ;;
     --mode=*)
       echo "ci.sh: unknown mode '${arg#--mode=}'" \
-        "(multiprocess|wire-stress)" >&2
+        "(multiprocess|wire-stress|tcp)" >&2
       exit 2
       ;;
     *)
@@ -67,6 +77,49 @@ if [[ -n "${MODE}" ]]; then
     -DCMAKE_BUILD_TYPE=Release \
     -DSPINNER_WERROR=ON
   cmake --build "${build_dir}" -j "${JOBS}"
+
+  if [[ "${MODE}" == "tcp" ]]; then
+    echo "=== TCP-subsystem tests ==="
+    ctest --test-dir "${build_dir}" \
+      -R '^(Tcp|PersistentShardStore|WorkerLayout|ExecutionOptions|WireFormat|Transport)' \
+      --output-on-failure -j "${JOBS}"
+
+    echo "=== coordinator + 3 dial-in workers smoke (byte-for-byte diff) ==="
+    smoke_dir="$(mktemp -d)"
+    trap 'rm -rf "${smoke_dir}"' EXIT
+    listen="127.0.0.1:17077"
+    "./${build_dir}/partition_tool" generate \
+      --out="${smoke_dir}/edges.txt" --vertices=5000 --seed=7
+    "./${build_dir}/partition_tool" partition \
+      --input="${smoke_dir}/edges.txt" --k=16 --seed=11 \
+      --out="${smoke_dir}/in_process.txt"
+    # Run the TCP fleet twice against the same stores: the first run
+    # populates shard_<id>.base files, the second must resume from them
+    # (Assign/Resume fingerprints match -> empty Setups, zero download).
+    for round in 1 2; do
+      worker_pids=()
+      for w in 0 1 2; do
+        "./${build_dir}/partition_tool" worker \
+          --connect="${listen}" --store="${smoke_dir}/store${w}" &
+        worker_pids+=("$!")
+      done
+      # --shards=6 pins the shard count so every worker owns >= 1 shard
+      # on any runner (the shard count never changes the assignment).
+      "./${build_dir}/partition_tool" partition \
+        --input="${smoke_dir}/edges.txt" --k=16 --seed=11 --shards=6 \
+        --transport=tcp --listen="${listen}" --workers=3 \
+        --out="${smoke_dir}/tcp_round${round}.txt"
+      wait "${worker_pids[@]}"
+      cmp "${smoke_dir}/in_process.txt" "${smoke_dir}/tcp_round${round}.txt"
+    done
+    for w in 0 1 2; do
+      # Every worker's persistent store must hold at least one slice.
+      ls "${smoke_dir}/store${w}"/shard_*.base > /dev/null
+    done
+    echo "ci.sh: tcp assignment is byte-identical to in-process," \
+      "restart resumed from the persistent stores"
+    exit 0
+  fi
 
   echo "=== dist-subsystem tests ==="
   ctest --test-dir "${build_dir}" \

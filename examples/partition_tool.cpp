@@ -1,47 +1,38 @@
 // partition_tool: a complete command-line front end to the library — the
-// utility an operator would script against. Any registered partitioner can
-// be selected by name; the adapt/rescale lifecycle commands require the
-// matching capability (spinner has all of them).
+// utility an operator would script against. One uniform subcommand
+// surface with shared flag parsing and per-subcommand --help:
+//
+//   partition_tool <subcommand> [flags]
+//   partition_tool <subcommand> --help
+//
+//   partition   one-shot k-way partitioning of an edge-list file
+//   adapt       incremental adaptation from a previous partitioning
+//   rescale     elastic adaptation to a new partition count
+//   metrics     score an existing partition file
+//   serve       maintain a partitioning against a live edge stream
+//   generate    deterministic synthetic edge list (CI smoke, demos)
+//   worker      dial-in TCP shard worker (pairs with --transport=tcp)
+//   list        registered partitioners and their capabilities
 //
 //   # Partition an edge-list file (sparse ids fine; they are compacted):
 //   ./partition_tool partition --input=edges.txt --k=32 --out=parts.txt
 //
-//   # Sweep a baseline instead of Spinner:
-//   ./partition_tool partition --input=edges.txt --k=32 --partitioner=fennel
+//   # The same run distributed: 3 dial-in workers over TCP. Workers
+//   # retry the dial, so they may be started before the coordinator:
+//   ./partition_tool worker --connect=127.0.0.1:7077 --store=/tmp/w0 &
+//   ./partition_tool worker --connect=127.0.0.1:7077 --store=/tmp/w1 &
+//   ./partition_tool worker --connect=127.0.0.1:7077 --store=/tmp/w2 &
+//   ./partition_tool partition --input=edges.txt --k=32
+//       --transport=tcp --listen=127.0.0.1:7077 --workers=3
 //
-//   # The graph changed: adapt the existing partitioning.
-//   ./partition_tool adapt --input=new_edges.txt --previous=parts.txt
-//       --k=32 --out=parts2.txt
-//
-//   # The cluster changed: rescale to a new partition count.
-//   ./partition_tool rescale --input=edges.txt --previous=parts.txt
-//       --k=32 --new-k=40 --out=parts3.txt
-//
-//   # Score any partition file:
-//   ./partition_tool metrics --input=edges.txt --parts=parts.txt --k=32
-//
-//   # Generate a deterministic synthetic edge list (CI smoke, demos):
-//   ./partition_tool generate --out=edges.txt --vertices=5000 --seed=7
-//
-//   # Maintain a partitioning over a live edge stream read from stdin
-//   # (one event per line: "add U V" | "remove U V" | "vertices N"),
-//   # re-partitioning incrementally every --watermark events; on EOF the
-//   # stream is drained and the final partitioning written:
-//   ./partition_tool serve --input=edges.txt --k=32 --watermark=256
-//       --out=parts.txt [--checkpoint=state.spns]
-//
-//   # List the registered partitioners:
-//   ./partition_tool list
-//
-// Common flags: --partitioner (default "spinner"), --c (capacity slack),
-// --seed (label-drawing partitioners), --stream-seed (arrival order of the
-// streaming baselines; 0 = natural id order), --workers,
-// --shards (graph-store shards for the parallel partitioners),
-// --threads (OS threads), --processes (fork N ShardWorker processes and
-// run cross-process; 0 = in-process — none of the execution-shape flags
-// changes results), --wire-max-payload (cross-process frame payload
-// ceiling in bytes; larger messages stream across chunk frames),
-// --balance=edges|vertices.
+// Execution-shape flags (shared by partition/adapt/rescale/serve; none of
+// them changes results): --shards, --threads, --transport=
+// inprocess|multiprocess|tcp, --workers (worker processes for the
+// off-thread transports), --processes (legacy spelling of
+// "--transport=multiprocess --workers=N"), --listen (tcp coordinator
+// bind address), --store-dir (forked workers' persistent shard store),
+// --wire-max-payload (frame payload ceiling in bytes; larger messages
+// stream across chunk frames).
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -52,6 +43,8 @@
 
 #include "baselines/partitioner_registry.h"
 #include "common/cli.h"
+#include "dist/transport.h"
+#include "dist/worker.h"
 #include "graph/conversion.h"
 #include "graph/edge_list.h"
 #include "graph/generators.h"
@@ -71,14 +64,101 @@ int Fail(const Status& status) {
   return 1;
 }
 
+struct Subcommand {
+  const char* name;
+  const char* summary;
+  const char* help;  // flag list printed by `<subcommand> --help`
+};
+
+constexpr const char* kCommonFlags =
+    "  --partitioner=NAME   partitioner to run (default spinner; see "
+    "`list`)\n"
+    "  --k=N                partition count (default 32)\n"
+    "  --c=F                capacity slack (default 1.05)\n"
+    "  --seed=N             seed for the label-drawing partitioners\n"
+    "  --stream-seed=N      arrival order of the streaming baselines\n"
+    "  --balance=edges|vertices\n"
+    "  --shards=N --threads=N\n"
+    "                       graph-store shards / OS threads (results never "
+    "change)\n"
+    "  --transport=inprocess|multiprocess|tcp\n"
+    "                       where the shard workers run (default "
+    "inprocess)\n"
+    "  --workers=N          worker processes (required for tcp)\n"
+    "  --processes=N        legacy: --transport=multiprocess --workers=N\n"
+    "  --listen=HOST:PORT   tcp: coordinator bind address (default "
+    "127.0.0.1:0)\n"
+    "  --store-dir=DIR      forked workers: persistent shard store root\n"
+    "  --wire-max-payload=N frame payload ceiling in bytes\n";
+
+const Subcommand kSubcommands[] = {
+    {"partition", "one-shot k-way partitioning of an edge-list file",
+     "usage: partition_tool partition --input=EDGES [flags]\n"
+     "  --input=FILE         edge-list file (required)\n"
+     "  --out=FILE           write the partitioning here\n"},
+    {"adapt", "incremental adaptation from a previous partitioning",
+     "usage: partition_tool adapt --input=EDGES --previous=PARTS [flags]\n"
+     "  --input=FILE         edge-list file (required)\n"
+     "  --previous=FILE      previous partitioning (required)\n"
+     "  --out=FILE           write the adapted partitioning here\n"},
+    {"rescale", "elastic adaptation to a new partition count",
+     "usage: partition_tool rescale --input=EDGES --previous=PARTS "
+     "--new-k=N [flags]\n"
+     "  --input=FILE         edge-list file (required)\n"
+     "  --previous=FILE      previous partitioning (required)\n"
+     "  --new-k=N            target partition count\n"
+     "  --out=FILE           write the rescaled partitioning here\n"},
+    {"metrics", "score an existing partition file",
+     "usage: partition_tool metrics --input=EDGES --parts=PARTS --k=N\n"
+     "  --input=FILE         edge-list file (required)\n"
+     "  --parts=FILE         partitioning to score (required)\n"},
+    {"serve", "maintain a partitioning against a live edge stream",
+     "usage: partition_tool serve --input=EDGES [flags] < events\n"
+     "  --input=FILE         initial edge-list file (required)\n"
+     "  --watermark=N        re-partition every N events (default 256)\n"
+     "  --checkpoint=FILE    incremental checkpoint base path\n"
+     "  --out=FILE           write the final partitioning on EOF\n"
+     "  events on stdin: add U V | remove U V | vertices N\n"},
+    {"generate", "deterministic synthetic edge list (CI smoke, demos)",
+     "usage: partition_tool generate --out=EDGES [flags]\n"
+     "  --out=FILE           output edge-list file (required)\n"
+     "  --vertices=N         vertex count (default 5000)\n"
+     "  --degree=N           mean degree (default 6)\n"
+     "  --seed=N             generator seed (default 42)\n"},
+    {"worker", "dial-in TCP shard worker (pairs with --transport=tcp)",
+     "usage: partition_tool worker --connect=HOST:PORT [flags]\n"
+     "  --connect=HOST:PORT  coordinator address (required)\n"
+     "  --store=DIR          persistent shard store root (zero-download\n"
+     "                       resume across re-dials; empty = in-memory)\n"
+     "  --capacity=N         advertised shard-hosting capacity (default "
+     "1)\n"
+     "  --dial-timeout-ms=N  how long to retry the dial (default 30000)\n"
+     "  --wire-max-payload=N must match the coordinator's setting\n"
+     "  serves runs until the coordinator closes the connection; exits 0\n"},
+    {"list", "registered partitioners and their capabilities",
+     "usage: partition_tool list\n"},
+};
+
 int Usage() {
+  std::fprintf(stderr, "usage: partition_tool <subcommand> [flags]\n\n");
+  for (const Subcommand& sub : kSubcommands) {
+    std::fprintf(stderr, "  %-10s %s\n", sub.name, sub.summary);
+  }
   std::fprintf(stderr,
-               "usage: partition_tool "
-               "<partition|adapt|rescale|metrics|serve|generate|list> "
-               "--input=<edges.txt> [flags]\n"
-               "see the header of examples/partition_tool.cpp for the "
-               "full flag list\n");
+               "\n`partition_tool <subcommand> --help` lists the flags of "
+               "one subcommand.\n");
   return 2;
+}
+
+int Help(const Subcommand& sub) {
+  std::fprintf(stderr, "%s", sub.help);
+  if (std::string(sub.name) == "partition" ||
+      std::string(sub.name) == "adapt" ||
+      std::string(sub.name) == "rescale" ||
+      std::string(sub.name) == "serve") {
+    std::fprintf(stderr, "common flags:\n%s", kCommonFlags);
+  }
+  return 0;
 }
 
 struct LoadedGraph {
@@ -98,6 +178,7 @@ Result<LoadedGraph> Load(const std::string& path) {
   return out;
 }
 
+/// Shared flag parsing for every subcommand that runs a partitioner.
 PartitionerOptions OptionsFrom(const CommandLine& cli) {
   PartitionerOptions options;
   options.seed = static_cast<uint64_t>(cli.GetInt("seed", 42));
@@ -111,9 +192,32 @@ PartitionerOptions OptionsFrom(const CommandLine& cli) {
   // Execution shape: shards of the graph store and OS threads driving
   // them. Pure parallelism knobs — the computed partitioning is identical
   // for every choice.
-  options.num_shards = static_cast<int>(cli.GetInt("shards", 0));
-  options.num_threads = static_cast<int>(cli.GetInt("threads", 0));
+  options.execution.num_shards =
+      static_cast<int>(cli.GetInt("shards", 0));
+  options.execution.num_threads =
+      static_cast<int>(cli.GetInt("threads", 0));
   options.num_processes = static_cast<int>(cli.GetInt("processes", 0));
+  const std::string transport = cli.GetString("transport", "inprocess");
+  if (transport == "multiprocess") {
+    options.execution.mode = ExecutionMode::kMultiProcess;
+    options.execution.num_workers =
+        static_cast<int>(cli.GetInt("workers", 0));
+  } else if (transport == "tcp") {
+    options.execution.mode = ExecutionMode::kTcp;
+    options.execution.num_workers =
+        static_cast<int>(cli.GetInt("workers", 0));
+    options.execution.listen_address =
+        cli.GetString("listen", "127.0.0.1:0");
+    options.execution.handshake_timeout_ms =
+        cli.GetInt("handshake-timeout-ms", 30'000);
+  } else if (transport != "inprocess") {
+    std::fprintf(stderr,
+                 "error: --transport must be inprocess|multiprocess|tcp "
+                 "(got %s)\n",
+                 transport.c_str());
+    std::exit(2);
+  }
+  options.execution.worker_store_dir = cli.GetString("store-dir", "");
   // Cross-process transport: frame payload ceiling in bytes; larger
   // messages stream across chunk frames (0 = transport default). The
   // wire-stress CI lane forces this tiny to execute every chunk path.
@@ -126,7 +230,8 @@ PartitionerOptions OptionsFrom(const CommandLine& cli) {
                  static_cast<long long>(wire_max_payload));
     std::exit(2);
   }
-  options.wire_max_payload = static_cast<uint64_t>(wire_max_payload);
+  options.execution.wire_max_payload =
+      static_cast<uint64_t>(wire_max_payload);
   if (cli.GetString("balance", "edges") == "vertices") {
     options.spinner.balance_mode = BalanceMode::kVertices;
     options.balance_on_edges = false;
@@ -144,6 +249,124 @@ int Report(const CsrGraph& g, const std::vector<PartitionId>& labels, int k,
   return 0;
 }
 
+int RunWorker(const CommandLine& cli) {
+  const std::string connect = cli.GetString("connect", "");
+  if (connect.empty()) {
+    std::fprintf(stderr, "error: worker requires --connect=HOST:PORT\n");
+    return 2;
+  }
+  const int64_t wire_max_payload = cli.GetInt("wire-max-payload", 0);
+  if (wire_max_payload < 0) {
+    std::fprintf(stderr, "error: --wire-max-payload must be >= 0\n");
+    return 2;
+  }
+  dist::WorkerLoopOptions loop;
+  loop.store_dir = cli.GetString("store", "");
+  loop.capacity = cli.GetInt("capacity", 1);
+  loop.dial_timeout_ms = cli.GetInt("dial-timeout-ms", 30'000);
+  if (loop.capacity < 1) {
+    std::fprintf(stderr, "error: --capacity must be >= 1\n");
+    return 2;
+  }
+  return dist::RunTcpWorker(
+      connect,
+      dist::TransportOptions::Resolve(
+          static_cast<uint64_t>(wire_max_payload)),
+      loop);
+}
+
+int RunServe(const CommandLine& cli) {
+  // Long-lived mode: partition --input once, then keep the partitioning
+  // maintained against an edge stream read from stdin, one event per
+  // line ("add U V" | "remove U V" | "vertices N"; '#' comments). Ids
+  // are used as-is — dense ids as produced by `generate` are expected.
+  // EOF drains the stream, reports, and writes --out.
+  const std::string input = cli.GetString("input", "");
+  if (input.empty()) return Usage();
+  auto edges = graph_io::ReadEdgeList(input);
+  if (!edges.ok()) return Fail(edges.status());
+  const int64_t n = MaxVertexId(*edges) + 1;
+  const PartitionerOptions options = OptionsFrom(cli);
+
+  SessionOptions session_options;
+  session_options.execution = options.execution;
+  PartitioningSession session(options.spinner, session_options);
+  Status opened = session.Open(n, std::move(*edges), /*directed=*/true);
+  if (!opened.ok()) return Fail(opened);
+  std::printf("serving: |V|=%lld |E|=%zu k=%d phi=%.4f rho=%.4f\n",
+              static_cast<long long>(session.num_vertices()),
+              session.edges().size(), session.num_partitions(),
+              session.last_result().metrics.phi,
+              session.last_result().metrics.rho);
+
+  stream::IngestionOptions ingest;
+  ingest.policy = std::make_unique<stream::EventCountPolicy>(
+      cli.GetInt("watermark", 256));
+  ingest.checkpoint_base_path = cli.GetString("checkpoint", "");
+  ingest.on_apply = [](const stream::IngestStats& stats) {
+    std::printf("window %lld: %lld events in (%lld coalesced away) "
+                "phi=%.4f rho=%.4f apply=%.1fms staleness=%.1fms\n",
+                static_cast<long long>(stats.windows_applied),
+                static_cast<long long>(stats.events_ingested),
+                static_cast<long long>(stats.events_coalesced),
+                stats.last_phi, stats.last_rho,
+                static_cast<double>(stats.last_apply_micros) / 1000.0,
+                static_cast<double>(stats.last_staleness_micros) / 1000.0);
+    std::fflush(stdout);
+    return true;
+  };
+  stream::IngestionService service(&session, std::move(ingest));
+  Status started = service.Start();
+  if (!started.ok()) return Fail(started);
+
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    std::istringstream fields(line);
+    std::string op;
+    if (!(fields >> op) || op[0] == '#') continue;
+    Status submitted = Status::OK();
+    long long u = 0;
+    long long v = 0;
+    if (op == "add" && fields >> u >> v) {
+      submitted = service.Submit(stream::EdgeEvent::AddEdge(u, v));
+    } else if (op == "remove" && fields >> u >> v) {
+      submitted = service.Submit(stream::EdgeEvent::RemoveEdge(u, v));
+    } else if (op == "vertices" && fields >> u) {
+      submitted = service.Submit(stream::EdgeEvent::AddVertices(u));
+    } else {
+      std::fprintf(stderr,
+                   "stdin:%lld: unrecognized event \"%s\" (want add U V "
+                   "| remove U V | vertices N)\n",
+                   static_cast<long long>(line_number), line.c_str());
+      continue;
+    }
+    if (!submitted.ok()) break;  // the service died: Stop() has the why
+  }
+
+  Status stopped = service.Stop();  // drain + apply the final window
+  if (!stopped.ok()) return Fail(stopped);
+  const stream::IngestStats stats = service.stats();
+  std::printf("stream done: %lld events, %lld windows, %lld coalesced "
+              "away, queue high-water %lld\n",
+              static_cast<long long>(stats.events_ingested),
+              static_cast<long long>(stats.windows_applied),
+              static_cast<long long>(stats.events_coalesced),
+              static_cast<long long>(stats.queue_high_water));
+  std::printf("final: |V|=%lld |E|=%zu phi=%.4f rho=%.4f\n",
+              static_cast<long long>(session.num_vertices()),
+              session.edges().size(), session.last_result().metrics.phi,
+              session.last_result().metrics.rho);
+  const std::string out = cli.GetString("out", "");
+  if (!out.empty()) {
+    Status s = graph_io::WritePartitioning(out, session.assignment());
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -152,11 +375,18 @@ int main(int argc, char** argv) {
   CommandLine cli;
   if (!cli.Parse(argc, argv).ok()) return Usage();
 
+  const Subcommand* sub = nullptr;
+  for (const Subcommand& candidate : kSubcommands) {
+    if (command == candidate.name) sub = &candidate;
+  }
+  if (sub == nullptr) return Usage();
+  if (cli.GetBool("help", false)) return Help(*sub);
+
   if (command == "generate") {
     // Deterministic Watts-Strogatz edge list (the paper's scalability
     // substrate) — lets CI scripts smoke-test the tool with no fixture.
     const std::string out = cli.GetString("out", "");
-    if (out.empty()) return Usage();
+    if (out.empty()) { Help(*sub); return 2; }
     auto generated = WattsStrogatz(
         cli.GetInt("vertices", 5000),
         static_cast<int>(cli.GetInt("degree", 6)) / 2, 0.3,
@@ -180,102 +410,11 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (command == "serve") {
-    // Long-lived mode: partition --input once, then keep the partitioning
-    // maintained against an edge stream read from stdin, one event per
-    // line ("add U V" | "remove U V" | "vertices N"; '#' comments). Ids
-    // are used as-is — dense ids as produced by `generate` are expected.
-    // EOF drains the stream, reports, and writes --out.
-    const std::string input = cli.GetString("input", "");
-    if (input.empty()) return Usage();
-    auto edges = graph_io::ReadEdgeList(input);
-    if (!edges.ok()) return Fail(edges.status());
-    const int64_t n = MaxVertexId(*edges) + 1;
-    const PartitionerOptions options = OptionsFrom(cli);
-
-    PartitioningSession session(
-        options.spinner, SessionOptions{.num_shards = options.num_shards,
-                                        .num_threads = options.num_threads});
-    Status opened = session.Open(n, std::move(*edges), /*directed=*/true);
-    if (!opened.ok()) return Fail(opened);
-    std::printf("serving: |V|=%lld |E|=%zu k=%d phi=%.4f rho=%.4f\n",
-                static_cast<long long>(session.num_vertices()),
-                session.edges().size(), session.num_partitions(),
-                session.last_result().metrics.phi,
-                session.last_result().metrics.rho);
-
-    stream::IngestionOptions ingest;
-    ingest.policy = std::make_unique<stream::EventCountPolicy>(
-        cli.GetInt("watermark", 256));
-    ingest.checkpoint_base_path = cli.GetString("checkpoint", "");
-    ingest.on_apply = [](const stream::IngestStats& stats) {
-      std::printf("window %lld: %lld events in (%lld coalesced away) "
-                  "phi=%.4f rho=%.4f apply=%.1fms staleness=%.1fms\n",
-                  static_cast<long long>(stats.windows_applied),
-                  static_cast<long long>(stats.events_ingested),
-                  static_cast<long long>(stats.events_coalesced),
-                  stats.last_phi, stats.last_rho,
-                  static_cast<double>(stats.last_apply_micros) / 1000.0,
-                  static_cast<double>(stats.last_staleness_micros) / 1000.0);
-      std::fflush(stdout);
-      return true;
-    };
-    stream::IngestionService service(&session, std::move(ingest));
-    Status started = service.Start();
-    if (!started.ok()) return Fail(started);
-
-    std::string line;
-    int64_t line_number = 0;
-    while (std::getline(std::cin, line)) {
-      ++line_number;
-      std::istringstream fields(line);
-      std::string op;
-      if (!(fields >> op) || op[0] == '#') continue;
-      Status submitted = Status::OK();
-      long long u = 0;
-      long long v = 0;
-      if (op == "add" && fields >> u >> v) {
-        submitted =
-            service.Submit(stream::EdgeEvent::AddEdge(u, v));
-      } else if (op == "remove" && fields >> u >> v) {
-        submitted =
-            service.Submit(stream::EdgeEvent::RemoveEdge(u, v));
-      } else if (op == "vertices" && fields >> u) {
-        submitted = service.Submit(stream::EdgeEvent::AddVertices(u));
-      } else {
-        std::fprintf(stderr,
-                     "stdin:%lld: unrecognized event \"%s\" (want add U V "
-                     "| remove U V | vertices N)\n",
-                     static_cast<long long>(line_number), line.c_str());
-        continue;
-      }
-      if (!submitted.ok()) break;  // the service died: Stop() has the why
-    }
-
-    Status stopped = service.Stop();  // drain + apply the final window
-    if (!stopped.ok()) return Fail(stopped);
-    const stream::IngestStats stats = service.stats();
-    std::printf("stream done: %lld events, %lld windows, %lld coalesced "
-                "away, queue high-water %lld\n",
-                static_cast<long long>(stats.events_ingested),
-                static_cast<long long>(stats.windows_applied),
-                static_cast<long long>(stats.events_coalesced),
-                static_cast<long long>(stats.queue_high_water));
-    std::printf("final: |V|=%lld |E|=%zu phi=%.4f rho=%.4f\n",
-                static_cast<long long>(session.num_vertices()),
-                session.edges().size(), session.last_result().metrics.phi,
-                session.last_result().metrics.rho);
-    const std::string out = cli.GetString("out", "");
-    if (!out.empty()) {
-      Status s = graph_io::WritePartitioning(out, session.assignment());
-      if (!s.ok()) return Fail(s);
-      std::printf("wrote %s\n", out.c_str());
-    }
-    return 0;
-  }
+  if (command == "worker") return RunWorker(cli);
+  if (command == "serve") return RunServe(cli);
 
   const std::string input = cli.GetString("input", "");
-  if (input.empty()) return Usage();
+  if (input.empty()) { Help(*sub); return 2; }
 
   auto loaded = Load(input);
   if (!loaded.ok()) return Fail(loaded.status());

@@ -1,16 +1,13 @@
 #include "dist/coordinator.h"
 
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <thread>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
-#include "dist/worker.h"
+#include "dist/shard_store.h"
+#include "graph/binary_io.h"
 #include "spinner/superstep_driver.h"
 
 namespace spinner::dist {
@@ -41,70 +38,114 @@ Status Coordinator::Spawn(const SpinnerConfig& config,
         StrFormat("num_workers must be >= 1 (got %d)", num_workers));
   }
   transport_ = options.transport;
+  if (options.worker_transport != nullptr) {
+    transport_impl_ = options.worker_transport;
+  } else {
+    owned_transport_ =
+        std::make_unique<UnixSocketTransport>(options.worker_store_dir);
+    transport_impl_ = owned_transport_.get();
+  }
+  SPINNER_ASSIGN_OR_RETURN(std::vector<WorkerEndpoint> endpoints,
+                           transport_impl_->Acquire(num_workers, transport_));
+
+  // Contiguous ascending shard ranges per worker, sized proportionally to
+  // the capacity each advertised in its Hello (equal capacities reduce to
+  // the classic S·w/W split). Contiguity keeps replies received in worker
+  // order in global shard order, so every merge stays trivially in the
+  // fixed order the determinism contract requires.
   const int S = store.num_shards();
-  for (int w = 0; w < num_workers; ++w) {
-    auto pair = CreateSocketPair();
-    if (!pair.ok()) {
-      ForceKill();
-      return pair.status();
-    }
-    UnixSocket coordinator_end = std::move(pair->first);
-    UnixSocket worker_end = std::move(pair->second);
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      ForceKill();
-      return Status::IOError("fork failed");
-    }
-    if (pid == 0) {
-      // Child: drop every descriptor that is not this worker's own
-      // connection, so a dead sibling's socket reads EOF promptly and the
-      // coordinator's death is observable. The transport options cross
-      // the fork by inheritance — both sides always agree on the frame
-      // payload ceiling.
-      coordinator_end.Close();
-      for (Worker& sibling : workers_) sibling.socket.Close();
-      _exit(RunShardWorkerLoop(worker_end.Release(), transport_));
-    }
-    worker_end.Close();
-    Worker worker;
-    worker.pid = pid;
-    worker.socket = std::move(coordinator_end);
-    // Contiguous ascending shard ranges per worker: replies received in
-    // worker order arrive in global shard order, which keeps every merge
-    // trivially in the fixed order the determinism contract requires.
+  int64_t total_capacity = 0;
+  for (const WorkerEndpoint& ep : endpoints) {
+    total_capacity += std::max<int64_t>(1, ep.capacity);
+  }
+  int64_t prefix_capacity = 0;
+  for (WorkerEndpoint& ep : endpoints) {
     const int begin = static_cast<int>(
-        static_cast<int64_t>(S) * w / num_workers);
+        static_cast<int64_t>(S) * prefix_capacity / total_capacity);
+    prefix_capacity += std::max<int64_t>(1, ep.capacity);
     const int end = static_cast<int>(
-        static_cast<int64_t>(S) * (w + 1) / num_workers);
+        static_cast<int64_t>(S) * prefix_capacity / total_capacity);
+    Worker worker;
+    worker.endpoint = std::move(ep);
     for (int s = begin; s < end; ++s) {
       worker.shards.push_back(static_cast<int32_t>(s));
     }
     workers_.push_back(std::move(worker));
   }
 
-  // Shard slice download: each worker receives its Setup with the slices
-  // it owns (graph/binary_io SPSL encoding), streamed across chunk frames
-  // when it exceeds the frame payload ceiling.
+  // Assign first (full config + fingerprints, so every worker can probe
+  // its store concurrently), then per worker consume the Resume and send
+  // a Setup carrying only the slices whose fingerprint missed.
+  std::vector<std::vector<uint64_t>> fingerprints(workers_.size());
   for (int w = 0; w < num_workers; ++w) {
-    SetupMessage setup;
-    setup.num_partitions = config.num_partitions;
-    setup.seed = config.seed;
-    setup.balance_on_vertices =
+    AssignMessage assign;
+    assign.num_partitions = config.num_partitions;
+    assign.seed = config.seed;
+    assign.balance_on_vertices =
         config.balance_mode == BalanceMode::kVertices ? 1 : 0;
-    setup.per_worker_async = config.per_worker_async ? 1 : 0;
-    setup.num_vertices = store.NumVertices();
-    setup.num_shards_total = S;
-    setup.owned_shards = workers_[w].shards;
-    if (w == options.fail_worker) {
-      setup.fail_after_score_steps = options.fail_after_score_steps;
+    assign.per_worker_async = config.per_worker_async ? 1 : 0;
+    assign.num_vertices = store.NumVertices();
+    assign.num_shards_total = S;
+    assign.owned_shards = workers_[w].shards;
+    for (const int32_t s : workers_[w].shards) {
+      assign.slice_fingerprints.push_back(
+          ShardSliceFingerprint(store.shard(s)));
     }
-    // Slices are appended straight from the store — no intermediate
-    // per-shard CSR copies on the (per-lifecycle-call) spawn path.
-    const Status sent = SendTo(w, MessageType::kSetup,
-                               EncodeSetupFromStore(setup, store));
+    fingerprints[w] = assign.slice_fingerprints;
+    if (w == options.fail_worker) {
+      assign.fail_after_score_steps = options.fail_after_score_steps;
+    }
+    const Status sent = SendTo(w, MessageType::kAssign, assign.Encode());
     if (!sent.ok()) {
       ForceKill();
       return sent;
+    }
+  }
+  for (int w = 0; w < num_workers; ++w) {
+    Result<Frame> frame = RecvFrom(w, MessageType::kResume);
+    Status status = frame.status();
+    ResumeMessage resume;
+    if (status.ok()) {
+      auto decoded = ResumeMessage::Decode(frame->payload);
+      status = decoded.status();
+      if (status.ok()) resume = std::move(*decoded);
+    }
+    if (status.ok() &&
+        resume.fingerprints.size() != workers_[w].shards.size()) {
+      status = Status::Internal(StrFormat(
+          "worker %d Resume carries %zu fingerprints for %zu shards", w,
+          resume.fingerprints.size(), workers_[w].shards.size()));
+    }
+    if (status.ok()) {
+      SetupMessage setup;
+      setup.num_partitions = config.num_partitions;
+      setup.seed = config.seed;
+      setup.balance_on_vertices =
+          config.balance_mode == BalanceMode::kVertices ? 1 : 0;
+      setup.per_worker_async = config.per_worker_async ? 1 : 0;
+      setup.num_vertices = store.NumVertices();
+      setup.num_shards_total = S;
+      for (size_t i = 0; i < workers_[w].shards.size(); ++i) {
+        const int32_t s = workers_[w].shards[i];
+        if (resume.fingerprints[i] != 0 &&
+            resume.fingerprints[i] == fingerprints[w][i]) {
+          ++slices_resumed_;
+          continue;
+        }
+        setup.owned_shards.push_back(s);
+        ++slices_downloaded_;
+        slice_bytes_downloaded_ += static_cast<int64_t>(
+            graph_io::EncodedShardSliceSize(store.shard(s)));
+      }
+      // Slices are appended straight from the store — no intermediate
+      // per-shard CSR copies on the download path. An all-hit Resume
+      // still gets its (slice-free) Setup: the worker always awaits one.
+      status = SendTo(w, MessageType::kSetup,
+                      EncodeSetupFromStore(setup, store));
+    }
+    if (!status.ok()) {
+      ForceKill();
+      return status;
     }
   }
   return Status::OK();
@@ -150,14 +191,14 @@ Status Coordinator::CollectSubscriptions(const ShardedGraphStore& store) {
 
 Status Coordinator::SendTo(int w, MessageType type,
                            std::span<const uint8_t> payload) {
-  const Status status =
-      SendMessage(workers_[static_cast<size_t>(w)].socket.fd(),
-                  static_cast<uint32_t>(type), payload, transport_,
-                  next_message_id_++, &counters_);
+  const Status status = SendMessage(
+      workers_[static_cast<size_t>(w)].endpoint.socket.fd(),
+      static_cast<uint32_t>(type), payload, transport_, next_message_id_++,
+      &counters_);
   if (!status.ok()) {
     return Status::IOError(StrFormat(
         "worker %d (pid %d) unreachable: %s", w,
-        static_cast<int>(workers_[static_cast<size_t>(w)].pid),
+        static_cast<int>(workers_[static_cast<size_t>(w)].endpoint.pid),
         status.message().c_str()));
   }
   return status;
@@ -172,9 +213,9 @@ Status Coordinator::SendToAll(MessageType type,
 }
 
 Result<Frame> Coordinator::RecvFrom(int w, MessageType expected) {
-  Result<Frame> frame =
-      RecvMessage(workers_[static_cast<size_t>(w)].socket.fd(), transport_,
-                  &counters_);
+  Result<Frame> frame = RecvMessage(
+      workers_[static_cast<size_t>(w)].endpoint.socket.fd(), transport_,
+      &counters_);
   if (!frame.ok()) {
     // EOF/EPIPE means the worker process is gone; anything else (chunk
     // reassembly rejections are InvalidArgument) is a live worker with a
@@ -182,10 +223,13 @@ Result<Frame> Coordinator::RecvFrom(int w, MessageType expected) {
     const bool died = frame.status().code() == StatusCode::kIOError;
     return Status(
         frame.status().code(),
-        StrFormat(died ? "worker %d (pid %d) died mid-superstep: %s"
-                       : "worker %d (pid %d) sent a corrupt stream: %s",
-                  w, static_cast<int>(workers_[static_cast<size_t>(w)].pid),
-                  frame.status().message().c_str()));
+        StrFormat(
+            died ? "worker %d (pid %d) died mid-superstep: %s"
+                 : "worker %d (pid %d) sent a corrupt stream: %s",
+            w,
+            static_cast<int>(
+                workers_[static_cast<size_t>(w)].endpoint.pid),
+            frame.status().message().c_str()));
   }
   if (frame->type == static_cast<uint32_t>(MessageType::kError)) {
     auto error = ErrorMessage::Decode(frame->payload);
@@ -205,7 +249,7 @@ Result<Frame> Coordinator::RecvFrom(int w, MessageType expected) {
 Status Coordinator::Shutdown() {
   Status first_error;
   for (int w = 0; w < num_workers(); ++w) {
-    if (!workers_[static_cast<size_t>(w)].socket.valid()) continue;
+    if (!workers_[static_cast<size_t>(w)].endpoint.socket.valid()) continue;
     Status status = SendTo(w, MessageType::kTeardown, {});
     if (status.ok()) {
       status = RecvFrom(w, MessageType::kTeardownAck).status();
@@ -216,14 +260,11 @@ Status Coordinator::Shutdown() {
     ForceKill();
     return first_error;
   }
-  // Ack received: the worker is on its way out; reap it.
+  // Ack received: the worker reset its run state and is awaiting the next
+  // Assign; hand the live connection back to the transport (the registry
+  // pools it, the fork transport closes and reaps).
   for (Worker& worker : workers_) {
-    worker.socket.Close();
-    if (worker.pid > 0) {
-      int wstatus = 0;
-      (void)::waitpid(worker.pid, &wstatus, 0);
-      worker.pid = -1;
-    }
+    transport_impl_->Release(std::move(worker.endpoint));
   }
   workers_.clear();
   return Status::OK();
@@ -231,12 +272,10 @@ Status Coordinator::Shutdown() {
 
 void Coordinator::ForceKill() {
   for (Worker& worker : workers_) {
-    worker.socket.Close();
-    if (worker.pid > 0) {
-      (void)::kill(worker.pid, SIGKILL);
-      int wstatus = 0;
-      (void)::waitpid(worker.pid, &wstatus, 0);
-      worker.pid = -1;
+    if (transport_impl_ != nullptr) {
+      transport_impl_->Destroy(std::move(worker.endpoint));
+    } else {
+      worker.endpoint.socket.Close();
     }
   }
   workers_.clear();
@@ -246,13 +285,17 @@ namespace {
 
 /// Folds the coordinator's connection counters into a run's WireTraffic
 /// totals (the per-message/entry counters are the backend's own).
-void CopyCounters(const WireCounters& counters, WireTraffic* out) {
+void CopyCounters(const Coordinator& coordinator, WireTraffic* out) {
+  const WireCounters& counters = coordinator.counters();
   out->bytes_sent = counters.bytes_sent;
   out->bytes_received = counters.bytes_received;
   out->frames_sent = counters.frames_sent;
   out->frames_received = counters.frames_received;
   out->chunked_messages =
       counters.chunked_messages_sent + counters.chunked_messages_received;
+  out->slices_downloaded = coordinator.slices_downloaded();
+  out->slice_bytes_downloaded = coordinator.slice_bytes_downloaded();
+  out->slices_resumed = coordinator.slices_resumed();
 }
 
 /// The cross-process SuperstepBackend: each phase is one lockstep RPC
@@ -275,17 +318,33 @@ class MultiProcessBackend final : public SuperstepBackend {
   }
 
   void CollectWireTraffic(WireTraffic* out) override {
-    CopyCounters(coordinator_->counters(), &wire_);
+    CopyCounters(*coordinator_, &wire_);
     *out = wire_;
   }
 
   Status Initialize(const std::vector<PartitionId>& initial_labels,
                     InitOutcome* out) override {
     const int64_t step_start = coordinator_->counters().bytes_sent;
-    InitRequest request;
-    request.initial_labels = initial_labels;
-    SPINNER_RETURN_IF_ERROR(
-        coordinator_->SendToAll(MessageType::kInit, request.Encode()));
+    // Each worker gets exactly its owned slice of the initial labels,
+    // based at its owned range begin — O(V) total, not O(V·workers).
+    const int64_t init_size = static_cast<int64_t>(initial_labels.size());
+    for (int w = 0; w < coordinator_->num_workers(); ++w) {
+      const std::vector<int32_t>& owned = coordinator_->owned_shards(w);
+      const VertexId begin =
+          owned.empty() ? 0 : store_->shard(owned.front()).begin;
+      const VertexId end =
+          owned.empty() ? 0 : store_->shard(owned.back()).end;
+      InitRequest request;
+      request.base = begin;
+      const int64_t lo = std::min<int64_t>(begin, init_size);
+      const int64_t hi = std::min<int64_t>(end, init_size);
+      if (hi > lo) {
+        request.initial_labels.assign(initial_labels.begin() + lo,
+                                      initial_labels.begin() + hi);
+      }
+      SPINNER_RETURN_IF_ERROR(
+          coordinator_->SendTo(w, MessageType::kInit, request.Encode()));
+    }
     out->messages_out.assign(static_cast<size_t>(store_->num_shards()), 0);
     for (int w = 0; w < coordinator_->num_workers(); ++w) {
       SPINNER_ASSIGN_OR_RETURN(Frame frame,
@@ -497,7 +556,7 @@ class MultiProcessBackend final : public SuperstepBackend {
   /// What worker w's DeltasAck digest must be, computed from the
   /// coordinator's authoritative labels: owned slices in ascending shard
   /// order, then subscribed mirror values in subscription order — the
-  /// exact fold the worker performs over its own state.
+  /// exact layout (hence fold) of the worker's compact label array.
   uint64_t ExpectedStateChecksum(int w) const {
     const std::vector<PartitionId>& labels = store_->labels();
     LabelChecksum sum;
@@ -613,7 +672,7 @@ Result<ShardedRunResult> RunMultiProcessSpinner(
   SPINNER_RETURN_IF_ERROR(coordinator.Shutdown());
   // Snapshot/teardown bytes postdate the driver's collection; refresh the
   // totals so the reported traffic covers the whole run.
-  CopyCounters(coordinator.counters(), &run->wire);
+  CopyCounters(coordinator, &run->wire);
   return run;
 }
 

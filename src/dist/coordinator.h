@@ -1,38 +1,44 @@
 // Coordinator: the master side of the cross-process execution mode. It
-// forks ShardWorker processes connected by Unix-domain socket pairs,
-// downloads each worker's shard slices (Setup, streamed across chunk
-// frames for graphs of any size), collects each worker's boundary
+// acquires worker connections from a Transport (dist/registry.h) — forked
+// children over socketpairs, or dial-in TCP workers from the
+// WorkerRegistry — assigns each a contiguous, capacity-weighted range of
+// store shards (Assign), learns what each worker already hosts (Resume),
+// downloads only the stale/missing shard slices (Setup, streamed across
+// chunk frames for graphs of any size), collects each worker's boundary
 // subscription, and implements the SuperstepBackend interface by turning
 // every superstep phase into one lockstep RPC round — so
 // DriveSpinnerSupersteps runs the exact same master schedule over
 // processes as it does over ThreadPool tasks, and RunMultiProcessSpinner
 // is bit-identical to RunShardedSpinner for every {num_shards,
-// num_workers} (the invariance tests assert assignments AND float
-// φ/ρ/score histories).
+// num_workers, transport} (the invariance tests assert assignments AND
+// float φ/ρ/score histories).
 //
 // Label traffic is cut-proportional: after Init each worker receives the
 // labels of exactly its subscribed (out-of-range neighbor) vertices, and
 // each iteration's delta broadcast is filtered per worker to its
 // subscription — O(boundary) bytes per superstep instead of O(V·workers).
-// The WireCounters expose this for tests and the bench wire report.
+// Initial labels are likewise sliced per worker to its owned range. The
+// WireCounters and the slice download counters expose this for tests and
+// the bench wire report.
 //
 // Failure contract: a worker that dies mid-superstep (EOF/EPIPE on its
 // socket) or sends a malformed reply surfaces as a non-OK Status from the
-// run — never a hang — and every remaining worker is force-killed and
-// reaped before the error returns. Cross-process state is verified, not
-// assumed: each iteration's delta broadcast is acknowledged with a
-// checksum over the worker's owned slices and subscribed mirror, and a
-// final Snapshot round checks every worker's shard state against the
-// coordinator's merged view bit-for-bit.
+// run — never a hang — and every remaining worker is destroyed through
+// the transport before the error returns. Cross-process state is
+// verified, not assumed: each iteration's delta broadcast is acknowledged
+// with a checksum over the worker's owned slices and subscribed mirror,
+// and a final Snapshot round checks every worker's shard state against
+// the coordinator's merged view bit-for-bit.
 #ifndef SPINNER_DIST_COORDINATOR_H_
 #define SPINNER_DIST_COORDINATOR_H_
 
-#include <sys/types.h>
-
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "dist/registry.h"
 #include "dist/transport.h"
 #include "dist/wire_format.h"
 #include "graph/sharded_store.h"
@@ -44,12 +50,21 @@ namespace spinner::dist {
 
 /// Execution-shape and test options of a multi-process run.
 struct MultiProcessOptions {
-  /// Worker processes to fork (0 = min(num_shards, hardware threads)).
+  /// Worker processes to drive (0 = min(num_shards, hardware threads)).
   int num_workers = 0;
 
   /// Transport knobs (frame payload ceiling, reassembly guard), shared
-  /// with every forked worker. Defaults honor SPINNER_WIRE_MAX_PAYLOAD.
+  /// with every worker. Defaults honor SPINNER_WIRE_MAX_PAYLOAD.
   TransportOptions transport = TransportOptions::FromEnv();
+
+  /// Where worker connections come from. Null = a private
+  /// UnixSocketTransport (fork-per-run, the single-host default); point
+  /// it at a WorkerRegistry to drive dial-in TCP workers. Not owned.
+  Transport* worker_transport = nullptr;
+
+  /// PersistentShardStore root for forked workers (UnixSocketTransport
+  /// only; dial-in workers configure their own store). Empty = in-memory.
+  std::string worker_store_dir;
 
   /// Test hooks: worker `fail_worker` calls _exit(3) right before replying
   /// to its (fail_after_score_steps+1)-th ComputeScores request — a
@@ -61,19 +76,21 @@ struct MultiProcessOptions {
 /// The worker-process count a run should use; never affects results.
 int ResolveNumWorkers(int requested, int num_shards);
 
-/// Owns the worker processes of one multi-process run. Not thread-safe.
+/// Owns the worker endpoints of one multi-process run. Not thread-safe.
 class Coordinator {
  public:
   Coordinator() = default;
-  ~Coordinator();  // force-kills anything still alive
+  ~Coordinator();  // destroys anything still attached
 
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
 
-  /// Forks `num_workers` workers, assigns each a contiguous ascending
-  /// range of store shards, and sends each its Setup frame (config +
-  /// owned shard slices). On failure every already-forked worker is
-  /// killed and reaped.
+  /// Acquires `num_workers` endpoints from the transport, assigns each a
+  /// contiguous ascending range of store shards (sized by the capacity it
+  /// advertised in Hello), and runs the Assign/Resume/Setup handshake:
+  /// each worker receives the full run config and its slice fingerprints,
+  /// reports what it already hosts, and downloads only the remainder. On
+  /// failure every acquired endpoint is destroyed.
   Status Spawn(const SpinnerConfig& config, const ShardedGraphStore& store,
                int num_workers, const MultiProcessOptions& options);
 
@@ -110,36 +127,48 @@ class Coordinator {
   /// Bytes/frames moved through this coordinator, all workers combined.
   const WireCounters& counters() const { return counters_; }
 
-  /// Clean teardown handshake + reap. Force-kills (and still reaps) every
-  /// worker if any step fails, then returns the first error.
+  /// Slice download accounting of the Spawn handshake.
+  int64_t slices_downloaded() const { return slices_downloaded_; }
+  int64_t slice_bytes_downloaded() const { return slice_bytes_downloaded_; }
+  int64_t slices_resumed() const { return slices_resumed_; }
+
+  /// Clean teardown handshake, then releases every endpoint back to the
+  /// transport (a registry pools the live connections for the next run).
+  /// Destroys every worker if any step fails, then returns the first
+  /// error.
   Status Shutdown();
 
-  /// SIGKILLs and reaps every live worker (error paths; idempotent).
+  /// Destroys every attached endpoint through the transport (error
+  /// paths; idempotent). Forked children are SIGKILLed and reaped.
   void ForceKill();
 
  private:
   struct Worker {
-    pid_t pid = -1;
-    UnixSocket socket;
+    WorkerEndpoint endpoint;
     std::vector<int32_t> shards;
     /// Ascending out-of-range neighbor set the worker subscribed to.
     std::vector<VertexId> subscription;
   };
 
   std::vector<Worker> workers_;
+  Transport* transport_impl_ = nullptr;
+  std::unique_ptr<UnixSocketTransport> owned_transport_;
   TransportOptions transport_;
   WireCounters counters_;
+  int64_t slices_downloaded_ = 0;
+  int64_t slice_bytes_downloaded_ = 0;
+  int64_t slices_resumed_ = 0;
   uint64_t next_message_id_ = 1;
 };
 
-/// Runs Spinner label propagation over `store` across forked worker
-/// processes — the cross-process sibling of RunShardedSpinner with the
-/// same contract: on success store->labels() holds the final assignment
-/// and every shard's load counters are consistent with it, and the result
+/// Runs Spinner label propagation over `store` across worker processes —
+/// the cross-process sibling of RunShardedSpinner with the same contract:
+/// on success store->labels() holds the final assignment and every
+/// shard's load counters are consistent with it, and the result
 /// (assignment and float history) is bit-identical to the in-process path
-/// for every {num_shards, num_workers}. The result's `wire` field reports
-/// the run's wire traffic. `observer` runs coordinator-side and may be
-/// null.
+/// for every {num_shards, num_workers, transport}. The result's `wire`
+/// field reports the run's wire traffic. `observer` runs coordinator-side
+/// and may be null.
 Result<ShardedRunResult> RunMultiProcessSpinner(
     const SpinnerConfig& config, ShardedGraphStore* store,
     std::vector<PartitionId> initial_labels,

@@ -1,0 +1,66 @@
+// TCP primitives of the off-box execution mode: an IPv4 listener for the
+// coordinator's WorkerRegistry (dist/registry.h) and a dialer for workers.
+//
+// The frame/chunk layer (dist/transport.h) is byte-stream agnostic — the
+// same SendMessage/RecvMessage run unchanged over a socketpair fd or a TCP
+// fd. What this header adds is connection establishment: bind/listen with
+// an ephemeral-port option, accept with a deadline (the registry's
+// handshake timeout), and dial with bounded retry so workers can start
+// before the coordinator finishes binding.
+//
+// Sockets are blocking with TCP_NODELAY set (the protocol is lockstep
+// request/reply; Nagle would serialize every superstep on a delayed ACK).
+// IPv4 only — the deployment story is "addresses you configure", not name
+// resolution; "127.0.0.1:0" is the loopback default everywhere.
+#ifndef SPINNER_DIST_TCP_TRANSPORT_H_
+#define SPINNER_DIST_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "dist/transport.h"
+
+namespace spinner::dist {
+
+/// Splits "host:port" (host an IPv4 dotted quad, port 0..65535).
+Result<std::pair<std::string, uint16_t>> ParseHostPort(
+    const std::string& address);
+
+/// A bound, listening IPv4 socket. Move-only (owns the fd).
+class TcpListener {
+ public:
+  TcpListener() = default;
+  TcpListener(TcpListener&&) = default;
+  TcpListener& operator=(TcpListener&&) = default;
+
+  /// Binds and listens on `address` ("host:port"; port 0 picks an
+  /// ephemeral port — read the result back via address()).
+  static Result<TcpListener> Bind(const std::string& address);
+
+  /// The bound address "host:port" with the resolved port — what dial-in
+  /// workers connect to.
+  const std::string& address() const { return address_; }
+  uint16_t port() const { return port_; }
+  bool listening() const { return fd_.valid(); }
+
+  /// Accepts one connection, waiting at most `timeout_ms` (<= 0 = only
+  /// already-pending connections). IOError when nothing dialed in; the
+  /// accepted socket has TCP_NODELAY set.
+  Result<UnixSocket> AcceptWithin(int64_t timeout_ms);
+
+ private:
+  UnixSocket fd_;
+  std::string address_;
+  uint16_t port_ = 0;
+};
+
+/// Connects to `address`, retrying refused connections until `timeout_ms`
+/// elapses (the coordinator may still be binding). The connected socket
+/// has TCP_NODELAY set.
+Result<UnixSocket> TcpDial(const std::string& address, int64_t timeout_ms);
+
+}  // namespace spinner::dist
+
+#endif  // SPINNER_DIST_TCP_TRANSPORT_H_

@@ -116,10 +116,88 @@ SpinnerConfig SetupMessage::ToConfig() const {
   return config;
 }
 
+// --- Hello / Assign / Resume ---------------------------------------------
+
+std::vector<uint8_t> HelloMessage::Encode() const {
+  WireWriter w;
+  w.PutU32(protocol_version);
+  w.PutI64(capacity);
+  w.PutU32(flags);
+  return w.Take();
+}
+
+Result<HelloMessage> HelloMessage::Decode(std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  HelloMessage m;
+  if (!r.GetU32(&m.protocol_version) || !r.GetI64(&m.capacity) ||
+      !r.GetU32(&m.flags)) {
+    return Truncated("Hello");
+  }
+  return m;
+}
+
+std::vector<uint8_t> AssignMessage::Encode() const {
+  WireWriter w;
+  w.PutI32(num_partitions);
+  w.PutU64(seed);
+  w.PutU8(balance_on_vertices);
+  w.PutU8(per_worker_async);
+  w.PutI64(num_vertices);
+  w.PutI32(num_shards_total);
+  w.PutVector(owned_shards);
+  w.PutVector(slice_fingerprints);
+  w.PutI32(fail_after_score_steps);
+  return w.Take();
+}
+
+Result<AssignMessage> AssignMessage::Decode(
+    std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  AssignMessage m;
+  if (!r.GetI32(&m.num_partitions) || !r.GetU64(&m.seed) ||
+      !r.GetU8(&m.balance_on_vertices) || !r.GetU8(&m.per_worker_async) ||
+      !r.GetI64(&m.num_vertices) || !r.GetI32(&m.num_shards_total) ||
+      !r.GetVector(&m.owned_shards) ||
+      !r.GetVector(&m.slice_fingerprints) ||
+      !r.GetI32(&m.fail_after_score_steps)) {
+    return Truncated("Assign");
+  }
+  if (m.slice_fingerprints.size() != m.owned_shards.size()) {
+    return Status::InvalidArgument(
+        "Assign: fingerprint count does not match owned shard count");
+  }
+  return m;
+}
+
+SpinnerConfig AssignMessage::ToConfig() const {
+  SpinnerConfig config;
+  config.num_partitions = num_partitions;
+  config.seed = seed;
+  config.balance_mode = balance_on_vertices != 0 ? BalanceMode::kVertices
+                                                 : BalanceMode::kEdges;
+  config.per_worker_async = per_worker_async != 0;
+  return config;
+}
+
+std::vector<uint8_t> ResumeMessage::Encode() const {
+  WireWriter w;
+  w.PutVector(fingerprints);
+  return w.Take();
+}
+
+Result<ResumeMessage> ResumeMessage::Decode(
+    std::span<const uint8_t> payload) {
+  WireReader r(payload);
+  ResumeMessage m;
+  if (!r.GetVector(&m.fingerprints)) return Truncated("Resume");
+  return m;
+}
+
 // --- InitRequest ---------------------------------------------------------
 
 std::vector<uint8_t> InitRequest::Encode() const {
   WireWriter w;
+  w.PutI64(base);
   w.PutVector(initial_labels);
   return w.Take();
 }
@@ -127,7 +205,11 @@ std::vector<uint8_t> InitRequest::Encode() const {
 Result<InitRequest> InitRequest::Decode(std::span<const uint8_t> payload) {
   WireReader r(payload);
   InitRequest m;
-  if (!r.GetVector(&m.initial_labels)) return Truncated("Init");
+  int64_t base = 0;
+  if (!r.GetI64(&base) || !r.GetVector(&m.initial_labels)) {
+    return Truncated("Init");
+  }
+  m.base = base;
   return m;
 }
 

@@ -4,7 +4,14 @@
 // RPC per superstep phase, mirroring the SuperstepBackend interface
 // (spinner/superstep_driver.h) on the wire:
 //
-//   Setup          c→w   config + downloaded shard slices (binary_io SPSL)
+//   Hello          w→c   protocol version + capacity (first message on
+//                        every connection; the registry validates it)
+//   Assign         c→w   run config + contiguous shard-range assignment +
+//                        per-shard slice fingerprints
+//   Resume         w→c   fingerprints of the assigned shards the worker
+//                        already holds (persistent store), 0 = absent
+//   Setup          c→w   the stale/missing shard slices only (binary_io
+//                        SPSL); empty when every fingerprint matched
 //   Subscribe      w→c   the out-of-range neighbor set of the worker's
 //                        shards — the only vertices whose labels it will
 //                        ever be sent (its boundary mirror)
@@ -73,7 +80,14 @@ enum class MessageType : uint32_t {
   kTeardown = 13,
   kTeardownAck = 14,
   kSubscribe = 15,
+  kHello = 16,
+  kAssign = 17,
+  kResume = 18,
 };
+
+/// Version of the Hello/Assign/Resume handshake. A worker advertising a
+/// different version is rejected at the registry before it can join a run.
+inline constexpr uint32_t kProtocolVersion = 1;
 
 /// Appends primitive values and count-prefixed vectors to a payload buffer.
 class WireWriter {
@@ -184,9 +198,71 @@ class WireReader {
 
 // --- Message payloads ----------------------------------------------------
 
-/// Setup: everything a worker needs to execute its shards — the algorithm
-/// config fields the shard superstep kernels read, the global topology
-/// sizes, and the owned shard slices (binary_io SPSL encoding).
+/// Hello (w→c): the first message on every worker connection — version
+/// check plus the worker's advertised capacity, which the coordinator
+/// weighs when carving contiguous shard ranges (equal capacities reduce to
+/// an even split).
+struct HelloMessage {
+  uint32_t protocol_version = kProtocolVersion;
+  /// Relative shard-hosting capacity (>= 1); a host advertising 2 is
+  /// assigned roughly twice the shards of a host advertising 1.
+  int64_t capacity = 1;
+  /// Reserved capability bits (zero today; lets future workers advertise
+  /// optional features without a version bump).
+  uint32_t flags = 0;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<HelloMessage> Decode(std::span<const uint8_t> payload);
+};
+
+/// Assign (c→w): the run configuration and this worker's contiguous shard
+/// assignment, with the coordinator-side fingerprint (FNV-1a over the SPSL
+/// slice bytes) of every assigned shard. The worker compares these against
+/// its PersistentShardStore and reports what it already holds (Resume);
+/// the coordinator then downloads only the stale or missing slices in the
+/// subsequent Setup.
+struct AssignMessage {
+  int32_t num_partitions = 0;
+  uint64_t seed = 0;
+  uint8_t balance_on_vertices = 0;  // BalanceMode::kVertices
+  uint8_t per_worker_async = 1;
+  int64_t num_vertices = 0;
+  int32_t num_shards_total = 0;
+  /// Global shard ids assigned to this worker, ascending, contiguous
+  /// vertex ranges.
+  std::vector<int32_t> owned_shards;
+  /// FNV-1a over the current SPSL slice bytes, one per owned shard.
+  std::vector<uint64_t> slice_fingerprints;
+  /// Test hook: _exit(3) right before replying to the
+  /// (fail_after_score_steps+1)-th Scores request; -1 = never.
+  int32_t fail_after_score_steps = -1;
+
+  std::vector<uint8_t> Encode() const;
+  static Result<AssignMessage> Decode(std::span<const uint8_t> payload);
+
+  /// The SpinnerConfig subset the shard superstep kernels read.
+  SpinnerConfig ToConfig() const;
+};
+
+/// Resume (w→c): the worker's answer to Assign — the fingerprint of every
+/// assigned shard as loaded from its PersistentShardStore (base + replayed
+/// delta log), 0 where the store holds nothing usable. A fingerprint
+/// matching the Assign value means the coordinator skips that slice in
+/// Setup entirely: the zero-download restart path.
+struct ResumeMessage {
+  std::vector<uint64_t> fingerprints;  // one per assigned shard, in order
+
+  std::vector<uint8_t> Encode() const;
+  static Result<ResumeMessage> Decode(std::span<const uint8_t> payload);
+};
+
+/// Setup: shard slices for a worker (binary_io SPSL encoding). Since the
+/// Hello/Assign/Resume handshake the authoritative run config and full
+/// assignment travel in Assign; a Setup carries only the slices whose
+/// Resume fingerprint missed (its owned_shards list the shards of the
+/// slices actually present — a subset of the Assign list, possibly empty).
+/// The config header fields are retained for self-containedness and
+/// cross-checked against Assign by the worker.
 struct SetupMessage {
   int32_t num_partitions = 0;
   uint64_t seed = 0;
@@ -223,8 +299,14 @@ std::vector<uint8_t> EncodeSetupFromStore(const SetupMessage& header,
                                           const ShardedGraphStore& store);
 
 struct InitRequest {
-  /// SpinnerProgram initial-label contract: entries < size() that are not
-  /// kNoPartition are fixed restart labels; everything else hash-draws.
+  /// Global vertex id of initial_labels[0]. The coordinator sends each
+  /// worker only the slice covering its owned range (base = first owned
+  /// vertex), so Init traffic and worker memory are O(owned), not O(V).
+  VertexId base = 0;
+  /// SpinnerProgram initial-label contract: entries whose *global* id
+  /// (base + index) falls below the caller's initial-label count and that
+  /// are not kNoPartition are fixed restart labels; everything else
+  /// hash-draws.
   std::vector<PartitionId> initial_labels;
 
   std::vector<uint8_t> Encode() const;

@@ -3,34 +3,110 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "common/string_util.h"
+#include "dist/shard_store.h"
+#include "dist/tcp_transport.h"
 #include "dist/transport.h"
 #include "dist/wire_format.h"
+#include "graph/binary_io.h"
 #include "spinner/shard_superstep.h"
 
 namespace spinner::dist {
 
+Result<WorkerLayout> BuildWorkerLayout(
+    std::span<const ShardedGraphStore::Shard> shards, int64_t num_vertices) {
+  WorkerLayout layout;
+  if (shards.empty()) return layout;  // a shardless worker idles validly
+  layout.owned_begin = shards.front().begin;
+  layout.owned_end = shards.back().end;
+  if (layout.owned_begin < 0 || layout.owned_end > num_vertices ||
+      layout.owned_begin % ShardedGraphStore::kBlockSize != 0) {
+    return Status::InvalidArgument(
+        "worker shard range is outside the graph or not block-aligned");
+  }
+  VertexId previous_end = layout.owned_begin;
+  for (const ShardedGraphStore::Shard& shard : shards) {
+    // Contiguity is load-bearing, not just tidy: Owns() is a single
+    // interval test and the compact label array has one slot per owned
+    // vertex with no holes.
+    if (shard.begin != previous_end || shard.end < shard.begin) {
+      return Status::InvalidArgument(
+          "worker shard slices are not contiguous ascending ranges");
+    }
+    previous_end = shard.end;
+    for (const VertexId t : shard.targets) {
+      if (t < 0 || t >= num_vertices) {
+        return Status::InvalidArgument(
+            "shard slice target outside the vertex range");
+      }
+      if (!layout.Owns(t)) layout.subscription.push_back(t);
+    }
+  }
+  std::sort(layout.subscription.begin(), layout.subscription.end());
+  layout.subscription.erase(
+      std::unique(layout.subscription.begin(), layout.subscription.end()),
+      layout.subscription.end());
+  return layout;
+}
+
+Status RemapTargetsToSlots(const WorkerLayout& layout,
+                           ShardedGraphStore::Shard* shard) {
+  for (VertexId& t : shard->targets) {
+    if (layout.Owns(t)) {
+      t -= layout.owned_begin;
+      continue;
+    }
+    const auto it = std::lower_bound(layout.subscription.begin(),
+                                     layout.subscription.end(), t);
+    if (it == layout.subscription.end() || *it != t) {
+      return Status::InvalidArgument(StrFormat(
+          "target %lld is neither owned nor subscribed",
+          static_cast<long long>(t)));
+    }
+    t = layout.owned_count() +
+        static_cast<VertexId>(it - layout.subscription.begin());
+  }
+  return Status::OK();
+}
+
 namespace {
 
-/// Per-connection worker state machine. One instance per process lifetime;
-/// the coordinator speaks the protocol in a fixed order (Setup first), and
-/// every handler re-validates payloads against the Setup topology.
+/// Per-connection worker state machine. Lives for as many runs as the
+/// coordinator drives over this connection (Assign ... Teardown, repeat);
+/// every handler re-validates payloads against the Assign/Setup topology.
 class ShardWorker {
  public:
-  ShardWorker(int fd, const TransportOptions& options)
-      : fd_(fd), options_(options) {}
+  ShardWorker(int fd, const TransportOptions& options,
+              const WorkerLoopOptions& loop)
+      : fd_(fd), options_(options), capacity_(loop.capacity) {
+    if (!loop.store_dir.empty()) store_.emplace(loop.store_dir);
+  }
 
   /// Protocol loop; see RunShardWorkerLoop for the exit-code contract.
   int Run() {
+    {
+      HelloMessage hello;
+      hello.capacity = capacity_;
+      if (!Send(MessageType::kHello, hello.Encode()).ok()) return 2;
+    }
     for (;;) {
       Result<Frame> frame = RecvMessage(fd_, options_);
-      if (!frame.ok()) return 2;  // coordinator died or stream corrupt
+      if (!frame.ok()) {
+        // EOF between runs is the release path (the registry or a closing
+        // coordinator dropped an idle connection); mid-run it means the
+        // coordinator died.
+        return assign_done_ ? 2 : 0;
+      }
       Status status = Status::OK();
-      bool teardown = false;
       switch (static_cast<MessageType>(frame->type)) {
+        case MessageType::kAssign:
+          status = HandleAssign(frame->payload);
+          break;
         case MessageType::kSetup:
           status = HandleSetup(frame->payload);
           break;
@@ -54,7 +130,9 @@ class ShardWorker {
           break;
         case MessageType::kTeardown:
           status = Send(MessageType::kTeardownAck, {});
-          teardown = true;
+          // The run is over but the connection is not: reset and await
+          // the next Assign (the pooled-connection fast path).
+          ResetRun();
           break;
         default:
           status = Status::InvalidArgument(StrFormat(
@@ -67,11 +145,28 @@ class ShardWorker {
                    ErrorMessage::FromStatus(status).Encode());
         return 1;
       }
-      if (teardown) return 0;
     }
   }
 
  private:
+  void ResetRun() {
+    assign_done_ = false;
+    setup_done_ = false;
+    config_ = SpinnerConfig();
+    n_ = 0;
+    owned_shards_.clear();
+    assigned_fingerprints_.clear();
+    loaded_.clear();
+    shards_.clear();
+    layout_ = WorkerLayout();
+    labels_.clear();
+    candidate_.clear();
+    block_score_.clear();
+    scratch_.clear();
+    fail_after_score_steps_ = -1;
+    scores_seen_ = 0;
+  }
+
   Status Send(MessageType type, std::span<const uint8_t> payload) {
     return SendMessage(fd_, static_cast<uint32_t>(type), payload, options_,
                        next_message_id_++);
@@ -95,99 +190,153 @@ class ShardWorker {
     return Status::OK();
   }
 
-  /// True iff a shard of this worker owns vertex v. Owned shards arrive in
-  /// ascending range order (validated in HandleSetup).
-  bool Owns(VertexId v) const {
-    auto it = std::upper_bound(
-        shards_.begin(), shards_.end(), v,
-        [](VertexId value, const ShardedGraphStore::Shard& shard) {
-          return value < shard.begin;
-        });
-    return it != shards_.begin() && v < std::prev(it)->end;
-  }
-
   bool Subscribed(VertexId v) const {
-    return std::binary_search(subscription_.begin(), subscription_.end(), v);
+    return std::binary_search(layout_.subscription.begin(),
+                              layout_.subscription.end(), v);
   }
 
-  /// The DeltasAck gate digest: owned label slices in ascending shard
-  /// order, then subscribed mirror values in subscription order. The
-  /// coordinator computes the same from its authoritative label array.
+  /// Local slot of subscribed vertex v (callers check Subscribed first).
+  size_t MirrorSlot(VertexId v) const {
+    const auto it = std::lower_bound(layout_.subscription.begin(),
+                                     layout_.subscription.end(), v);
+    return static_cast<size_t>(layout_.owned_count()) +
+           static_cast<size_t>(it - layout_.subscription.begin());
+  }
+
+  /// The DeltasAck gate digest. The compact label array IS the checksum
+  /// layout — owned slices in ascending order, then the mirror in
+  /// subscription order — so the fold is simply the whole array, and it
+  /// equals the coordinator's fold over its authoritative global labels.
   uint64_t StateChecksum() const {
     LabelChecksum sum;
-    for (const ShardedGraphStore::Shard& shard : shards_) {
-      sum.Update(std::span<const PartitionId>(labels_).subspan(
-          static_cast<size_t>(shard.begin),
-          static_cast<size_t>(shard.end - shard.begin)));
-    }
-    for (const VertexId v : subscription_) sum.UpdateOne(labels_[v]);
+    sum.Update(std::span<const PartitionId>(labels_));
     return sum.digest();
   }
 
+  Status HandleAssign(std::span<const uint8_t> payload) {
+    if (assign_done_) {
+      return Status::FailedPrecondition(
+          "worker received Assign mid-run (no Teardown between runs)");
+    }
+    SPINNER_ASSIGN_OR_RETURN(AssignMessage assign,
+                             AssignMessage::Decode(payload));
+    if (assign.num_partitions < 1 || assign.num_vertices < 0 ||
+        assign.num_shards_total < 1) {
+      return Status::InvalidArgument("Assign: nonsensical topology counts");
+    }
+    int32_t previous = -1;
+    for (const int32_t s : assign.owned_shards) {
+      if (s < 0 || s >= assign.num_shards_total || s <= previous) {
+        return Status::InvalidArgument(
+            "Assign: owned shard ids are not ascending in-range");
+      }
+      previous = s;
+    }
+    ResetRun();
+    config_ = assign.ToConfig();
+    n_ = assign.num_vertices;
+    owned_shards_ = std::move(assign.owned_shards);
+    assigned_fingerprints_ = std::move(assign.slice_fingerprints);
+    fail_after_score_steps_ = assign.fail_after_score_steps;
+    assign_done_ = true;
+
+    // Probe the local store and report what this worker already hosts.
+    // The coordinator compares against its own fingerprints and sends
+    // only the slices that missed — fingerprint 0 means "absent".
+    ResumeMessage resume;
+    resume.fingerprints.assign(owned_shards_.size(), 0);
+    loaded_.resize(owned_shards_.size());
+    if (store_.has_value()) {
+      for (size_t i = 0; i < owned_shards_.size(); ++i) {
+        auto slice = store_->Load(owned_shards_[i]);
+        if (slice.ok() && slice->has_value()) {
+          resume.fingerprints[i] = (*slice)->fingerprint;
+          loaded_[i] = std::move(**slice);
+        }
+      }
+    }
+    return Send(MessageType::kResume, resume.Encode());
+  }
+
   Status HandleSetup(std::span<const uint8_t> payload) {
+    if (!assign_done_) {
+      return Status::FailedPrecondition("worker received Setup before Assign");
+    }
     if (setup_done_) {
       return Status::FailedPrecondition("worker already set up");
     }
     SPINNER_ASSIGN_OR_RETURN(SetupMessage setup,
                              SetupMessage::Decode(payload));
-    if (setup.num_partitions < 1 || setup.num_vertices < 0 ||
-        setup.num_shards_total < 1) {
-      return Status::InvalidArgument("Setup: nonsensical topology counts");
+    // The Setup header repeats the run config; it must agree with the
+    // Assign this run started with — a mismatch means crossed runs.
+    const SpinnerConfig from_setup = setup.ToConfig();
+    if (from_setup.num_partitions != config_.num_partitions ||
+        from_setup.seed != config_.seed ||
+        from_setup.balance_mode != config_.balance_mode ||
+        from_setup.per_worker_async != config_.per_worker_async ||
+        setup.num_vertices != n_) {
+      return Status::InvalidArgument("Setup contradicts the Assign header");
     }
-    VertexId previous_end = 0;
-    for (size_t i = 0; i < setup.shards.size(); ++i) {
-      const ShardedGraphStore::Shard& shard = setup.shards[i];
-      if (setup.owned_shards[i] < 0 ||
-          setup.owned_shards[i] >= setup.num_shards_total ||
-          shard.end > setup.num_vertices) {
-        return Status::InvalidArgument(
-            "Setup: shard slice outside the declared topology");
+
+    // Merge: Setup carries only the slices whose Resume fingerprint
+    // missed; everything else must come from the local store with a
+    // fingerprint equal to the assigned one.
+    std::vector<ShardedGraphStore::Shard> merged(owned_shards_.size());
+    std::vector<bool> downloaded(owned_shards_.size(), false);
+    for (size_t i = 0; i < setup.owned_shards.size(); ++i) {
+      const auto it = std::lower_bound(owned_shards_.begin(),
+                                       owned_shards_.end(),
+                                       setup.owned_shards[i]);
+      if (it == owned_shards_.end() || *it != setup.owned_shards[i]) {
+        return Status::InvalidArgument(StrFormat(
+            "Setup carries shard %d this worker was not assigned",
+            static_cast<int>(setup.owned_shards[i])));
       }
-      if (i > 0 && shard.begin < previous_end) {
-        // Owns() and the checksum gate rely on ascending ranges.
-        return Status::InvalidArgument(
-            "Setup: shard slices are not in ascending range order");
+      const size_t j = static_cast<size_t>(it - owned_shards_.begin());
+      merged[j] = std::move(setup.shards[i]);
+      downloaded[j] = true;
+    }
+    for (size_t j = 0; j < merged.size(); ++j) {
+      if (downloaded[j]) continue;
+      if (!loaded_[j].has_value() ||
+          loaded_[j]->fingerprint != assigned_fingerprints_[j]) {
+        return Status::InvalidArgument(StrFormat(
+            "Setup omitted shard %d but the local store cannot supply it",
+            static_cast<int>(owned_shards_[j])));
       }
-      previous_end = shard.end;
-      for (const VertexId t : shard.targets) {
-        if (t < 0 || t >= setup.num_vertices) {
-          return Status::InvalidArgument(
-              "Setup: shard slice target outside the vertex range");
-        }
+      merged[j] = std::move(loaded_[j]->shard);
+    }
+    loaded_.clear();
+
+    // Persist downloads before the target remap below rewrites them in
+    // place — the store must hold the canonical global-id encoding, the
+    // bytes whose fingerprint the coordinator computes.
+    if (store_.has_value()) {
+      std::vector<uint8_t> bytes;
+      for (size_t j = 0; j < merged.size(); ++j) {
+        if (!downloaded[j]) continue;
+        bytes.clear();
+        bytes.reserve(graph_io::EncodedShardSliceSize(merged[j]));
+        graph_io::AppendShardSlice(merged[j], &bytes);
+        SPINNER_RETURN_IF_ERROR(store_->Put(owned_shards_[j], bytes));
       }
     }
-    config_ = setup.ToConfig();
-    n_ = setup.num_vertices;
-    owned_shards_ = std::move(setup.owned_shards);
-    shards_ = std::move(setup.shards);
-    fail_after_score_steps_ = setup.fail_after_score_steps;
-    labels_.assign(static_cast<size_t>(n_), kNoPartition);
-    candidate_.assign(static_cast<size_t>(n_), kNoPartition);
-    const int64_t blocks =
-        (n_ + ShardedGraphStore::kBlockSize - 1) /
-        ShardedGraphStore::kBlockSize;
-    block_score_.assign(static_cast<size_t>(blocks), 0.0);
+
+    SPINNER_ASSIGN_OR_RETURN(layout_, BuildWorkerLayout(merged, n_));
+    for (ShardedGraphStore::Shard& shard : merged) {
+      SPINNER_RETURN_IF_ERROR(RemapTargetsToSlots(layout_, &shard));
+    }
+    shards_ = std::move(merged);
+    labels_.assign(static_cast<size_t>(layout_.num_slots()), kNoPartition);
+    candidate_.assign(static_cast<size_t>(layout_.owned_count()),
+                      kNoPartition);
+    block_score_.assign(static_cast<size_t>(layout_.num_blocks()), 0.0);
     scratch_.resize(shards_.size());
     for (ShardScratch& sc : scratch_) sc.Prepare(config_.num_partitions);
-
-    // The boundary mirror set: every out-of-range neighbor of an owned
-    // vertex, subscribed exactly once. This is the full set of labels the
-    // shard kernels can ever read outside the owned ranges, so
-    // subscription-filtered updates keep the worker bit-identical to the
-    // in-process substrate.
-    for (const ShardedGraphStore::Shard& shard : shards_) {
-      for (const VertexId t : shard.targets) {
-        if (!Owns(t)) subscription_.push_back(t);
-      }
-    }
-    std::sort(subscription_.begin(), subscription_.end());
-    subscription_.erase(
-        std::unique(subscription_.begin(), subscription_.end()),
-        subscription_.end());
     setup_done_ = true;
 
     SubscribeMessage subscribe;
-    subscribe.vertices = subscription_;
+    subscribe.vertices = layout_.subscription;
     return Send(MessageType::kSubscribe, subscribe.Encode());
   }
 
@@ -195,19 +344,26 @@ class ShardWorker {
     SPINNER_RETURN_IF_ERROR(CheckSetup());
     SPINNER_ASSIGN_OR_RETURN(InitRequest request,
                              InitRequest::Decode(payload));
-    if (static_cast<int64_t>(request.initial_labels.size()) > n_) {
+    // The coordinator sends each worker exactly its owned slice of the
+    // initial labels, based at owned_begin — the slice index IS the local
+    // index the kernel uses.
+    if (request.base != layout_.owned_begin ||
+        static_cast<int64_t>(request.initial_labels.size()) >
+            layout_.owned_count()) {
       return Status::InvalidArgument(
-          "Init: more initial labels than vertices");
+          "Init: label slice does not cover this worker's owned range");
     }
     ShardStateReply reply;
     for (size_t i = 0; i < shards_.size(); ++i) {
       ShardedGraphStore::Shard& shard = shards_[i];
-      const int64_t messages = ShardInitialize(config_, &shard, labels_,
-                                               request.initial_labels);
+      const int64_t messages =
+          ShardInitialize(config_, &shard, labels_, request.initial_labels,
+                          layout_.owned_begin);
       ShardState state;
       state.shard = owned_shards_[i];
-      state.labels.assign(labels_.begin() + shard.begin,
-                          labels_.begin() + shard.end);
+      state.labels.assign(
+          labels_.begin() + (shard.begin - layout_.owned_begin),
+          labels_.begin() + (shard.end - layout_.owned_begin));
       state.loads = shard.loads;
       state.messages = messages;
       reply.shards.push_back(std::move(state));
@@ -219,13 +375,14 @@ class ShardWorker {
     SPINNER_RETURN_IF_ERROR(CheckSetup());
     SPINNER_ASSIGN_OR_RETURN(LabelValues message,
                              LabelValues::Decode(payload));
-    if (message.values.size() != subscription_.size()) {
+    if (message.values.size() != layout_.subscription.size()) {
       return Status::InvalidArgument(
           StrFormat("Labels: %zu values for %zu subscribed vertices",
-                    message.values.size(), subscription_.size()));
+                    message.values.size(), layout_.subscription.size()));
     }
-    for (size_t i = 0; i < subscription_.size(); ++i) {
-      labels_[subscription_[i]] = message.values[i];
+    const size_t mirror_base = static_cast<size_t>(layout_.owned_count());
+    for (size_t i = 0; i < message.values.size(); ++i) {
+      labels_[mirror_base + i] = message.values[i];
     }
     return Status::OK();
   }
@@ -255,11 +412,12 @@ class ShardWorker {
       const ShardedGraphStore::Shard& shard = shards_[i];
       ShardComputeScores(config_, shard, labels_, request.global_loads,
                          request.capacities, request.superstep, candidate_,
-                         block_score_, &scratch_[i]);
-      const int64_t block_begin =
-          shard.begin / ShardedGraphStore::kBlockSize;
+                         block_score_, &scratch_[i], layout_.owned_begin);
+      const int64_t block_begin = (shard.begin - layout_.owned_begin) /
+                                  ShardedGraphStore::kBlockSize;
       const int64_t block_end =
-          (shard.end + ShardedGraphStore::kBlockSize - 1) /
+          (shard.end - layout_.owned_begin +
+           ShardedGraphStore::kBlockSize - 1) /
           ShardedGraphStore::kBlockSize;
       reply.block_score.insert(reply.block_score.end(),
                                block_score_.begin() + block_begin,
@@ -291,7 +449,8 @@ class ShardWorker {
       ShardComputeMigrations(config_, &shards_[i], labels_,
                              request.global_loads, request.capacities,
                              request.migration_counts, request.superstep,
-                             candidate_, &result.moves, &scratch_[i]);
+                             candidate_, &result.moves, &scratch_[i],
+                             layout_.owned_begin);
       result.loads = shards_[i].loads;
       result.migrated = scratch_[i].migrated;
       result.messages = scratch_[i].messages;
@@ -317,7 +476,7 @@ class ShardWorker {
             "ApplyDeltas: move for unsubscribed vertex %lld",
             static_cast<long long>(move.vertex)));
       }
-      labels_[move.vertex] = move.label;
+      labels_[MirrorSlot(move.vertex)] = move.label;
     }
     DeltasAck ack;
     ack.labels_checksum = StateChecksum();
@@ -331,8 +490,9 @@ class ShardWorker {
       const ShardedGraphStore::Shard& shard = shards_[i];
       ShardState state;
       state.shard = owned_shards_[i];
-      state.labels.assign(labels_.begin() + shard.begin,
-                          labels_.begin() + shard.end);
+      state.labels.assign(
+          labels_.begin() + (shard.begin - layout_.owned_begin),
+          labels_.begin() + (shard.end - layout_.owned_begin));
       state.loads = shard.loads;
       reply.shards.push_back(std::move(state));
     }
@@ -341,19 +501,23 @@ class ShardWorker {
 
   int fd_;
   TransportOptions options_;
+  int64_t capacity_;
+  std::optional<PersistentShardStore> store_;
   uint64_t next_message_id_ = 1;
+  bool assign_done_ = false;
   bool setup_done_ = false;
   SpinnerConfig config_;
   int64_t n_ = 0;
   std::vector<int32_t> owned_shards_;
+  std::vector<uint64_t> assigned_fingerprints_;
+  /// Store slices probed at Assign, consumed (or discarded) at Setup.
+  std::vector<std::optional<PersistentShardStore::LoadedSlice>> loaded_;
+  /// Owned slices with targets remapped to compact local slots.
   std::vector<ShardedGraphStore::Shard> shards_;
-  /// Out-of-range neighbors of the owned shards, ascending: the only
-  /// vertices beyond the owned ranges whose labels_ entries are ever
-  /// written (or read by the shard kernels).
-  std::vector<VertexId> subscription_;
-  std::vector<PartitionId> labels_;     // owned ranges + subscribed mirror
-  std::vector<PartitionId> candidate_;  // full-sized, own ranges written
-  std::vector<double> block_score_;     // full-sized, own blocks written
+  WorkerLayout layout_;
+  std::vector<PartitionId> labels_;     // [owned ascending][mirror]
+  std::vector<PartitionId> candidate_;  // owned entries only
+  std::vector<double> block_score_;     // owned blocks only
   std::vector<ShardScratch> scratch_;   // one per owned shard
   int32_t fail_after_score_steps_ = -1;
   int32_t scores_seen_ = 0;
@@ -361,8 +525,21 @@ class ShardWorker {
 
 }  // namespace
 
-int RunShardWorkerLoop(int fd, const TransportOptions& options) {
-  return ShardWorker(fd, options).Run();
+int RunShardWorkerLoop(int fd, const TransportOptions& options,
+                       const WorkerLoopOptions& loop) {
+  return ShardWorker(fd, options, loop).Run();
+}
+
+int RunTcpWorker(const std::string& connect_address,
+                 const TransportOptions& options,
+                 const WorkerLoopOptions& loop) {
+  auto socket = TcpDial(connect_address, loop.dial_timeout_ms);
+  if (!socket.ok()) {
+    std::fprintf(stderr, "worker: %s\n",
+                 socket.status().ToString().c_str());
+    return 1;
+  }
+  return ShardWorker(socket->fd(), options, loop).Run();
 }
 
 }  // namespace spinner::dist

@@ -1,5 +1,6 @@
 #include "spinner/config.h"
 
+#include "common/result.h"
 #include "common/string_util.h"
 
 namespace spinner {
@@ -42,6 +43,7 @@ Status SpinnerConfig::Validate() const {
         "(got %llu)",
         static_cast<unsigned long long>(wire_max_payload)));
   }
+  SPINNER_RETURN_IF_ERROR(ResolvedExecution().Validate());
   if (!partition_weights.empty()) {
     if (static_cast<int>(partition_weights.size()) != num_partitions) {
       return Status::InvalidArgument(StrFormat(
@@ -57,6 +59,16 @@ Status SpinnerConfig::Validate() const {
     }
   }
   return Status::OK();
+}
+
+ExecutionOptions SpinnerConfig::ResolvedExecution() const {
+  ExecutionOptions legacy;
+  legacy.num_shards = num_shards;
+  legacy.num_threads = num_threads;
+  legacy.num_workers = num_processes;
+  legacy.wire_max_payload = wire_max_payload;
+  if (num_processes > 0) legacy.mode = ExecutionMode::kMultiProcess;
+  return MergedExecution(execution, legacy);
 }
 
 }  // namespace spinner

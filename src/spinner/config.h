@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "spinner/execution_options.h"
 
 namespace spinner {
 
@@ -54,38 +55,43 @@ struct SpinnerConfig {
   /// Seed for all stochastic decisions; runs are deterministic in it.
   uint64_t seed = 42;
 
+  /// Execution shape and endpoints (spinner/execution_options.h): shard /
+  /// thread / worker-process counts, the wire payload ceiling, and the
+  /// TCP endpoint configuration. Pure parallelism knobs: results are
+  /// bit-identical for every choice. Explicitly-set fields here win over
+  /// the deprecated flat fields below (ResolvedExecution()).
+  ExecutionOptions execution = {};
+
   /// Pregel workers to simulate (0 = one per hardware thread). This is the
   /// machine count of the simulated cluster; it affects the per-worker
   /// asynchronous optimization but not correctness. Only meaningful for
   /// the Pregel-engine substrate (in_engine_conversion runs and the app
   /// suite); the sharded substrate maps it to the shard count when
-  /// num_shards is 0.
+  /// num_shards is 0. (Not an ExecutionOptions field: it is algorithmic
+  /// input to the simulated-cluster substrate, not an execution shape.)
   int num_workers = 0;
 
-  /// Shards of the ShardedGraphStore the shard-parallel substrate runs
-  /// over (0 = num_workers when set, else one shard per hardware thread
-  /// capped by the vertex-block count). Pure parallelism knob: results
-  /// are bit-identical for every shard count.
+  /// DEPRECATED — use execution.num_shards. Shards of the
+  /// ShardedGraphStore the shard-parallel substrate runs over (0 =
+  /// num_workers when set, else one shard per hardware thread capped by
+  /// the vertex-block count).
   int num_shards = 0;
 
-  /// OS threads (0 = min(num_workers-or-num_shards, hardware)). Respected
-  /// end-to-end by both execution substrates; never affects results.
+  /// DEPRECATED — use execution.num_threads. OS threads
+  /// (0 = min(num_workers-or-num_shards, hardware)).
   int num_threads = 0;
 
-  /// Worker *processes* for the cross-process execution mode (src/dist):
-  /// 0 runs in-process on a ThreadPool; > 0 forks that many ShardWorker
-  /// processes that exchange label deltas and load vectors over
-  /// Unix-domain sockets. Like every execution-shape knob, the computed
-  /// partitioning is bit-identical for every choice. Only the sharded
-  /// substrate honors it (in_engine_conversion runs stay in-process).
+  /// DEPRECATED — use execution.num_workers with execution.mode =
+  /// kMultiProcess. Worker *processes* for the cross-process execution
+  /// mode (src/dist): 0 runs in-process on a ThreadPool; > 0 forks that
+  /// many ShardWorker processes speaking the dist wire protocol.
   int num_processes = 0;
 
-  /// Per-frame payload ceiling (bytes) of the cross-process wire
-  /// transport; messages larger than this stream across chunk frames.
-  /// 0 = the transport default (SPINNER_WIRE_MAX_PAYLOAD env override, or
-  /// 1 GiB — see dist/transport.h TransportOptions). A pure transport
-  /// knob: like every execution-shape setting it never changes the
-  /// computed partitioning. Minimum 64 (the chunk envelope must fit).
+  /// DEPRECATED — use execution.wire_max_payload. Per-frame payload
+  /// ceiling (bytes) of the cross-process wire transport; messages larger
+  /// than this stream across chunk frames. 0 = the transport default
+  /// (SPINNER_WIRE_MAX_PAYLOAD env override, or 1 GiB — see
+  /// dist/transport.h TransportOptions). Minimum 64.
   uint64_t wire_max_payload = 0;
 
   /// When true, the directed→weighted-undirected conversion runs inside the
@@ -112,6 +118,13 @@ struct SpinnerConfig {
   /// strictly positive weight per partition. Called by the partitioner
   /// before every run and by PartitioningSession at construction.
   Status Validate() const;
+
+  /// The effective execution shape: `execution` with every unset field
+  /// filled from the deprecated flat fields (num_shards / num_threads /
+  /// num_processes / wire_max_payload; num_processes > 0 implies
+  /// kMultiProcess when no mode was set explicitly). All execution-shape
+  /// consumers read this, never the flat fields directly.
+  ExecutionOptions ResolvedExecution() const;
 };
 
 }  // namespace spinner

@@ -1,0 +1,67 @@
+#include "spinner/execution_options.h"
+
+#include "common/string_util.h"
+
+namespace spinner {
+
+Status ExecutionOptions::Validate() const {
+  if (num_shards < 0 || num_threads < 0 || num_workers < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "execution.num_shards/num_threads/num_workers must be >= 0 "
+        "(0 = auto; got %d/%d/%d)",
+        num_shards, num_threads, num_workers));
+  }
+  // 64 = dist/transport.h kMinFramePayload (spinner/ cannot include
+  // dist/; a static_assert in transport.cc keeps the literal in sync).
+  if (wire_max_payload != 0 && wire_max_payload < 64) {
+    return Status::InvalidArgument(StrFormat(
+        "execution.wire_max_payload must be 0 (transport default) or "
+        ">= 64 bytes (got %llu)",
+        static_cast<unsigned long long>(wire_max_payload)));
+  }
+  if (handshake_timeout_ms <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "execution.handshake_timeout_ms must be > 0 (got %lld)",
+        static_cast<long long>(handshake_timeout_ms)));
+  }
+  if (mode == ExecutionMode::kTcp && num_workers <= 0) {
+    return Status::InvalidArgument(
+        "execution.mode = kTcp requires an explicit num_workers: the "
+        "coordinator must know how many dial-in workers to wait for");
+  }
+  return Status::OK();
+}
+
+ExecutionOptions MergedExecution(const ExecutionOptions& primary,
+                                 const ExecutionOptions& fallback) {
+  const ExecutionOptions defaults;
+  ExecutionOptions merged = primary;
+  if (merged.mode == defaults.mode) merged.mode = fallback.mode;
+  if (merged.num_shards == defaults.num_shards) {
+    merged.num_shards = fallback.num_shards;
+  }
+  if (merged.num_threads == defaults.num_threads) {
+    merged.num_threads = fallback.num_threads;
+  }
+  if (merged.num_workers == defaults.num_workers) {
+    merged.num_workers = fallback.num_workers;
+  }
+  if (merged.wire_max_payload == defaults.wire_max_payload) {
+    merged.wire_max_payload = fallback.wire_max_payload;
+  }
+  if (merged.listen_address == defaults.listen_address) {
+    merged.listen_address = fallback.listen_address;
+  }
+  if (merged.worker_connect == defaults.worker_connect) {
+    merged.worker_connect = fallback.worker_connect;
+  }
+  if (merged.worker_store_dir == defaults.worker_store_dir) {
+    merged.worker_store_dir = fallback.worker_store_dir;
+  }
+  if (merged.handshake_timeout_ms == defaults.handshake_timeout_ms) {
+    merged.handshake_timeout_ms = fallback.handshake_timeout_ms;
+  }
+  return merged;
+}
+
+}  // namespace spinner

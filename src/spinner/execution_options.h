@@ -1,0 +1,93 @@
+// ExecutionOptions: the one place execution shape is configured.
+//
+// Before this header existed, the parallelism and wire knobs
+// (num_shards / num_threads / num_processes / wire_max_payload) were
+// triplicated across SpinnerConfig, SessionOptions and PartitionerOptions,
+// each copy resolved ad hoc at a different layer. All three structs now
+// nest one ExecutionOptions (their legacy flat fields remain as deprecated
+// shims for one release) and every layer resolves through the same merge
+// rule: an explicitly-set nested field wins over a legacy flat field, and
+// outer layers (SessionOptions) win over inner ones (SpinnerConfig).
+//
+// Execution shape never changes results: partitioning assignments and the
+// float φ/ρ/score histories are bit-identical for every mode / shard /
+// thread / worker choice — the invariant all CI lanes assert.
+#ifndef SPINNER_SPINNER_EXECUTION_OPTIONS_H_
+#define SPINNER_SPINNER_EXECUTION_OPTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace spinner {
+
+/// Which substrate executes the supersteps. All modes run the same
+/// per-shard kernels under the same master schedule.
+enum class ExecutionMode {
+  /// One ThreadPool task per shard in this process (default).
+  kInProcess,
+  /// Forked ShardWorker processes on this host, Unix-domain socketpairs.
+  kMultiProcess,
+  /// Dial-in ShardWorker processes over TCP: the coordinator runs a
+  /// WorkerRegistry listener, workers connect, complete the
+  /// Hello/Assign/Resume handshake and host their shards across runs
+  /// (persistent per-shard store permitting a zero-download resume).
+  kTcp,
+};
+
+/// Execution-shape and endpoint configuration shared by SpinnerConfig,
+/// SessionOptions and PartitionerOptions. Every field has a "not set"
+/// default so option layers can be merged field-wise.
+struct ExecutionOptions {
+  ExecutionMode mode = ExecutionMode::kInProcess;
+
+  /// Shards of the graph store. 0 = auto (one per hardware thread,
+  /// capped by the vertex-block count).
+  int num_shards = 0;
+
+  /// OS threads driving in-process shard tasks. 0 = auto.
+  int num_threads = 0;
+
+  /// Worker processes for kMultiProcess/kTcp. 0 = auto for
+  /// kMultiProcess (min(num_shards, hardware)); kTcp requires an
+  /// explicit count (the coordinator must know how many dial-ins to
+  /// wait for).
+  int num_workers = 0;
+
+  /// Per-frame wire payload ceiling in bytes; larger messages stream
+  /// across chunk frames. 0 = transport default (SPINNER_WIRE_MAX_PAYLOAD
+  /// env override, or 1 GiB).
+  uint64_t wire_max_payload = 0;
+
+  /// kTcp coordinator: address the WorkerRegistry listens on,
+  /// "host:port" (port 0 = ephemeral; query the registry for the bound
+  /// address).
+  std::string listen_address;
+
+  /// kTcp worker: the coordinator address a dial-in worker connects to.
+  /// Read by `partition_tool worker` / RunTcpWorker, not the coordinator.
+  std::string worker_connect;
+
+  /// Directory of the worker-side PersistentShardStore (per-shard base
+  /// files + append-only delta logs). Empty = keep shards in memory only
+  /// (every run re-downloads its slices).
+  std::string worker_store_dir;
+
+  /// kTcp: how long the coordinator waits for the full worker fleet to
+  /// dial in and complete the Hello handshake.
+  int64_t handshake_timeout_ms = 30'000;
+
+  Status Validate() const;
+};
+
+/// Field-wise merge: every `primary` field that differs from its default
+/// wins; unset fields fall back to `fallback`. This is the one precedence
+/// rule all option layers use (session options over config, nested struct
+/// over deprecated flat fields).
+ExecutionOptions MergedExecution(const ExecutionOptions& primary,
+                                 const ExecutionOptions& fallback);
+
+}  // namespace spinner
+
+#endif  // SPINNER_SPINNER_EXECUTION_OPTIONS_H_

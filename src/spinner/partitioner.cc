@@ -1,6 +1,7 @@
 #include "spinner/partitioner.h"
 
 #include <algorithm>
+#include <memory>
 #include <thread>
 #include <utility>
 
@@ -85,6 +86,16 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
   SpinnerConfig run_config = config_;
   run_config.num_partitions = k;
   SPINNER_RETURN_IF_ERROR(run_config.Validate());
+  // Fold the nested execution options into the deprecated flat fields the
+  // downstream resolvers (ResolveNumShards/ResolveNumThreads) still read.
+  const ExecutionOptions execution = run_config.ResolvedExecution();
+  if (execution.num_shards > 0) run_config.num_shards = execution.num_shards;
+  if (execution.num_threads > 0) {
+    run_config.num_threads = execution.num_threads;
+  }
+  if (execution.wire_max_payload != 0) {
+    run_config.wire_max_payload = execution.wire_max_payload;
+  }
   if (engine_graph.NumVertices() == 0) {
     return Status::InvalidArgument("cannot partition an empty graph");
   }
@@ -107,13 +118,30 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
             engine_graph,
             ResolveNumShards(run_config, engine_graph.NumVertices())));
     ShardedRunResult run;
-    if (run_config.num_processes > 0) {
-      // Cross-process execution: shards live in forked ShardWorker
-      // processes speaking the dist wire protocol.
+    if (execution.mode != ExecutionMode::kInProcess) {
+      // Off-thread execution: shards live in ShardWorker processes
+      // speaking the dist wire protocol — forked over socketpairs
+      // (kMultiProcess) or dialing in over TCP (kTcp).
       dist::MultiProcessOptions mp;
-      mp.num_workers = run_config.num_processes;
+      mp.num_workers = execution.num_workers > 0 ? execution.num_workers
+                                                 : run_config.num_processes;
       mp.transport =
-          dist::TransportOptions::Resolve(run_config.wire_max_payload);
+          dist::TransportOptions::Resolve(execution.wire_max_payload);
+      mp.worker_store_dir = execution.worker_store_dir;
+      std::unique_ptr<dist::WorkerRegistry> registry;
+      if (execution.mode == ExecutionMode::kTcp) {
+        // One-shot run: bind a throwaway registry and wait for dial-ins.
+        dist::RegistryOptions registry_options;
+        if (!execution.listen_address.empty()) {
+          registry_options.listen_address = execution.listen_address;
+        }
+        registry_options.handshake_timeout_ms =
+            execution.handshake_timeout_ms;
+        SPINNER_ASSIGN_OR_RETURN(registry,
+                                 dist::WorkerRegistry::Listen(
+                                     registry_options));
+        mp.worker_transport = registry.get();
+      }
       SPINNER_ASSIGN_OR_RETURN(
           run, dist::RunMultiProcessSpinner(
                    run_config, &store, std::move(initial_labels), mp,

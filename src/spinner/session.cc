@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "dist/coordinator.h"
+#include "dist/registry.h"
 #include "graph/binary_io.h"
 #include "graph/conversion.h"
 #include "spinner/initial_assignment.h"
@@ -17,26 +18,39 @@ PartitioningSession::PartitioningSession(const SpinnerConfig& config,
       options_(options),
       init_status_(config.Validate()),
       current_k_(config.num_partitions) {
-  // Session options win over the equivalent config fields, so one options
-  // struct is the single source of truth for the execution shape.
-  if (options_.num_shards > 0) config_.num_shards = options_.num_shards;
-  if (options_.num_threads > 0) config_.num_threads = options_.num_threads;
-  if (options_.wire_max_payload != 0) {
-    config_.wire_max_payload = options_.wire_max_payload;
+  // Fold the four configuration layers into one ExecutionOptions, outer
+  // layers winning field-wise: session.execution > session flat shims >
+  // config.execution > config flat shims.
+  ExecutionOptions session_legacy;
+  session_legacy.num_shards = options_.num_shards;
+  session_legacy.num_threads = options_.num_threads;
+  session_legacy.num_workers = options_.num_workers;
+  session_legacy.wire_max_payload = options_.wire_max_payload;
+  session_legacy.mode = options_.execution_mode;
+  execution_ = MergedExecution(
+      options_.execution,
+      MergedExecution(session_legacy, config_.ResolvedExecution()));
+  // Write the merged result back through the deprecated config fields so
+  // downstream resolvers (ResolveNumShards/Threads/Workers) and
+  // config().Validate() all see one consistent execution shape. In
+  // kMultiProcess mode num_workers=0 means "auto" (ResolveNumWorkers),
+  // not "in-process".
+  config_.execution = execution_;
+  if (execution_.num_shards > 0) config_.num_shards = execution_.num_shards;
+  if (execution_.num_threads > 0) {
+    config_.num_threads = execution_.num_threads;
   }
-  // Multi-process execution is on when either the options ask for it or
-  // the config carries an explicit worker-process count. num_workers is
-  // honored only in kMultiProcess mode (as documented), where 0 means
-  // "auto" (ResolveNumWorkers), not "in-process".
-  if (options_.execution_mode == ExecutionMode::kMultiProcess &&
-      options_.num_workers > 0) {
-    config_.num_processes = options_.num_workers;
+  if (execution_.wire_max_payload != 0) {
+    config_.wire_max_payload = execution_.wire_max_payload;
   }
-  multi_process_ =
-      options_.execution_mode == ExecutionMode::kMultiProcess ||
-      config_.num_processes > 0;
+  if (execution_.mode != ExecutionMode::kInProcess &&
+      execution_.num_workers > 0) {
+    config_.num_processes = execution_.num_workers;
+  }
   if (init_status_.ok()) init_status_ = config_.Validate();
 }
+
+PartitioningSession::~PartitioningSession() = default;
 
 Result<CsrGraph> PartitioningSession::Convert(int64_t num_vertices,
                                               const EdgeList& edges) const {
@@ -66,20 +80,47 @@ void PartitioningSession::EnsurePool() {
   }
 }
 
+Status PartitioningSession::EnsureRegistry() {
+  if (registry_ != nullptr) return Status::OK();
+  dist::RegistryOptions options;
+  if (!execution_.listen_address.empty()) {
+    options.listen_address = execution_.listen_address;
+  }
+  options.handshake_timeout_ms = execution_.handshake_timeout_ms;
+  SPINNER_ASSIGN_OR_RETURN(registry_,
+                           dist::WorkerRegistry::Listen(options));
+  return Status::OK();
+}
+
+Result<std::string> PartitioningSession::TcpAddress() {
+  if (execution_.mode != ExecutionMode::kTcp) {
+    return Status::FailedPrecondition(
+        "TcpAddress() is only meaningful in ExecutionMode::kTcp");
+  }
+  SPINNER_RETURN_IF_ERROR(EnsureRegistry());
+  return registry_->address();
+}
+
 Status PartitioningSession::RunLpa(const CsrGraph& metrics_graph,
                                    std::vector<PartitionId> initial_labels,
                                    int k, PartitionResult* out) {
   SpinnerConfig run_config = config_;
   run_config.num_partitions = k;
   ShardedRunResult run;
-  if (multi_process_) {
-    // Cross-process execution: fork ShardWorker processes per lifecycle
-    // call; the coordinator drives the identical superstep schedule, so
-    // the session-visible outcome is bit-identical to the in-process path.
+  if (execution_.mode != ExecutionMode::kInProcess) {
+    // Cross-process execution: the coordinator drives the identical
+    // superstep schedule over forked (kMultiProcess) or dial-in TCP
+    // (kTcp) workers, so the session-visible outcome is bit-identical to
+    // the in-process path.
     dist::MultiProcessOptions mp;
     mp.num_workers = run_config.num_processes;
     mp.transport =
         dist::TransportOptions::Resolve(run_config.wire_max_payload);
+    mp.worker_store_dir = execution_.worker_store_dir;
+    if (execution_.mode == ExecutionMode::kTcp) {
+      SPINNER_RETURN_IF_ERROR(EnsureRegistry());
+      mp.worker_transport = registry_.get();
+    }
     SPINNER_ASSIGN_OR_RETURN(
         run, dist::RunMultiProcessSpinner(
                  run_config, &store_, std::move(initial_labels), mp,

@@ -49,37 +49,34 @@
 
 namespace spinner {
 
-/// Where a session's label propagation executes. Purely an execution-shape
-/// choice: both modes produce bit-identical assignments and float
-/// φ/ρ/score histories for the same seed and graph.
-enum class ExecutionMode {
-  /// Shard-parallel supersteps on a ThreadPool in this process (default).
-  kInProcess,
-  /// Shards distributed over forked ShardWorker processes exchanging
-  /// label deltas and load vectors over Unix-domain sockets
-  /// (dist/coordinator.h). The paper's actual deployment shape (§IV):
-  /// partitioning state lives behind real message passing.
-  kMultiProcess,
-};
+namespace dist {
+class WorkerRegistry;
+}  // namespace dist
 
 /// Execution-shape knobs of a session, orthogonal to the algorithm
-/// configuration: how many shards the graph store is sliced into, how
-/// many OS threads drive them in-process, and — for
-/// ExecutionMode::kMultiProcess — how many worker processes own them.
-/// 0 means auto (see ResolveNumShards/ResolveNumThreads in
-/// spinner/sharded_program.h and ResolveNumWorkers in
-/// dist/coordinator.h). No value here ever changes the partitioning a
-/// session computes.
+/// configuration. The nested `execution` struct (ExecutionOptions, shared
+/// with SpinnerConfig and PartitionerOptions) is the one source of truth;
+/// the flat fields are DEPRECATED shims kept one release so existing
+/// call sites compile unmodified. Precedence per field:
+/// session `execution` > session flat fields > config `execution` >
+/// config flat fields. No value here ever changes the partitioning a
+/// session computes — both bit-identity and the float histories hold
+/// across every mode.
 struct SessionOptions {
+  /// DEPRECATED — use execution.num_shards.
   int num_shards = 0;
+  /// DEPRECATED — use execution.num_threads.
   int num_threads = 0;
+  /// DEPRECATED — use execution.mode.
   ExecutionMode execution_mode = ExecutionMode::kInProcess;
-  /// Worker processes in kMultiProcess mode (ignored in-process).
+  /// DEPRECATED — use execution.num_workers.
   int num_workers = 0;
-  /// Per-frame payload ceiling (bytes) of the kMultiProcess wire
-  /// transport; larger messages stream across chunk frames. 0 = transport
-  /// default (SPINNER_WIRE_MAX_PAYLOAD env override, or 1 GiB).
+  /// DEPRECATED — use execution.wire_max_payload.
   uint64_t wire_max_payload = 0;
+  /// Where and how wide the session's label propagation executes,
+  /// including the kTcp endpoint config (listen_address, handshake
+  /// timeout, worker store directory). See spinner/execution_options.h.
+  ExecutionOptions execution = {};
 };
 
 /// Owns one graph and its maintained partitioning. Not thread-safe; one
@@ -93,6 +90,7 @@ class PartitioningSession {
   /// constructor.
   explicit PartitioningSession(const SpinnerConfig& config,
                                SessionOptions options = {});
+  ~PartitioningSession();  // out-of-line: owns a forward-declared registry
 
   // --- Lifecycle ---------------------------------------------------------
 
@@ -170,12 +168,20 @@ class PartitioningSession {
   /// The execution-shape options the session was constructed with.
   const SessionOptions& options() const { return options_; }
 
-  /// The effective execution mode (options or a config-driven
-  /// num_processes can both select kMultiProcess).
-  ExecutionMode execution_mode() const {
-    return multi_process_ ? ExecutionMode::kMultiProcess
-                          : ExecutionMode::kInProcess;
-  }
+  /// The fully merged execution options this session runs with (session
+  /// options folded over the config, shims resolved).
+  const ExecutionOptions& execution() const { return execution_; }
+
+  /// The effective execution mode (any layer's options or a config-driven
+  /// num_processes can select an off-thread mode).
+  ExecutionMode execution_mode() const { return execution_.mode; }
+
+  /// kTcp only: the "host:port" dial-in workers must connect to. Binds
+  /// the session's worker registry on first call (so workers can be
+  /// launched before Open()). The registry — and its pooled worker
+  /// connections — persists across lifecycle calls: a worker that stays
+  /// connected keeps its shard slices and resumes without re-downloading.
+  Result<std::string> TcpAddress();
 
   /// The maintained assignment: one label in [0, num_partitions()) per
   /// vertex.
@@ -206,6 +212,9 @@ class PartitioningSession {
   /// Creates the thread pool on first use (after the shard count is known).
   void EnsurePool();
 
+  /// kTcp only: binds the persistent WorkerRegistry on first use.
+  Status EnsureRegistry();
+
   /// Runs shard-parallel label propagation over store_ from
   /// `initial_labels` with `k` partitions and fills `out` (metrics are
   /// computed against `metrics_graph`). On success store_.labels() is the
@@ -216,8 +225,11 @@ class PartitioningSession {
 
   SpinnerConfig config_;   // num_partitions kept equal to current_k_
   SessionOptions options_;
+  ExecutionOptions execution_;  // merged across session + config layers
   Status init_status_;     // config validation outcome, reported lazily
-  bool multi_process_ = false;  // effective execution mode
+  /// kTcp: the listener + pooled worker connections, shared by every
+  /// lifecycle call of this session.
+  std::unique_ptr<dist::WorkerRegistry> registry_;
   bool open_ = false;
   bool directed_ = false;
   int current_k_ = 0;

@@ -10,17 +10,20 @@ namespace spinner {
 int64_t ShardInitialize(const SpinnerConfig& config,
                         ShardedGraphStore::Shard* shard,
                         std::span<PartitionId> labels,
-                        std::span<const PartitionId> initial_labels) {
+                        std::span<const PartitionId> initial_labels,
+                        VertexId index_base) {
   const int k = config.num_partitions;
   shard->loads.assign(static_cast<size_t>(k), 0);
   const auto initial_size = static_cast<int64_t>(initial_labels.size());
   for (VertexId v = shard->begin; v < shard->end; ++v) {
-    PartitionId label = v < initial_size ? initial_labels[v] : kNoPartition;
+    const VertexId local = v - index_base;
+    PartitionId label =
+        local < initial_size ? initial_labels[local] : kNoPartition;
     if (label == kNoPartition) {
       label = lpa::InitialLabel(config.seed, v, k);
     }
     SPINNER_DCHECK(label >= 0 && label < k);
-    labels[v] = label;
+    labels[local] = label;
     shard->loads[label] += LoadUnitsOf(config, shard->WeightedDegreeOf(v));
   }
   // Every vertex advertises its initial label along its edges.
@@ -34,8 +37,10 @@ void ShardComputeScores(const SpinnerConfig& config,
                         const std::vector<double>& capacities,
                         int64_t superstep, std::span<PartitionId> candidate,
                         std::span<double> block_score,
-                        ShardScratch* scratch) {
+                        ShardScratch* scratch, VertexId index_base) {
   constexpr int64_t kBlock = ShardedGraphStore::kBlockSize;
+  SPINNER_DCHECK(index_base % kBlock == 0)
+      << "index_base must be block-aligned for block_score indexing";
   ShardScratch& sc = *scratch;
   sc.local_weight = 0;
   sc.messages = 0;
@@ -52,9 +57,10 @@ void ShardComputeScores(const SpinnerConfig& config,
     const std::vector<int64_t>& penalty =
         config.per_worker_async ? sc.projected : global_loads;
     for (VertexId v = block_begin; v < block_end; ++v) {
+      const VertexId local = v - index_base;
       const int64_t deg_w = shard.WeightedDegreeOf(v);
       if (deg_w == 0) {  // isolated vertex: nothing to do
-        candidate[v] = kNoPartition;
+        candidate[local] = kNoPartition;
         continue;
       }
       // Weighted label frequencies over the neighborhood (Eq. 4),
@@ -67,7 +73,7 @@ void ShardComputeScores(const SpinnerConfig& config,
         if (sc.freq[l] == 0) sc.touched.push_back(l);
         sc.freq[l] += weights[j];
       }
-      const PartitionId current = labels[v];
+      const PartitionId current = labels[local];
       const double deg = static_cast<double>(deg_w);
       const lpa::LabelChoice choice =
           lpa::PickLabel(sc.freq, sc.touched, current, deg, capacities,
@@ -79,7 +85,7 @@ void ShardComputeScores(const SpinnerConfig& config,
                                   capacities[current]);
       sc.local_weight += sc.freq[current];
       if (choice.better) {
-        candidate[v] = choice.label;
+        candidate[local] = choice.label;
         const int64_t units = LoadUnitsOf(config, deg_w);
         sc.migrations[choice.label] += units;
         if (config.per_worker_async) {
@@ -88,12 +94,12 @@ void ShardComputeScores(const SpinnerConfig& config,
           sc.projected[current] -= units;
         }
       } else {
-        candidate[v] = kNoPartition;
+        candidate[local] = kNoPartition;
       }
       for (const PartitionId l : sc.touched) sc.freq[l] = 0;
       sc.touched.clear();
     }
-    block_score[block_begin / kBlock] = score_sum;
+    block_score[(block_begin - index_base) / kBlock] = score_sum;
   }
 }
 
@@ -106,12 +112,13 @@ void ShardComputeMigrations(const SpinnerConfig& config,
                             int64_t superstep,
                             std::span<const PartitionId> candidate,
                             std::vector<LabelDelta>* moves,
-                            ShardScratch* scratch) {
+                            ShardScratch* scratch, VertexId index_base) {
   ShardScratch& sc = *scratch;
   sc.migrated = 0;
   sc.messages = 0;
   for (VertexId v = shard->begin; v < shard->end; ++v) {
-    const PartitionId target = candidate[v];
+    const VertexId local = v - index_base;
+    const PartitionId target = candidate[local];
     if (target == kNoPartition) continue;
     // Eq. 12–14 with b(l) frozen at the start of the iteration.
     const double remaining =
@@ -121,9 +128,9 @@ void ShardComputeMigrations(const SpinnerConfig& config,
     if (!lpa::MigrationCoinAccepts(config.seed, v, superstep, p)) {
       continue;  // migration deferred
     }
-    const PartitionId old_label = labels[v];
+    const PartitionId old_label = labels[local];
     const int64_t units = LoadUnitsOf(config, shard->WeightedDegreeOf(v));
-    labels[v] = target;
+    labels[local] = target;
     shard->loads[target] += units;
     shard->loads[old_label] -= units;
     ++sc.migrated;

@@ -76,10 +76,18 @@ inline int64_t LoadUnitsOf(const SpinnerConfig& config,
 /// or a hash-drawn uniform label, resets the shard's load counters to k and
 /// accumulates the initial loads. Writes labels only in [begin, end).
 /// Returns the label-advertisement message count (== shard arc count).
+///
+/// `index_base`: the global vertex id that maps to index 0 of `labels` and
+/// `initial_labels`. The in-process substrate passes full global arrays
+/// (base 0); a ShardWorker passes arrays covering only its owned range
+/// (base = first owned vertex), keeping worker memory O(owned + boundary).
+/// Hash decisions always use the *global* id, so results are identical
+/// for every base.
 int64_t ShardInitialize(const SpinnerConfig& config,
                         ShardedGraphStore::Shard* shard,
                         std::span<PartitionId> labels,
-                        std::span<const PartitionId> initial_labels);
+                        std::span<const PartitionId> initial_labels,
+                        VertexId index_base = 0);
 
 /// ComputeScores for one shard: for every owned vertex scores the
 /// neighborhood labels (Eq. 8) against the frozen `global_loads` — with the
@@ -88,13 +96,20 @@ int64_t ShardInitialize(const SpinnerConfig& config,
 /// kNoPartition = stay). Fills the shard's blocks of `block_score` (the
 /// global per-block score partials, indexed by vertex block) and the
 /// scratch's migrations/local_weight partials.
+///
+/// `index_base` shifts the owned-vertex indices of `labels`, `candidate`
+/// and `block_score` (block granularity; must be kBlockSize-aligned) as in
+/// ShardInitialize. Neighbor labels are read at `labels[target]` verbatim:
+/// a caller with a compact array remaps the shard's CSR targets to local
+/// slots first (dist/worker.h RemapTargetsToSlots).
 void ShardComputeScores(const SpinnerConfig& config,
                         const ShardedGraphStore::Shard& shard,
                         std::span<const PartitionId> labels,
                         const std::vector<int64_t>& global_loads,
                         const std::vector<double>& capacities,
                         int64_t superstep, std::span<PartitionId> candidate,
-                        std::span<double> block_score, ShardScratch* scratch);
+                        std::span<double> block_score, ShardScratch* scratch,
+                        VertexId index_base = 0);
 
 /// ComputeMigrations for one shard: applies the probabilistic moves
 /// (Eq. 12–14, coin per (seed, superstep, vertex)) for every owned vertex
@@ -102,6 +117,8 @@ void ShardComputeScores(const SpinnerConfig& config,
 /// place. When `moves` is non-null, every applied move is appended in
 /// ascending vertex order — the label deltas the wire protocol broadcasts.
 /// Updates scratch->migrated / scratch->messages.
+/// `index_base` as in ShardComputeScores; `moves` always carry *global*
+/// vertex ids regardless of the base.
 void ShardComputeMigrations(const SpinnerConfig& config,
                             ShardedGraphStore::Shard* shard,
                             std::span<PartitionId> labels,
@@ -111,7 +128,8 @@ void ShardComputeMigrations(const SpinnerConfig& config,
                             int64_t superstep,
                             std::span<const PartitionId> candidate,
                             std::vector<LabelDelta>* moves,
-                            ShardScratch* scratch);
+                            ShardScratch* scratch,
+                            VertexId index_base = 0);
 
 }  // namespace spinner
 

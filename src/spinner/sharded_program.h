@@ -59,6 +59,13 @@ struct WireTraffic {
   /// subscription-filtered broadcasts.
   int64_t label_values_sent = 0;
   int64_t delta_entries_sent = 0;
+  /// Shard slice download accounting of the Assign/Resume handshake:
+  /// slices actually sent in Setup (and their encoded bytes) vs. slices
+  /// the workers already hosted with a matching fingerprint. A warm
+  /// restart shows slices_resumed == num_shards and zero download.
+  int64_t slices_downloaded = 0;
+  int64_t slice_bytes_downloaded = 0;
+  int64_t slices_resumed = 0;
   /// Bytes sent to workers during each driver superstep, in the order of
   /// run_stats.per_superstep (Initialize, then Scores/Migrate rounds).
   std::vector<int64_t> per_superstep_bytes;

@@ -64,6 +64,11 @@ bool RegisterSpinnerGraphPartitioner() {
         if (options.wire_max_payload != 0) {
           config.wire_max_payload = options.wire_max_payload;
         }
+        // The sweep-level execution options win field-wise over whatever
+        // the spinner config (or the deprecated flat knobs above, already
+        // folded into it) carries.
+        config.execution =
+            MergedExecution(options.execution, config.ResolvedExecution());
         return std::unique_ptr<GraphPartitioner>(
             std::make_unique<SpinnerGraphPartitioner>(config));
       });

@@ -1,0 +1,179 @@
+// ExecutionOptions: the single nested execution-shape struct shared by
+// SpinnerConfig, SessionOptions and PartitionerOptions. These tests pin
+// the merge precedence (nested over deprecated flat fields, outer layers
+// over inner), the validation rules, and the compile-unmodified shims.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/partitioner_interface.h"
+#include "baselines/partitioner_registry.h"
+#include "graph/conversion.h"
+#include "graph/generators.h"
+#include "spinner/config.h"
+#include "spinner/execution_options.h"
+#include "spinner/session.h"
+
+namespace spinner {
+namespace {
+
+TEST(ExecutionOptionsTest, MergePrefersEverySetPrimaryField) {
+  ExecutionOptions fallback;
+  fallback.mode = ExecutionMode::kMultiProcess;
+  fallback.num_shards = 8;
+  fallback.num_threads = 2;
+  fallback.num_workers = 4;
+  fallback.wire_max_payload = 4096;
+  fallback.listen_address = "127.0.0.1:7001";
+  fallback.worker_store_dir = "/tmp/fallback";
+  fallback.handshake_timeout_ms = 1000;
+
+  // An all-default primary changes nothing.
+  ExecutionOptions merged = MergedExecution(ExecutionOptions{}, fallback);
+  EXPECT_EQ(merged.mode, ExecutionMode::kMultiProcess);
+  EXPECT_EQ(merged.num_shards, 8);
+  EXPECT_EQ(merged.num_threads, 2);
+  EXPECT_EQ(merged.num_workers, 4);
+  EXPECT_EQ(merged.wire_max_payload, 4096u);
+  EXPECT_EQ(merged.listen_address, "127.0.0.1:7001");
+  EXPECT_EQ(merged.worker_store_dir, "/tmp/fallback");
+  EXPECT_EQ(merged.handshake_timeout_ms, 1000);
+
+  // Set primary fields win; unset ones keep falling through.
+  ExecutionOptions primary;
+  primary.mode = ExecutionMode::kTcp;
+  primary.num_workers = 3;
+  primary.listen_address = "127.0.0.1:0";
+  merged = MergedExecution(primary, fallback);
+  EXPECT_EQ(merged.mode, ExecutionMode::kTcp);
+  EXPECT_EQ(merged.num_workers, 3);
+  EXPECT_EQ(merged.listen_address, "127.0.0.1:0");
+  EXPECT_EQ(merged.num_shards, 8);           // fell through
+  EXPECT_EQ(merged.wire_max_payload, 4096u);  // fell through
+}
+
+TEST(ExecutionOptionsTest, ValidateCatchesBadShapes) {
+  ExecutionOptions ok;
+  EXPECT_TRUE(ok.Validate().ok());
+  ok.mode = ExecutionMode::kMultiProcess;
+  EXPECT_TRUE(ok.Validate().ok());  // workers auto-sized
+
+  // kTcp must know the fleet size up front.
+  ExecutionOptions tcp;
+  tcp.mode = ExecutionMode::kTcp;
+  EXPECT_FALSE(tcp.Validate().ok());
+  tcp.num_workers = 3;
+  EXPECT_TRUE(tcp.Validate().ok());
+
+  ExecutionOptions negatives;
+  negatives.num_shards = -1;
+  EXPECT_FALSE(negatives.Validate().ok());
+
+  // A frame ceiling below the minimum cannot carry chunk headers.
+  ExecutionOptions tiny_frames;
+  tiny_frames.wire_max_payload = 63;
+  EXPECT_FALSE(tiny_frames.Validate().ok());
+  tiny_frames.wire_max_payload = 64;
+  EXPECT_TRUE(tiny_frames.Validate().ok());
+}
+
+TEST(ExecutionOptionsTest, ConfigResolvesDeprecatedFlatFields) {
+  SpinnerConfig config;
+  config.num_shards = 4;
+  config.num_threads = 2;
+  config.num_processes = 3;
+  config.wire_max_payload = 2048;
+  const ExecutionOptions resolved = config.ResolvedExecution();
+  EXPECT_EQ(resolved.mode, ExecutionMode::kMultiProcess);
+  EXPECT_EQ(resolved.num_shards, 4);
+  EXPECT_EQ(resolved.num_threads, 2);
+  EXPECT_EQ(resolved.num_workers, 3);
+  EXPECT_EQ(resolved.wire_max_payload, 2048u);
+
+  // The nested struct wins over the flat fields when both are set.
+  config.execution.num_shards = 9;
+  config.execution.mode = ExecutionMode::kInProcess;
+  // mode's default value cannot be distinguished from "unset", so an
+  // explicit in-process choice is expressed by zeroing num_processes.
+  EXPECT_EQ(config.ResolvedExecution().num_shards, 9);
+}
+
+TEST(ExecutionOptionsTest, SessionMergesAllFourLayers) {
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.num_shards = 2;          // config flat (lowest precedence)
+  config.execution.num_shards = 3;  // config nested beats config flat
+
+  SessionOptions options;
+  options.num_threads = 2;        // session flat beats all config layers
+  options.execution.wire_max_payload = 8192;  // session nested: top
+
+  PartitioningSession session(config, options);
+  EXPECT_EQ(session.execution().num_shards, 3);
+  EXPECT_EQ(session.execution().num_threads, 2);
+  EXPECT_EQ(session.execution().wire_max_payload, 8192u);
+  EXPECT_EQ(session.execution_mode(), ExecutionMode::kInProcess);
+
+  // Session nested beats session flat.
+  SessionOptions shadowed;
+  shadowed.num_shards = 5;
+  shadowed.execution.num_shards = 7;
+  PartitioningSession session2(config, shadowed);
+  EXPECT_EQ(session2.execution().num_shards, 7);
+}
+
+TEST(ExecutionOptionsTest, TcpAddressRequiresTcpMode) {
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  PartitioningSession session(config);
+  auto address = session.TcpAddress();
+  ASSERT_FALSE(address.ok());
+  EXPECT_EQ(address.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExecutionOptionsTest, TcpSessionBindsAnEphemeralListener) {
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  SessionOptions options;
+  options.execution.mode = ExecutionMode::kTcp;
+  options.execution.num_workers = 2;
+  options.execution.listen_address = "127.0.0.1:0";
+  PartitioningSession session(config, options);
+  auto address = session.TcpAddress();
+  ASSERT_TRUE(address.ok()) << address.status();
+  // The ephemeral port resolved to something dialable.
+  EXPECT_EQ(address->rfind("127.0.0.1:", 0), 0u) << *address;
+  EXPECT_NE(*address, "127.0.0.1:0");
+  // Stable across calls — one listener per session.
+  auto again = session.TcpAddress();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *address);
+}
+
+TEST(ExecutionOptionsTest, PartitionerOptionsFeedTheRegistryFactory) {
+  auto ws = WattsStrogatz(400, 3, 0.3, 11);
+  ASSERT_TRUE(ws.ok());
+  auto g = BuildSymmetric(ws->num_vertices, ws->edges);
+  ASSERT_TRUE(g.ok());
+
+  PartitionerOptions flat;
+  flat.num_shards = 3;
+  auto by_flat = PartitionerRegistry::Create("spinner", flat);
+  ASSERT_TRUE(by_flat.ok()) << by_flat.status();
+  auto labels_flat = (*by_flat)->Partition(*g, 4);
+  ASSERT_TRUE(labels_flat.ok()) << labels_flat.status();
+
+  PartitionerOptions nested;
+  nested.execution.num_shards = 3;
+  auto by_nested = PartitionerRegistry::Create("spinner", nested);
+  ASSERT_TRUE(by_nested.ok()) << by_nested.status();
+  auto labels_nested = (*by_nested)->Partition(*g, 4);
+  ASSERT_TRUE(labels_nested.ok()) << labels_nested.status();
+
+  // Execution shape never changes results — and the two spellings of the
+  // same shape are interchangeable.
+  EXPECT_EQ(*labels_flat, *labels_nested);
+}
+
+}  // namespace
+}  // namespace spinner

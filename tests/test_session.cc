@@ -290,7 +290,7 @@ TEST(PartitioningSessionTest, LifecycleIsShardAndThreadCountInvariant) {
   const auto reference =
       LifecycleAssignments(g, SessionOptions{.num_shards = 1,
                                              .num_threads = 1});
-  for (const SessionOptions options :
+  for (const SessionOptions& options :
        {SessionOptions{.num_shards = 2, .num_threads = 1},
         SessionOptions{.num_shards = 7, .num_threads = 4},
         SessionOptions{.num_shards = 0, .num_threads = 0}}) {

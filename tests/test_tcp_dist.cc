@@ -1,0 +1,492 @@
+// The TCP execution mode: Hello/Assign/Resume codec round trips, the
+// WorkerRegistry accept/handshake/pool lifecycle, and the same central
+// guarantees the unix-socket lane asserts — bit-identity to the
+// in-process substrate across {num_shards, num_workers} shapes, a worker
+// death mid-superstep surfacing a clean Status (never a hang) — plus the
+// TCP-only one: a worker re-dialing (or kept pooled) with a matching
+// PersistentShardStore fingerprint resumes with zero slice download,
+// asserted through the coordinator's download counters.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "dist/coordinator.h"
+#include "dist/registry.h"
+#include "dist/shard_store.h"
+#include "dist/tcp_transport.h"
+#include "dist/transport.h"
+#include "dist/wire_format.h"
+#include "dist/worker.h"
+#include "graph/conversion.h"
+#include "graph/generators.h"
+#include "graph/sharded_store.h"
+#include "spinner/sharded_program.h"
+
+namespace spinner {
+namespace {
+
+using dist::MessageType;
+using dist::MultiProcessOptions;
+using dist::RegistryOptions;
+using dist::WorkerRegistry;
+
+CsrGraph SmallWorldConverted(int64_t n, uint64_t seed = 11) {
+  auto ws = WattsStrogatz(n, 3, 0.3, seed);
+  SPINNER_CHECK(ws.ok());
+  auto converted = BuildSymmetric(ws->num_vertices, ws->edges);
+  SPINNER_CHECK(converted.ok());
+  return std::move(converted).value();
+}
+
+/// One in-process reference run over a fresh store.
+Result<ShardedRunResult> ReferenceRun(const SpinnerConfig& config,
+                                      const CsrGraph& g, int num_shards,
+                                      std::vector<PartitionId>* labels) {
+  auto store = ShardedGraphStore::Build(g, num_shards);
+  if (!store.ok()) return store.status();
+  ThreadPool pool(2);
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = RunShardedSpinner(config, &*store, no_labels, &pool, nullptr);
+  if (run.ok()) *labels = store->labels();
+  return run;
+}
+
+/// Forks a dial-in worker process running the full TCP worker loop.
+pid_t ForkTcpWorker(const std::string& address,
+                    const dist::TransportOptions& transport,
+                    const dist::WorkerLoopOptions& loop = {}) {
+  const pid_t pid = fork();
+  SPINNER_CHECK(pid >= 0);
+  if (pid == 0) {
+    _exit(dist::RunTcpWorker(address, transport, loop));
+  }
+  return pid;
+}
+
+void ReapAll(std::vector<pid_t>* pids) {
+  for (const pid_t pid : *pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  }
+  pids->clear();
+}
+
+// --- Handshake codecs ------------------------------------------------------
+
+TEST(TcpWireFormatTest, HelloAssignResumeRoundTrip) {
+  dist::HelloMessage hello;
+  hello.capacity = 4;
+  hello.flags = 0;
+  auto hello2 = dist::HelloMessage::Decode(hello.Encode());
+  ASSERT_TRUE(hello2.ok()) << hello2.status();
+  EXPECT_EQ(hello2->protocol_version, dist::kProtocolVersion);
+  EXPECT_EQ(hello2->capacity, 4);
+
+  dist::AssignMessage assign;
+  assign.num_partitions = 8;
+  assign.seed = 99;
+  assign.balance_on_vertices = 1;
+  assign.per_worker_async = 0;
+  assign.num_vertices = 4096;
+  assign.num_shards_total = 6;
+  assign.owned_shards = {2, 3, 4};
+  assign.slice_fingerprints = {11, 0, 13};
+  assign.fail_after_score_steps = 7;
+  auto assign2 = dist::AssignMessage::Decode(assign.Encode());
+  ASSERT_TRUE(assign2.ok()) << assign2.status();
+  EXPECT_EQ(assign2->num_partitions, 8);
+  EXPECT_EQ(assign2->seed, 99u);
+  EXPECT_EQ(assign2->owned_shards, assign.owned_shards);
+  EXPECT_EQ(assign2->slice_fingerprints, assign.slice_fingerprints);
+  EXPECT_EQ(assign2->fail_after_score_steps, 7);
+  const SpinnerConfig config = assign2->ToConfig();
+  EXPECT_EQ(config.num_partitions, 8);
+  EXPECT_EQ(config.balance_mode, BalanceMode::kVertices);
+  EXPECT_FALSE(config.per_worker_async);
+
+  dist::ResumeMessage resume;
+  resume.fingerprints = {11, 0, 13};
+  auto resume2 = dist::ResumeMessage::Decode(resume.Encode());
+  ASSERT_TRUE(resume2.ok());
+  EXPECT_EQ(resume2->fingerprints, resume.fingerprints);
+}
+
+TEST(TcpWireFormatTest, HandshakeDecodersRejectMalformedPayloads) {
+  dist::AssignMessage assign;
+  assign.owned_shards = {0, 1};
+  assign.slice_fingerprints = {5, 6};
+  const std::vector<uint8_t> bytes = assign.Encode();
+  for (size_t cut = 0; cut < bytes.size(); cut += 5) {
+    std::vector<uint8_t> truncated(bytes.begin(), bytes.begin() + cut);
+    EXPECT_FALSE(dist::AssignMessage::Decode(truncated).ok())
+        << "cut=" << cut;
+  }
+  // A fingerprint list that does not pair 1:1 with the shard list can
+  // never be matched against a store — rejected at decode.
+  dist::AssignMessage skewed;
+  skewed.owned_shards = {0, 1, 2};
+  skewed.slice_fingerprints = {5};
+  EXPECT_FALSE(
+      dist::AssignMessage::Decode(skewed.Encode()).ok());
+
+  EXPECT_FALSE(dist::HelloMessage::Decode({}).ok());
+  EXPECT_FALSE(dist::ResumeMessage::Decode({}).ok());
+}
+
+// --- Registry lifecycle ----------------------------------------------------
+
+TEST(TcpRegistryTest, AcquireTimesOutWhenNobodyDialsIn) {
+  RegistryOptions options;
+  options.handshake_timeout_ms = 200;
+  auto registry = WorkerRegistry::Listen(options);
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  auto acquired = (*registry)->Acquire(1, dist::TransportOptions{});
+  ASSERT_FALSE(acquired.ok());
+  EXPECT_EQ(acquired.status().code(), StatusCode::kIOError);
+  EXPECT_NE(acquired.status().message().find("dialed in"),
+            std::string::npos)
+      << acquired.status();
+}
+
+TEST(TcpRegistryTest, VersionMismatchIsRejectedWithErrorFrame) {
+  RegistryOptions options;
+  options.handshake_timeout_ms = 300;
+  auto registry = WorkerRegistry::Listen(options);
+  ASSERT_TRUE(registry.ok()) << registry.status();
+
+  // Dial in by hand and advertise a future protocol version.
+  auto conn = dist::TcpDial((*registry)->address(), 2000);
+  ASSERT_TRUE(conn.ok()) << conn.status();
+  dist::HelloMessage hello;
+  hello.protocol_version = dist::kProtocolVersion + 7;
+  const dist::TransportOptions transport;
+  ASSERT_TRUE(dist::SendMessage(conn->fd(),
+                                static_cast<uint32_t>(MessageType::kHello),
+                                hello.Encode(), transport, 1)
+                  .ok());
+
+  // The registry rejects the connection and keeps waiting for a valid
+  // fleet, which never arrives.
+  auto acquired = (*registry)->Acquire(1, transport);
+  ASSERT_FALSE(acquired.ok());
+  EXPECT_EQ((*registry)->handshakes_rejected(), 1);
+  EXPECT_EQ((*registry)->handshakes_completed(), 0);
+
+  // The rejected worker received an Error frame saying why.
+  auto frame = dist::RecvMessage(conn->fd(), transport);
+  ASSERT_TRUE(frame.ok()) << frame.status();
+  EXPECT_EQ(frame->type, static_cast<uint32_t>(MessageType::kError));
+}
+
+TEST(TcpRegistryTest, DeadPooledConnectionsAreDroppedNotHandedOut) {
+  RegistryOptions options;
+  options.handshake_timeout_ms = 300;
+  auto registry = WorkerRegistry::Listen(options);
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  const dist::TransportOptions transport;
+
+  const pid_t pid = ForkTcpWorker((*registry)->address(), transport);
+  auto acquired = (*registry)->Acquire(1, transport);
+  ASSERT_TRUE(acquired.ok()) << acquired.status();
+  ASSERT_EQ(acquired->size(), 1u);
+  EXPECT_EQ((*registry)->handshakes_completed(), 1);
+  (*registry)->Release(std::move((*acquired)[0]));
+  EXPECT_EQ((*registry)->num_pooled(), 1);
+
+  // The pooled worker dies; its connection must be detected and dropped,
+  // not handed to the next run.
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  auto again = (*registry)->Acquire(1, transport);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kIOError);
+  EXPECT_EQ((*registry)->num_pooled(), 0);
+}
+
+// --- Full runs over TCP ----------------------------------------------------
+
+TEST(TcpSpinnerTest, BitIdenticalToInProcessAcrossShapes) {
+  const CsrGraph g = SmallWorldConverted(1100, 21);
+  SpinnerConfig config;
+  config.num_partitions = 6;
+  config.seed = 7;
+  config.max_iterations = 10;
+  config.use_halting = false;
+
+  for (const int num_shards : {1, 2, 7}) {
+    std::vector<PartitionId> reference_labels;
+    auto reference =
+        ReferenceRun(config, g, num_shards, &reference_labels);
+    ASSERT_TRUE(reference.ok());
+    for (const int num_workers : {1, 3}) {
+      auto registry = WorkerRegistry::Listen(RegistryOptions{});
+      ASSERT_TRUE(registry.ok()) << registry.status();
+      MultiProcessOptions options;
+      options.num_workers = num_workers;
+      options.worker_transport = registry->get();
+      std::vector<pid_t> workers;
+      for (int w = 0; w < num_workers; ++w) {
+        workers.push_back(
+            ForkTcpWorker((*registry)->address(), options.transport));
+      }
+
+      auto store = ShardedGraphStore::Build(g, num_shards);
+      ASSERT_TRUE(store.ok());
+      std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+      auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                              options, nullptr);
+      ASSERT_TRUE(run.ok())
+          << "S=" << num_shards << " W=" << num_workers << ": "
+          << run.status();
+      EXPECT_EQ(store->labels(), reference_labels)
+          << "S=" << num_shards << " W=" << num_workers;
+      EXPECT_EQ(run->iterations, reference->iterations);
+      EXPECT_EQ(run->converged, reference->converged);
+      // The float convergence curves must match bit-for-bit too.
+      ASSERT_EQ(run->history.size(), reference->history.size());
+      for (size_t i = 0; i < run->history.size(); ++i) {
+        EXPECT_EQ(run->history[i].score, reference->history[i].score) << i;
+        EXPECT_EQ(run->history[i].phi, reference->history[i].phi) << i;
+        EXPECT_EQ(run->history[i].rho, reference->history[i].rho) << i;
+        EXPECT_EQ(run->history[i].loads, reference->history[i].loads) << i;
+      }
+
+      // A clean run released every connection back to the pool; dropping
+      // the registry closes them and the workers exit 0 (idle EOF).
+      EXPECT_EQ((*registry)->num_pooled(), num_workers);
+      registry->reset();
+      for (const pid_t pid : workers) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+            << "worker pid " << pid << " status " << status;
+      }
+    }
+  }
+}
+
+TEST(TcpSpinnerTest, WorkerDiesMidSuperstepSurfacesStatusNeverHangs) {
+  const CsrGraph g = SmallWorldConverted(800, 17);
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.max_iterations = 20;
+  config.use_halting = false;
+  for (const int fail_worker : {0, 1}) {
+    auto registry = WorkerRegistry::Listen(RegistryOptions{});
+    ASSERT_TRUE(registry.ok()) << registry.status();
+    MultiProcessOptions options;
+    options.num_workers = 2;
+    options.worker_transport = registry->get();
+    options.fail_after_score_steps = 2;  // dies in its 3rd ComputeScores
+    options.fail_worker = fail_worker;
+    std::vector<pid_t> workers;
+    for (int w = 0; w < 2; ++w) {
+      workers.push_back(
+          ForkTcpWorker((*registry)->address(), options.transport));
+    }
+
+    auto store = ShardedGraphStore::Build(g, 4);
+    ASSERT_TRUE(store.ok());
+    std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+    auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                            options, nullptr);
+    ASSERT_FALSE(run.ok()) << "fail_worker=" << fail_worker;
+    EXPECT_EQ(run.status().code(), StatusCode::kIOError) << run.status();
+    // The error names the worker so operators can find the corpse.
+    EXPECT_NE(run.status().message().find("died"), std::string::npos)
+        << run.status();
+    registry->reset();
+    ReapAll(&workers);
+  }
+}
+
+TEST(TcpSpinnerTest, PooledWorkersResumeWithZeroSliceDownload) {
+  const CsrGraph g = SmallWorldConverted(900, 23);
+  SpinnerConfig config;
+  config.num_partitions = 5;
+  config.seed = 3;
+  config.max_iterations = 6;
+  config.use_halting = false;
+  const int kShards = 4;
+  const int kWorkers = 2;
+  const std::string store_dir =
+      testing::TempDir() + "/tcp_resume_store";
+  // TempDir is stable across test runs; start from an empty store so the
+  // cold-run download assertions hold on re-runs too.
+  std::filesystem::remove_all(store_dir);
+
+  auto registry = WorkerRegistry::Listen(RegistryOptions{});
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  MultiProcessOptions options;
+  options.num_workers = kWorkers;
+  options.worker_transport = registry->get();
+  dist::WorkerLoopOptions loop;
+  loop.store_dir = store_dir;
+  std::vector<pid_t> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.push_back(
+        ForkTcpWorker((*registry)->address(), options.transport, loop));
+  }
+
+  // Cold run: every slice crosses the wire and lands in the store.
+  auto store1 = ShardedGraphStore::Build(g, kShards);
+  ASSERT_TRUE(store1.ok());
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run1 = dist::RunMultiProcessSpinner(config, &*store1, no_labels,
+                                           options, nullptr);
+  ASSERT_TRUE(run1.ok()) << run1.status();
+  EXPECT_EQ(run1->wire.slices_downloaded, kShards);
+  EXPECT_GT(run1->wire.slice_bytes_downloaded, 0);
+  EXPECT_EQ(run1->wire.slices_resumed, 0);
+  EXPECT_EQ((*registry)->num_pooled(), kWorkers);
+
+  // Warm run over the SAME pooled connections: every Resume fingerprint
+  // matches, so the coordinator downloads nothing.
+  auto store2 = ShardedGraphStore::Build(g, kShards);
+  ASSERT_TRUE(store2.ok());
+  auto run2 = dist::RunMultiProcessSpinner(config, &*store2, no_labels,
+                                           options, nullptr);
+  ASSERT_TRUE(run2.ok()) << run2.status();
+  EXPECT_EQ(run2->wire.slices_downloaded, 0);
+  EXPECT_EQ(run2->wire.slice_bytes_downloaded, 0);
+  EXPECT_EQ(run2->wire.slices_resumed, kShards);
+  EXPECT_EQ(store2->labels(), store1->labels());
+  // Only one fleet ever dialed in.
+  EXPECT_EQ((*registry)->handshakes_completed(), kWorkers);
+
+  registry->reset();
+  for (const pid_t pid : workers) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+}
+
+TEST(TcpSpinnerTest, RestartedWorkersResumeFromStoreWithZeroDownload) {
+  const CsrGraph g = SmallWorldConverted(900, 29);
+  SpinnerConfig config;
+  config.num_partitions = 5;
+  config.seed = 9;
+  config.max_iterations = 6;
+  config.use_halting = false;
+  const int kShards = 4;
+  const int kWorkers = 2;
+  const std::string store_dir =
+      testing::TempDir() + "/tcp_restart_store";
+  std::filesystem::remove_all(store_dir);
+  std::vector<PartitionId> labels1;
+
+  {
+    auto registry = WorkerRegistry::Listen(RegistryOptions{});
+    ASSERT_TRUE(registry.ok()) << registry.status();
+    MultiProcessOptions options;
+    options.num_workers = kWorkers;
+    options.worker_transport = registry->get();
+    dist::WorkerLoopOptions loop;
+    loop.store_dir = store_dir;
+    std::vector<pid_t> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.push_back(
+          ForkTcpWorker((*registry)->address(), options.transport, loop));
+    }
+    auto store = ShardedGraphStore::Build(g, kShards);
+    ASSERT_TRUE(store.ok());
+    std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+    auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                            options, nullptr);
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(run->wire.slices_downloaded, kShards);
+    labels1 = store->labels();
+
+    // Kill the whole fleet — process restart, files survive.
+    registry->reset();
+    ReapAll(&workers);
+  }
+
+  // Fresh workers, fresh registry, same store directory: the Resume
+  // fingerprints come off disk (base + delta log) and match, so the
+  // restarted fleet re-downloads nothing.
+  auto registry = WorkerRegistry::Listen(RegistryOptions{});
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  MultiProcessOptions options;
+  options.num_workers = kWorkers;
+  options.worker_transport = registry->get();
+  dist::WorkerLoopOptions loop;
+  loop.store_dir = store_dir;
+  std::vector<pid_t> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.push_back(
+        ForkTcpWorker((*registry)->address(), options.transport, loop));
+  }
+  auto store = ShardedGraphStore::Build(g, kShards);
+  ASSERT_TRUE(store.ok());
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                          options, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->wire.slices_downloaded, 0);
+  EXPECT_EQ(run->wire.slice_bytes_downloaded, 0);
+  EXPECT_EQ(run->wire.slices_resumed, kShards);
+  EXPECT_EQ(store->labels(), labels1);
+
+  registry->reset();
+  for (const pid_t pid : workers) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+}
+
+TEST(TcpSpinnerTest, CapacityWeightsSkewTheShardSplit) {
+  const CsrGraph g = SmallWorldConverted(1600, 31);
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.seed = 5;
+  config.max_iterations = 4;
+  config.use_halting = false;
+  const int kShards = 6;
+
+  std::vector<PartitionId> reference_labels;
+  auto reference = ReferenceRun(config, g, kShards, &reference_labels);
+  ASSERT_TRUE(reference.ok());
+
+  auto registry = WorkerRegistry::Listen(RegistryOptions{});
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  MultiProcessOptions options;
+  options.num_workers = 2;
+  options.worker_transport = registry->get();
+  // One worker advertises triple capacity. Assignment skews toward it —
+  // but capacity is pure execution shape, so results cannot move.
+  std::vector<pid_t> workers;
+  dist::WorkerLoopOptions big;
+  big.capacity = 3;
+  workers.push_back(
+      ForkTcpWorker((*registry)->address(), options.transport, big));
+  workers.push_back(
+      ForkTcpWorker((*registry)->address(), options.transport));
+
+  auto store = ShardedGraphStore::Build(g, kShards);
+  ASSERT_TRUE(store.ok());
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                          options, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(store->labels(), reference_labels);
+
+  registry->reset();
+  ReapAll(&workers);
+}
+
+}  // namespace
+}  // namespace spinner
