@@ -32,6 +32,13 @@
 # persistent shard store, diffed byte-for-byte against the in-process
 # run — twice, so the second run exercises the Assign/Resume
 # zero-download restart path against the populated stores.
+#
+# SIMD-parity mode (two Release configurations):
+#   ./ci.sh --mode=simd-parity
+# Builds Release with SPINNER_SIMD=ON (the default) and =OFF, runs the
+# kernel/scheduler/session tests in both, then diffs a partition_tool
+# run byte-for-byte across the two binaries — the vectorized dense scan
+# must be a pure speed knob, never a results knob (docs/PERFORMANCE.md).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -50,9 +57,10 @@ for arg in "$@"; do
     --mode=multiprocess) MODE="multiprocess" ;;
     --mode=wire-stress) MODE="wire-stress" ;;
     --mode=tcp) MODE="tcp" ;;
+    --mode=simd-parity) MODE="simd-parity" ;;
     --mode=*)
       echo "ci.sh: unknown mode '${arg#--mode=}'" \
-        "(multiprocess|wire-stress|tcp)" >&2
+        "(multiprocess|wire-stress|tcp|simd-parity)" >&2
       exit 2
       ;;
     *)
@@ -61,6 +69,48 @@ for arg in "$@"; do
       ;;
   esac
 done
+
+if [[ -n "${SANITIZE}" && -n "${MODE}" ]]; then
+  # Each selects one whole configuration; silently ignoring one of the
+  # two would run something other than what was asked for.
+  echo "ci.sh: --sanitize and --mode are mutually exclusive" >&2
+  exit 2
+fi
+
+if [[ "${MODE}" == "simd-parity" ]]; then
+  # Two Release builds differing only in the SPINNER_SIMD knob. The
+  # dense SIMD scan and the scalar reference are bit-identical by
+  # construction (lpa_kernel.h), so the OFF build must pass the same
+  # kernel/scheduler/session tests and produce byte-identical
+  # partitions.
+  declare -A simd_dirs=([on]=build-ci-simd-on [off]=build-ci-simd-off)
+  for knob in on off; do
+    build_dir="${simd_dirs[${knob}]}"
+    echo "=== Release (-Werror, SPINNER_SIMD=${knob^^}) ==="
+    cmake -B "${build_dir}" -S . \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DSPINNER_WERROR=ON \
+      -DSPINNER_SIMD="${knob^^}"
+    cmake --build "${build_dir}" -j "${JOBS}"
+    ctest --test-dir "${build_dir}" \
+      -R '(LpaKernel|ShardedStore|StealSchedule|StealingSupersteps|Session)' \
+      --timeout 120 --output-on-failure -j "${JOBS}"
+  done
+
+  echo "=== SIMD=ON vs SIMD=OFF partition_tool diff (byte-for-byte) ==="
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  "./${simd_dirs[on]}/partition_tool" generate \
+    --out="${smoke_dir}/edges.txt" --vertices=5000 --seed=7
+  for knob in on off; do
+    "./${simd_dirs[${knob}]}/partition_tool" partition \
+      --input="${smoke_dir}/edges.txt" --k=16 --seed=11 \
+      --out="${smoke_dir}/simd_${knob}.txt"
+  done
+  cmp "${smoke_dir}/simd_on.txt" "${smoke_dir}/simd_off.txt"
+  echo "ci.sh: SIMD=ON and SIMD=OFF assignments are byte-identical"
+  exit 0
+fi
 
 if [[ -n "${MODE}" ]]; then
   build_dir="build-ci-${MODE}"

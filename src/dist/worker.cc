@@ -162,6 +162,7 @@ class ShardWorker {
     labels_.clear();
     candidate_.clear();
     block_score_.clear();
+    block_candidates_.clear();
     scratch_.clear();
     fail_after_score_steps_ = -1;
     scores_seen_ = 0;
@@ -331,6 +332,7 @@ class ShardWorker {
     candidate_.assign(static_cast<size_t>(layout_.owned_count()),
                       kNoPartition);
     block_score_.assign(static_cast<size_t>(layout_.num_blocks()), 0.0);
+    block_candidates_.assign(static_cast<size_t>(layout_.num_blocks()), 0);
     scratch_.resize(shards_.size());
     for (ShardScratch& sc : scratch_) sc.Prepare(config_.num_partitions);
     setup_done_ = true;
@@ -412,7 +414,8 @@ class ShardWorker {
       const ShardedGraphStore::Shard& shard = shards_[i];
       ShardComputeScores(config_, shard, labels_, request.global_loads,
                          request.capacities, request.superstep, candidate_,
-                         block_score_, &scratch_[i], layout_.owned_begin);
+                         block_score_, block_candidates_, &scratch_[i],
+                         layout_.owned_begin);
       const int64_t block_begin = (shard.begin - layout_.owned_begin) /
                                   ShardedGraphStore::kBlockSize;
       const int64_t block_end =
@@ -449,8 +452,8 @@ class ShardWorker {
       ShardComputeMigrations(config_, &shards_[i], labels_,
                              request.global_loads, request.capacities,
                              request.migration_counts, request.superstep,
-                             candidate_, &result.moves, &scratch_[i],
-                             layout_.owned_begin);
+                             candidate_, block_candidates_, &result.moves,
+                             &scratch_[i], layout_.owned_begin);
       result.loads = shards_[i].loads;
       result.migrated = scratch_[i].migrated;
       result.messages = scratch_[i].messages;
@@ -518,6 +521,7 @@ class ShardWorker {
   std::vector<PartitionId> labels_;     // [owned ascending][mirror]
   std::vector<PartitionId> candidate_;  // owned entries only
   std::vector<double> block_score_;     // owned blocks only
+  std::vector<int32_t> block_candidates_;  // owned blocks only
   std::vector<ShardScratch> scratch_;   // one per owned shard
   int32_t fail_after_score_steps_ = -1;
   int32_t scores_seen_ = 0;

@@ -274,6 +274,7 @@ Result<ShardedGraphStore::Shard> DecodeShardSlice(
       return Status::InvalidArgument("shard slice offsets not monotonic");
     }
   }
+  shard.RebuildInvDegrees();
   *consumed = in.pos();
   return shard;
 }

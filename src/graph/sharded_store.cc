@@ -59,6 +59,7 @@ void ShardedGraphStore::FillShard(const CsrGraph& converted, int s) {
         static_cast<int64_t>(shard.targets.size());
     shard.weighted_degree[v - shard.begin] = converted.WeightedDegree(v);
   }
+  shard.RebuildInvDegrees();
 }
 
 int ShardedGraphStore::ShardOf(VertexId v) const {

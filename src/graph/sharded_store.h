@@ -50,6 +50,12 @@ class ShardedGraphStore {
     std::vector<EdgeWeight> weights;
     /// Cached weighted degree per owned vertex.
     std::vector<int64_t> weighted_degree;
+    /// Cached 1 / weighted_degree (0 for isolated vertices): Eq. 8's
+    /// locality term is freq · (1/deg), and the reciprocal is loop
+    /// invariant across supersteps, so the division is paid once per
+    /// build instead of once per vertex per superstep. Derived — rebuilt
+    /// by RebuildInvDegrees(), never serialized.
+    std::vector<double> inv_weighted_degree;
 
     /// Shard-local per-partition loads b_s(l); k entries after ResetLoads.
     std::vector<int64_t> loads;
@@ -71,6 +77,22 @@ class ShardedGraphStore {
     }
     int64_t WeightedDegreeOf(VertexId v) const {
       return weighted_degree[v - begin];
+    }
+    double InvWeightedDegreeOf(VertexId v) const {
+      return inv_weighted_degree[v - begin];
+    }
+
+    /// Recomputes inv_weighted_degree from weighted_degree. Every site
+    /// that fills or deserializes weighted_degree must call this before
+    /// the shard reaches a superstep body.
+    void RebuildInvDegrees() {
+      inv_weighted_degree.resize(weighted_degree.size());
+      for (size_t i = 0; i < weighted_degree.size(); ++i) {
+        inv_weighted_degree[i] =
+            weighted_degree[i] > 0
+                ? 1.0 / static_cast<double>(weighted_degree[i])
+                : 0.0;
+      }
     }
   };
 

@@ -11,15 +11,49 @@
 // once. All randomness is stateless: hash (seed, domain, superstep, vertex)
 // to get an independent stream per decision point, making every run
 // reproducible for a given seed regardless of shard/worker/thread counts.
+//
+// Hot-loop layout (docs/PERFORMANCE.md):
+//  * Eq. 8 is evaluated as freq[l]·(1/deg) − penalty[l] against per-label
+//    penalty tables (FillPenalties) that hoist the load/capacity division
+//    out of the per-vertex loop — the load term is identical for every
+//    vertex that sees the same load view, so dividing per (vertex, label)
+//    was pure waste.
+//  * The best label is found by one of two interchangeable scans:
+//    PickLabelSparse walks the touched-label list (the scalar reference,
+//    fastest for low-degree vertices), PickLabelDense scans all k labels
+//    with a SIMD-vectorizable masked max (fastest for hubs, enabled by the
+//    SPINNER_SIMD build knob). Both compute the same per-label expression
+//    over the same candidate set {current} ∪ {l : freq[l] > 0}, and the
+//    tie break is a pure function of (seed, superstep, vertex, label set)
+//    — NOT of scan order — so the two scans are bit-identical by
+//    construction and callers may pick either per vertex.
+//  * Exact-score ties among non-current maxima are broken by the minimal
+//    TieKey (lexicographic on (key, label)); the draw is still uniform
+//    over the tied set and deterministic per (seed, superstep, vertex).
 #ifndef SPINNER_SPINNER_LPA_KERNEL_H_
 #define SPINNER_SPINNER_LPA_KERNEL_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <span>
 
 #include "common/random.h"
 #include "graph/types.h"
+
+// SPINNER_SIMD (CMake -DSPINNER_SIMD=ON, the default) compiles the dense
+// per-label scans with `#pragma omp simd` (pure compile-time vectorization
+// via -fopenmp-simd; no OpenMP runtime dependency). With the knob OFF the
+// pragmas vanish and every scan is the plain scalar loop — same
+// expressions, same results, byte-for-byte (the simd-parity CI lane
+// asserts this).
+#if defined(SPINNER_SIMD)
+#define SPINNER_PRAGMA_SIMD _Pragma("omp simd")
+#define SPINNER_PRAGMA_SIMD_REDUX(clause) _Pragma(clause)
+#else
+#define SPINNER_PRAGMA_SIMD
+#define SPINNER_PRAGMA_SIMD_REDUX(clause)
+#endif
 
 namespace spinner::lpa {
 
@@ -37,14 +71,37 @@ inline PartitionId InitialLabel(uint64_t seed, VertexId v, int k) {
                   static_cast<uint64_t>(k)));
 }
 
-/// One candidate-label term of the normalized score (Eq. 8): locality minus
-/// the load penalty of `load` against `capacity`.
-inline double ScoreTerm(int64_t freq, double weighted_degree, int64_t load,
-                        double capacity) {
-  const double locality = static_cast<double>(freq) / weighted_degree;
-  const double penalty =
-      capacity > 0 ? static_cast<double>(load) / capacity : 0.0;
-  return locality - penalty;
+/// One candidate-label term of the normalized score (Eq. 8): locality
+/// freq·(1/weighted_degree) minus the precomputed load penalty of the
+/// label (see FillPenalties).
+inline double Score(int64_t freq, double inv_degree, double penalty) {
+  return static_cast<double>(freq) * inv_degree - penalty;
+}
+
+/// Fills penalty[l] = load[l] / capacity[l] (0 when the capacity is not
+/// positive) — the vertex-independent half of Eq. 8, computed once per
+/// load view instead of once per (vertex, label).
+inline void FillPenalties(std::span<const int64_t> loads,
+                          std::span<const double> capacities,
+                          std::span<double> penalty) {
+  const int k = static_cast<int>(penalty.size());
+  SPINNER_PRAGMA_SIMD
+  for (int l = 0; l < k; ++l) {
+    penalty[l] = capacities[l] > 0
+                     ? static_cast<double>(loads[l]) / capacities[l]
+                     : 0.0;
+  }
+}
+
+/// The deterministic tie-break priority of label l for vertex v: ties at
+/// the maximal score go to the label with the smallest key (then smallest
+/// l). A pure function of (seed, superstep, v, l), so the winner does not
+/// depend on the order candidates are scanned in.
+inline uint64_t TieKey(uint64_t seed, int64_t superstep, VertexId v,
+                       PartitionId l) {
+  return SplitMix64(
+      HashCombine(HashCombine(seed, kTieDomain, static_cast<uint64_t>(v)),
+                  static_cast<uint64_t>(superstep), static_cast<uint64_t>(l)));
 }
 
 /// Outcome of scoring a vertex's candidate labels.
@@ -55,48 +112,99 @@ struct LabelChoice {
   bool better = false;
 };
 
-/// Picks the best label for a vertex among its current label and the labels
-/// in `touched` (the neighborhood's labels in discovery order), scoring
-/// each with Eq. 8 against `penalty_loads` and breaking exact ties with a
-/// deterministic reservoir draw keyed on (seed, superstep, vertex, label).
-/// `freq` holds the weighted neighbor-label frequencies (Eq. 4) indexed by
-/// label; `weighted_degree` must be > 0.
-inline LabelChoice PickLabel(std::span<const int64_t> freq,
-                             std::span<const PartitionId> touched,
-                             PartitionId current, double weighted_degree,
-                             std::span<const double> capacities,
-                             std::span<const int64_t> penalty_loads,
-                             uint64_t seed, int64_t superstep, VertexId v) {
-  auto score_of = [&](PartitionId l) {
-    return ScoreTerm(freq[l], weighted_degree, penalty_loads[l],
-                     capacities[l]);
-  };
-  const double current_score = score_of(current);
-  double best_score = current_score;
-  bool current_is_best = true;
-  int num_best = 0;  // count of non-current labels tied at best_score
-  PartitionId chosen = current;
-  for (const PartitionId l : touched) {
-    if (l == current) continue;
-    const double s = score_of(l);
-    if (s > best_score) {
-      best_score = s;
-      current_is_best = false;
-      num_best = 1;
+/// Shared tie-break: picks, among the non-current labels in `candidates`
+/// whose score equals `best`, the one minimizing (TieKey, label).
+/// `score_of(l)` must reproduce the exact scan-phase value.
+template <typename ScoreFn>
+inline LabelChoice ResolveBest(std::span<const PartitionId> candidates,
+                               PartitionId current, double best,
+                               const ScoreFn& score_of, uint64_t seed,
+                               int64_t superstep, VertexId v) {
+  PartitionId chosen = kNoPartition;
+  uint64_t chosen_key = 0;
+  for (const PartitionId l : candidates) {
+    if (l == current || score_of(l) != best) continue;
+    const uint64_t key = TieKey(seed, superstep, v, l);
+    if (chosen == kNoPartition || key < chosen_key ||
+        (key == chosen_key && l < chosen)) {
       chosen = l;
-    } else if (!current_is_best && s == best_score) {
-      // Reservoir-style deterministic tie break among equal maxima.
-      ++num_best;
-      const uint64_t key =
-          HashCombine(HashCombine(seed, kTieDomain, static_cast<uint64_t>(v)),
-                      static_cast<uint64_t>(superstep),
-                      static_cast<uint64_t>(l));
-      if (HashUniform(key, static_cast<uint64_t>(num_best)) == 0) {
-        chosen = l;
-      }
+      chosen_key = key;
     }
   }
-  return LabelChoice{chosen, !current_is_best};
+  return LabelChoice{chosen, true};
+}
+
+/// Picks the best label for a vertex among its current label and the
+/// labels in `touched` (the neighborhood's labels, any order), scoring
+/// each with Eq. 8 via `freq`, `inv_degree` and the `penalty` table.
+/// `current_score` must be Score(freq[current], inv_degree,
+/// penalty[current]). This is the sparse scalar reference scan — the
+/// dense SIMD scan below is bit-identical.
+inline LabelChoice PickLabelSparse(std::span<const int64_t> freq,
+                                   std::span<const PartitionId> touched,
+                                   PartitionId current, double current_score,
+                                   double inv_degree,
+                                   std::span<const double> penalty,
+                                   uint64_t seed, int64_t superstep,
+                                   VertexId v) {
+  double best = current_score;
+  bool better = false;
+  for (const PartitionId l : touched) {
+    if (l == current) continue;
+    const double s = Score(freq[l], inv_degree, penalty[l]);
+    if (s > best) {
+      best = s;
+      better = true;
+    }
+  }
+  if (!better) return LabelChoice{current, false};
+  return ResolveBest(
+      touched, current, best,
+      [&](PartitionId l) { return Score(freq[l], inv_degree, penalty[l]); },
+      seed, superstep, v);
+}
+
+/// Dense variant of PickLabelSparse: scans all k labels with a masked
+/// SIMD max instead of walking the touched list, writing each label's
+/// (masked) score into `score_buf` (size k). Candidate set, scores and
+/// tie break are identical to the sparse scan, so the two may be chosen
+/// per vertex without affecting results. Preferable for hubs, where the
+/// neighborhood touches a large fraction of the labels.
+inline LabelChoice PickLabelDense(std::span<const int64_t> freq,
+                                  PartitionId current, double current_score,
+                                  double inv_degree,
+                                  std::span<const double> penalty,
+                                  std::span<double> score_buf, uint64_t seed,
+                                  int64_t superstep, VertexId v) {
+  const int k = static_cast<int>(score_buf.size());
+  constexpr double kMasked = -std::numeric_limits<double>::infinity();
+  double best = current_score;
+  const int64_t* freq_p = freq.data();
+  const double* penalty_p = penalty.data();
+  double* buf_p = score_buf.data();
+  SPINNER_PRAGMA_SIMD_REDUX("omp simd reduction(max : best)")
+  for (int l = 0; l < k; ++l) {
+    const double s =
+        static_cast<double>(freq_p[l]) * inv_degree - penalty_p[l];
+    const double masked = freq_p[l] > 0 ? s : kMasked;
+    buf_p[l] = masked;
+    best = masked > best ? masked : best;
+  }
+  // `best` included current_score even when freq[current] == 0, so a
+  // strictly better non-current label exists iff best moved.
+  if (!(best > current_score)) return LabelChoice{current, false};
+  PartitionId chosen = kNoPartition;
+  uint64_t chosen_key = 0;
+  for (PartitionId l = 0; l < k; ++l) {
+    if (l == current || buf_p[l] != best) continue;
+    const uint64_t key = TieKey(seed, superstep, v, l);
+    if (chosen == kNoPartition || key < chosen_key ||
+        (key == chosen_key && l < chosen)) {
+      chosen = l;
+      chosen_key = key;
+    }
+  }
+  return LabelChoice{chosen, true};
 }
 
 /// Migration probability (Eq. 14): remaining capacity r(l) over the load
@@ -104,6 +212,21 @@ inline LabelChoice PickLabel(std::span<const int64_t> freq,
 inline double MigrationProbability(double remaining, double wanting) {
   if (remaining <= 0 || wanting <= 0) return 0.0;
   return std::min(1.0, remaining / wanting);
+}
+
+/// Fills p[l] = MigrationProbability(capacity[l] − load[l], wanting[l])
+/// for every label: the per-vertex Eq. 12–14 evaluation is a pure table
+/// lookup, since none of its inputs depend on the vertex.
+inline void FillMigrationProbabilities(std::span<const int64_t> loads,
+                                       std::span<const double> capacities,
+                                       std::span<const int64_t> wanting,
+                                       std::span<double> p) {
+  const int k = static_cast<int>(p.size());
+  for (int l = 0; l < k; ++l) {
+    p[l] = MigrationProbability(
+        capacities[l] - static_cast<double>(loads[l]),
+        static_cast<double>(wanting[l]));
+  }
 }
 
 /// The migration coin flip: true iff the vertex migrates this superstep.

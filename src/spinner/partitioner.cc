@@ -160,6 +160,7 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
     result.history = std::move(run.history);
     result.run_stats = std::move(run.run_stats);
     result.wire = std::move(run.wire);
+    result.schedule = run.schedule;
     result.assignment = std::move(store.labels());
   }
   result.num_partitions = k;

@@ -58,6 +58,9 @@ struct PartitionResult {
   /// Wire traffic of the cross-process execution mode (zeros when the run
   /// stayed in-process).
   WireTraffic wire;
+  /// Work-stealing claim counters of the in-process sharded substrate
+  /// (zeros for the Pregel engine and cross-process modes).
+  ScheduleStats schedule;
 };
 
 /// Stateless facade; safe to reuse and — observer mutation aside — to

@@ -131,12 +131,24 @@ void SpinnerProgram::PreSuperstep(pregel::WorkerContextBase* wc,
       }
     }
     if (swc->phase == kComputeScores) {
-      // The asynchronous per-worker view starts from the global snapshot.
-      swc->projected_loads = swc->global_loads;
+      // Eq. 8's load penalty is vertex-independent: one table per load
+      // view, not one division per (vertex, label).
+      swc->global_penalty.assign(static_cast<size_t>(k_parts), 0.0);
+      lpa::FillPenalties(swc->global_loads, swc->capacities,
+                         swc->global_penalty);
+      if (config_.per_worker_async) {
+        // The asynchronous per-worker view starts from the global
+        // snapshot; ComputeScoresPhase diverges it move by move.
+        swc->projected_loads = swc->global_loads;
+        swc->async_penalty = swc->global_penalty;
+      }
     } else {
       swc->migration_counts =
           api.Aggregated<pregel::VectorSumAggregator>(kMigrationsAgg)
               ->values();
+      swc->migrate_p.assign(static_cast<size_t>(k_parts), 0.0);
+      lpa::FillMigrationProbabilities(swc->global_loads, swc->capacities,
+                                      swc->migration_counts, swc->migrate_p);
     }
   }
 }
@@ -241,23 +253,24 @@ void SpinnerProgram::ComputeScoresPhase(SpinnerHandle& vertex,
   }
 
   const PartitionId current = value.label;
-  const double deg = static_cast<double>(value.weighted_degree);
-  const std::vector<int64_t>& penalty_loads =
-      config_.per_worker_async ? wc->projected_loads : wc->global_loads;
+  const double inv_deg = 1.0 / static_cast<double>(value.weighted_degree);
+  const std::vector<double>& penalty =
+      config_.per_worker_async ? wc->async_penalty : wc->global_penalty;
 
   // Normalized score with load penalty (Eq. 8); candidate labels are the
   // neighborhood's labels plus the current one. Tie breaking is the
-  // deterministic reservoir draw shared with the sharded path.
-  const lpa::LabelChoice choice = lpa::PickLabel(
-      wc->freq, wc->touched, current, deg, wc->capacities, penalty_loads,
+  // deterministic order-independent draw shared with the sharded path.
+  const double current_score =
+      lpa::Score(wc->freq[current], inv_deg, penalty[current]);
+  const lpa::LabelChoice choice = lpa::PickLabelSparse(
+      wc->freq, wc->touched, current, current_score, inv_deg, penalty,
       config_.seed, vertex.superstep(), vertex.id());
 
   // (iii)+(iv) Aggregate the global score contribution and flag candidacy.
   // The score uses the beginning-of-superstep global loads so that the
   // halting signal is independent of worker count.
-  wc->score_partial->Add(lpa::ScoreTerm(wc->freq[current], deg,
-                                        wc->global_loads[current],
-                                        wc->capacities[current]));
+  wc->score_partial->Add(
+      lpa::Score(wc->freq[current], inv_deg, wc->global_penalty[current]));
   wc->local_weight_partial->Add(wc->freq[current]);
 
   if (choice.better) {
@@ -269,6 +282,14 @@ void SpinnerProgram::ComputeScoresPhase(SpinnerHandle& vertex,
       // §IV.A.4: later vertices on this worker see the would-be move.
       wc->projected_loads[choice.label] += units;
       wc->projected_loads[current] -= units;
+      // Same expression as lpa::FillPenalties, on the moved view.
+      for (const PartitionId l : {choice.label, current}) {
+        wc->async_penalty[l] =
+            wc->capacities[l] > 0
+                ? static_cast<double>(wc->projected_loads[l]) /
+                      wc->capacities[l]
+                : 0.0;
+      }
     }
   }
 
@@ -284,15 +305,10 @@ void SpinnerProgram::ComputeMigrationsPhase(SpinnerHandle& vertex,
   value.is_candidate = false;
 
   const auto target = static_cast<size_t>(value.candidate);
-  // Remaining capacity r(l) = C_l − b(l) (Eq. 12) with b(l) from the start
-  // of the iteration; m(l) aggregated during ComputeScores (Eq. 13).
-  const double remaining =
-      wc->capacities[target] -
-      static_cast<double>(wc->global_loads[target]);
-  const double wanting = static_cast<double>(wc->migration_counts[target]);
-  const double p = lpa::MigrationProbability(remaining, wanting);  // Eq. 14
+  // Eq. 12–14 with b(l) frozen at the start of the iteration, as a lookup
+  // into the table PreSuperstep prepared.
   if (!lpa::MigrationCoinAccepts(config_.seed, vertex.id(),
-                                 vertex.superstep(), p)) {
+                                 vertex.superstep(), wc->migrate_p[target])) {
     return;  // migration deferred
   }
 

@@ -51,6 +51,14 @@ class SpinnerWorkerContext : public pregel::WorkerContextBase {
   std::vector<int64_t> projected_loads;
   /// Migration counters m(l) (ComputeMigrations supersteps only).
   std::vector<int64_t> migration_counts;
+  /// Per-label load penalties of Eq. 8 (lpa::FillPenalties), hoisted out
+  /// of the vertex loop: the frozen-global table, and the asynchronous
+  /// view's table maintained incrementally with projected_loads.
+  std::vector<double> global_penalty;
+  std::vector<double> async_penalty;
+  /// Per-label migration probabilities (Eq. 12–14,
+  /// lpa::FillMigrationProbabilities; ComputeMigrations supersteps only).
+  std::vector<double> migrate_p;
 
   /// Scratch: per-label neighbor weight frequencies + touched-label list,
   /// reset in O(labels touched) between vertices.

@@ -7,15 +7,76 @@
 
 namespace spinner {
 
-int64_t ShardInitialize(const SpinnerConfig& config,
-                        ShardedGraphStore::Shard* shard,
-                        std::span<PartitionId> labels,
-                        std::span<const PartitionId> initial_labels,
-                        VertexId index_base) {
+namespace {
+
+constexpr int64_t kBlock = ShardedGraphStore::kBlockSize;
+
+/// Arc count of the owned-vertex range [begin, end) of `shard`.
+int64_t RangeArcs(const ShardedGraphStore::Shard& shard, VertexId begin,
+                  VertexId end) {
+  return shard.offsets[end - shard.begin] - shard.offsets[begin - shard.begin];
+}
+
+}  // namespace
+
+void ShardScratch::Prepare(int num_partitions) {
+  const auto k = static_cast<size_t>(num_partitions);
+  freq.assign(k, 0);
+  touched.clear();
+  touched.reserve(k);
+  projected.assign(k, 0);
+  penalty.assign(k, 0.0);
+  async_dirty.clear();
+  async_dirty.reserve(2 * static_cast<size_t>(kBlock));
+  projected_base.assign(k, 0);
+  capacity.assign(k, 0.0);
+  penalty_base.assign(k, 0.0);
+  score_buf.assign(k, 0.0);
+  migrate_p.assign(k, 0.0);
+  migrations.assign(k, 0);
+  load_delta.assign(k, 0);
+  local_weight = 0;
+  migrated = 0;
+  messages = 0;
+}
+
+void PrepareScoresScratch(const SpinnerConfig& config,
+                          const std::vector<int64_t>& global_loads,
+                          const std::vector<double>& capacities,
+                          ShardScratch* scratch) {
+  ShardScratch& sc = *scratch;
+  lpa::FillPenalties(global_loads, capacities, sc.penalty_base);
+  // The scan-time view starts at the frozen snapshot; with the §IV.A.4
+  // asynchronous optimization on, BlocksComputeScores diverges it within a
+  // block and restores it at the boundary.
+  sc.penalty = sc.penalty_base;
+  if (config.per_worker_async) {
+    sc.projected_base = global_loads;
+    sc.projected = global_loads;
+    sc.capacity.assign(capacities.begin(), capacities.end());
+    sc.async_dirty.clear();
+  }
+}
+
+void PrepareMigrateScratch(const SpinnerConfig& config,
+                           const std::vector<int64_t>& global_loads,
+                           const std::vector<double>& capacities,
+                           const std::vector<int64_t>& migration_counts,
+                           ShardScratch* scratch) {
+  (void)config;
+  lpa::FillMigrationProbabilities(global_loads, capacities, migration_counts,
+                                  scratch->migrate_p);
+}
+
+void BlocksInitialize(const SpinnerConfig& config,
+                      const ShardedGraphStore::Shard& shard, VertexId begin,
+                      VertexId end, std::span<PartitionId> labels,
+                      std::span<const PartitionId> initial_labels,
+                      ShardScratch* scratch, VertexId index_base) {
   const int k = config.num_partitions;
-  shard->loads.assign(static_cast<size_t>(k), 0);
+  ShardScratch& sc = *scratch;
   const auto initial_size = static_cast<int64_t>(initial_labels.size());
-  for (VertexId v = shard->begin; v < shard->end; ++v) {
+  for (VertexId v = begin; v < end; ++v) {
     const VertexId local = v - index_base;
     PartitionId label =
         local < initial_size ? initial_labels[local] : kNoPartition;
@@ -24,38 +85,31 @@ int64_t ShardInitialize(const SpinnerConfig& config,
     }
     SPINNER_DCHECK(label >= 0 && label < k);
     labels[local] = label;
-    shard->loads[label] += LoadUnitsOf(config, shard->WeightedDegreeOf(v));
+    sc.load_delta[label] += LoadUnitsOf(config, shard.WeightedDegreeOf(v));
   }
   // Every vertex advertises its initial label along its edges.
-  return shard->NumArcs();
+  sc.messages += RangeArcs(shard, begin, end);
 }
 
-void ShardComputeScores(const SpinnerConfig& config,
-                        const ShardedGraphStore::Shard& shard,
-                        std::span<const PartitionId> labels,
-                        const std::vector<int64_t>& global_loads,
-                        const std::vector<double>& capacities,
-                        int64_t superstep, std::span<PartitionId> candidate,
-                        std::span<double> block_score,
-                        ShardScratch* scratch, VertexId index_base) {
-  constexpr int64_t kBlock = ShardedGraphStore::kBlockSize;
+void BlocksComputeScores(const SpinnerConfig& config,
+                         const ShardedGraphStore::Shard& shard,
+                         VertexId begin, VertexId end,
+                         std::span<const PartitionId> labels,
+                         int64_t superstep, std::span<PartitionId> candidate,
+                         std::span<double> block_score,
+                         std::span<int32_t> block_candidates,
+                         ShardScratch* scratch, VertexId index_base) {
   SPINNER_DCHECK(index_base % kBlock == 0)
       << "index_base must be block-aligned for block_score indexing";
+  // Only the SPINNER_SIMD dense/sparse cutover reads k.
+  [[maybe_unused]] const int k = config.num_partitions;
   ShardScratch& sc = *scratch;
-  sc.local_weight = 0;
-  sc.messages = 0;
-  std::fill(sc.migrations.begin(), sc.migrations.end(), 0);
-  for (VertexId block_begin = shard.begin; block_begin < shard.end;
+  const PartitionId* labels_p = labels.data();
+  for (VertexId block_begin = begin; block_begin < end;
        block_begin += kBlock) {
-    const VertexId block_end =
-        std::min<VertexId>(block_begin + kBlock, shard.end);
+    const VertexId block_end = std::min<VertexId>(block_begin + kBlock, end);
     double score_sum = 0.0;
-    // The asynchronous view resets to the frozen global snapshot at
-    // every block boundary: blocks are independent of S, so the
-    // penalty each vertex sees is too.
-    if (config.per_worker_async) sc.projected = global_loads;
-    const std::vector<int64_t>& penalty =
-        config.per_worker_async ? sc.projected : global_loads;
+    int32_t candidates_in_block = 0;
     for (VertexId v = block_begin; v < block_end; ++v) {
       const VertexId local = v - index_base;
       const int64_t deg_w = shard.WeightedDegreeOf(v);
@@ -67,40 +121,162 @@ void ShardComputeScores(const SpinnerConfig& config,
       // reading neighbor labels from the previous-superstep array.
       const auto neighbors = shard.Neighbors(v);
       const auto weights = shard.WeightsOf(v);
-      for (size_t j = 0; j < neighbors.size(); ++j) {
-        const PartitionId l = labels[neighbors[j]];
-        SPINNER_DCHECK(l >= 0) << "neighbor label not initialized";
-        if (sc.freq[l] == 0) sc.touched.push_back(l);
-        sc.freq[l] += weights[j];
+      const PartitionId current = labels_p[local];
+      const double inv_deg = shard.InvWeightedDegreeOf(v);
+      lpa::LabelChoice choice;
+      int64_t freq_current = 0;
+#if defined(SPINNER_SIMD)
+      // Hubs whose neighborhood rivals k in size take the dense scan:
+      // branch-free frequency accumulation, then a SIMD masked max over
+      // all k labels (bit-identical to the sparse scan — lpa_kernel.h).
+      const bool dense = 2 * static_cast<int64_t>(neighbors.size()) >=
+                         static_cast<int64_t>(k);
+#else
+      constexpr bool dense = false;
+#endif
+      if (dense) {
+        for (size_t j = 0; j < neighbors.size(); ++j) {
+          SPINNER_DCHECK(labels_p[neighbors[j]] >= 0)
+              << "neighbor label not initialized";
+          sc.freq[labels_p[neighbors[j]]] += weights[j];
+        }
+        freq_current = sc.freq[current];
+        const double current_score =
+            lpa::Score(freq_current, inv_deg, sc.penalty[current]);
+        choice = lpa::PickLabelDense(sc.freq, current, current_score,
+                                     inv_deg, sc.penalty, sc.score_buf,
+                                     config.seed, superstep, v);
+        std::fill(sc.freq.begin(), sc.freq.end(), 0);
+      } else {
+        for (size_t j = 0; j < neighbors.size(); ++j) {
+          const PartitionId l = labels_p[neighbors[j]];
+          SPINNER_DCHECK(l >= 0) << "neighbor label not initialized";
+          if (sc.freq[l] == 0) sc.touched.push_back(l);
+          sc.freq[l] += weights[j];
+        }
+        freq_current = sc.freq[current];
+        const double current_score =
+            lpa::Score(freq_current, inv_deg, sc.penalty[current]);
+        choice = lpa::PickLabelSparse(sc.freq, sc.touched, current,
+                                      current_score, inv_deg, sc.penalty,
+                                      config.seed, superstep, v);
+        for (const PartitionId l : sc.touched) sc.freq[l] = 0;
+        sc.touched.clear();
       }
-      const PartitionId current = labels[local];
-      const double deg = static_cast<double>(deg_w);
-      const lpa::LabelChoice choice =
-          lpa::PickLabel(sc.freq, sc.touched, current, deg, capacities,
-                         penalty, config.seed, superstep, v);
-      // The global score uses the frozen global loads so the halting
-      // signal is independent of shard count.
-      score_sum += lpa::ScoreTerm(sc.freq[current], deg,
-                                  global_loads[current],
-                                  capacities[current]);
-      sc.local_weight += sc.freq[current];
+      // The global score uses the frozen global snapshot so the halting
+      // signal is independent of the async view.
+      score_sum +=
+          lpa::Score(freq_current, inv_deg, sc.penalty_base[current]);
+      sc.local_weight += freq_current;
       if (choice.better) {
         candidate[local] = choice.label;
+        ++candidates_in_block;
         const int64_t units = LoadUnitsOf(config, deg_w);
         sc.migrations[choice.label] += units;
         if (config.per_worker_async) {
           // Later vertices in this block see the would-be move.
           sc.projected[choice.label] += units;
           sc.projected[current] -= units;
+          // Same expression as lpa::FillPenalties, on the moved view.
+          for (const PartitionId l : {choice.label, current}) {
+            sc.penalty[l] =
+                sc.capacity[l] > 0
+                    ? static_cast<double>(sc.projected[l]) / sc.capacity[l]
+                    : 0.0;
+            sc.async_dirty.push_back(l);
+          }
         }
       } else {
         candidate[local] = kNoPartition;
       }
-      for (const PartitionId l : sc.touched) sc.freq[l] = 0;
-      sc.touched.clear();
     }
-    block_score[(block_begin - index_base) / kBlock] = score_sum;
+    if (config.per_worker_async && !sc.async_dirty.empty()) {
+      // Restore the asynchronous view to the frozen snapshot: blocks are
+      // independent of the shard count, so the penalty each vertex sees
+      // is too.
+      for (const PartitionId l : sc.async_dirty) {
+        sc.projected[l] = sc.projected_base[l];
+        sc.penalty[l] = sc.penalty_base[l];
+      }
+      sc.async_dirty.clear();
+    }
+    const int64_t block_index = (block_begin - index_base) / kBlock;
+    block_score[block_index] = score_sum;
+    block_candidates[block_index] = candidates_in_block;
   }
+}
+
+void BlocksComputeMigrations(const SpinnerConfig& config,
+                             const ShardedGraphStore::Shard& shard,
+                             VertexId begin, VertexId end,
+                             std::span<PartitionId> labels, int64_t superstep,
+                             std::span<const PartitionId> candidate,
+                             std::span<const int32_t> block_candidates,
+                             std::vector<LabelDelta>* moves,
+                             ShardScratch* scratch, VertexId index_base) {
+  SPINNER_DCHECK(index_base % kBlock == 0)
+      << "index_base must be block-aligned for block_candidates indexing";
+  ShardScratch& sc = *scratch;
+  for (VertexId block_begin = begin; block_begin < end;
+       block_begin += kBlock) {
+    const VertexId block_end = std::min<VertexId>(block_begin + kBlock, end);
+    // ComputeScores counted this block's candidates: settled blocks cost
+    // one array read, not kBlockSize branchy vertex visits.
+    if (block_candidates[(block_begin - index_base) / kBlock] == 0) continue;
+    for (VertexId v = block_begin; v < block_end; ++v) {
+      const VertexId local = v - index_base;
+      const PartitionId target = candidate[local];
+      if (target == kNoPartition) continue;
+      // Eq. 12–14 with b(l) frozen at the start of the iteration, as a
+      // lookup into the prepared per-label table. The coin hash only runs
+      // for 0 < p < 1: HashUniformDouble is in [0, 1), so p <= 0 always
+      // defers and p >= 1 always accepts.
+      const double p = sc.migrate_p[target];
+      if (p <= 0.0) continue;  // migration deferred
+      if (p < 1.0 &&
+          !lpa::MigrationCoinAccepts(config.seed, v, superstep, p)) {
+        continue;  // migration deferred
+      }
+      const PartitionId old_label = labels[local];
+      const int64_t units = LoadUnitsOf(config, shard.WeightedDegreeOf(v));
+      labels[local] = target;
+      sc.load_delta[target] += units;
+      sc.load_delta[old_label] -= units;
+      ++sc.migrated;
+      sc.messages += shard.OutDegree(v);  // label update to neighbors
+      if (moves != nullptr) moves->push_back(LabelDelta{v, target});
+    }
+  }
+}
+
+int64_t ShardInitialize(const SpinnerConfig& config,
+                        ShardedGraphStore::Shard* shard,
+                        std::span<PartitionId> labels,
+                        std::span<const PartitionId> initial_labels,
+                        VertexId index_base) {
+  const int k = config.num_partitions;
+  ShardScratch scratch;
+  scratch.Prepare(k);
+  BlocksInitialize(config, *shard, shard->begin, shard->end, labels,
+                   initial_labels, &scratch, index_base);
+  shard->loads = std::move(scratch.load_delta);
+  return scratch.messages;
+}
+
+void ShardComputeScores(const SpinnerConfig& config,
+                        const ShardedGraphStore::Shard& shard,
+                        std::span<const PartitionId> labels,
+                        const std::vector<int64_t>& global_loads,
+                        const std::vector<double>& capacities,
+                        int64_t superstep, std::span<PartitionId> candidate,
+                        std::span<double> block_score,
+                        std::span<int32_t> block_candidates,
+                        ShardScratch* scratch, VertexId index_base) {
+  PrepareScoresScratch(config, global_loads, capacities, scratch);
+  scratch->ResetScores();
+  BlocksComputeScores(config, shard, shard.begin, shard.end, labels,
+                      superstep, candidate, block_score, block_candidates,
+                      scratch, index_base);
 }
 
 void ShardComputeMigrations(const SpinnerConfig& config,
@@ -111,31 +287,17 @@ void ShardComputeMigrations(const SpinnerConfig& config,
                             const std::vector<int64_t>& migration_counts,
                             int64_t superstep,
                             std::span<const PartitionId> candidate,
+                            std::span<const int32_t> block_candidates,
                             std::vector<LabelDelta>* moves,
                             ShardScratch* scratch, VertexId index_base) {
-  ShardScratch& sc = *scratch;
-  sc.migrated = 0;
-  sc.messages = 0;
-  for (VertexId v = shard->begin; v < shard->end; ++v) {
-    const VertexId local = v - index_base;
-    const PartitionId target = candidate[local];
-    if (target == kNoPartition) continue;
-    // Eq. 12–14 with b(l) frozen at the start of the iteration.
-    const double remaining =
-        capacities[target] - static_cast<double>(global_loads[target]);
-    const double wanting = static_cast<double>(migration_counts[target]);
-    const double p = lpa::MigrationProbability(remaining, wanting);
-    if (!lpa::MigrationCoinAccepts(config.seed, v, superstep, p)) {
-      continue;  // migration deferred
-    }
-    const PartitionId old_label = labels[local];
-    const int64_t units = LoadUnitsOf(config, shard->WeightedDegreeOf(v));
-    labels[local] = target;
-    shard->loads[target] += units;
-    shard->loads[old_label] -= units;
-    ++sc.migrated;
-    sc.messages += shard->OutDegree(v);  // label update to neighbors
-    if (moves != nullptr) moves->push_back(LabelDelta{v, target});
+  PrepareMigrateScratch(config, global_loads, capacities, migration_counts,
+                        scratch);
+  scratch->ResetDelta();
+  BlocksComputeMigrations(config, *shard, shard->begin, shard->end, labels,
+                          superstep, candidate, block_candidates, moves,
+                          scratch, index_base);
+  for (int l = 0; l < config.num_partitions; ++l) {
+    shard->loads[l] += scratch->load_delta[l];
   }
 }
 

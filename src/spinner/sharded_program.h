@@ -1,8 +1,10 @@
 // The shard-parallel execution of Spinner's iteration loop: the same
 // superstep phases as SpinnerProgram (Initialize ─► ComputeScores ─►
 // ComputeMigrations, §IV.A.2–4), run directly over a ShardedGraphStore on
-// a ThreadPool instead of through the Pregel engine. One task per shard
-// executes each superstep; between supersteps the driver merges per-shard
+// a ThreadPool instead of through the Pregel engine. Each phase is dealt
+// out block-by-block through a work-stealing scheduler
+// (spinner/steal_schedule.h), so skewed shards never serialize a
+// superstep; between supersteps the driver merges per-shard
 // partition-load deltas and migration counters in fixed shard order and
 // evaluates the master logic (halting §III.C, observer callbacks).
 //
@@ -71,6 +73,21 @@ struct WireTraffic {
   std::vector<int64_t> per_superstep_bytes;
 };
 
+/// Claim accounting of the in-process work-stealing scheduler
+/// (spinner/steal_schedule.h): every superstep phase is dealt out as
+/// kBlockSize vertex blocks, and blocks a worker claimed from a shard it
+/// does not primarily own count as stolen. All zeros for backends that
+/// schedule differently (the cross-process coordinator). Observability
+/// only — the schedule never affects results.
+struct ScheduleStats {
+  /// Blocks claimed across all phases of the run.
+  int64_t tasks = 0;
+  /// Blocks claimed by a non-primary worker (load balancing in action).
+  int64_t stolen_tasks = 0;
+  /// Scheduled phases (Initialize + two per LPA iteration).
+  int64_t phases = 0;
+};
+
 /// Outcome of a sharded run; the final assignment lives in the store's
 /// label array.
 struct ShardedRunResult {
@@ -87,6 +104,9 @@ struct ShardedRunResult {
   pregel::RunStats run_stats;
   /// Wire traffic of message-passing backends (zeros in-process).
   WireTraffic wire;
+  /// Work-stealing claim counters of the in-process backend (zeros for
+  /// backends with their own scheduling).
+  ScheduleStats schedule;
 };
 
 /// The shard count a run should use: config.num_shards when set, else
@@ -96,7 +116,10 @@ struct ShardedRunResult {
 int ResolveNumShards(const SpinnerConfig& config, int64_t num_vertices);
 
 /// The OS-thread count a run should use: config.num_threads when set, else
-/// min(num_shards, hardware concurrency). Never affects results.
+/// the hardware concurrency (capped by the graph's block count through
+/// `num_shards`-independent stealing — more threads than shards is useful
+/// now that workers steal blocks, so the shard count no longer caps the
+/// thread count). Never affects results.
 int ResolveNumThreads(const SpinnerConfig& config, int num_shards);
 
 /// Runs Spinner label propagation shard-parallel over `store` on `pool`.

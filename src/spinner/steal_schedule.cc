@@ -1,0 +1,71 @@
+#include "spinner/steal_schedule.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spinner {
+
+void StealSchedule::ResetPhase(std::span<const int64_t> blocks_per_shard,
+                               int num_workers) {
+  SPINNER_DCHECK(num_workers >= 1);
+  if (cursors_.size() != blocks_per_shard.size()) {
+    cursors_ = std::vector<Cursor>(blocks_per_shard.size());
+  }
+  limits_.assign(blocks_per_shard.begin(), blocks_per_shard.end());
+  for (Cursor& c : cursors_) c.next.store(0, std::memory_order_relaxed);
+  num_workers_ = num_workers;
+}
+
+int64_t StealSchedule::TryClaim(int s) {
+  // The cursor may overshoot limits_[s] by one per losing contender; only
+  // claims below the limit are real. Overshoot is bounded by the worker
+  // count and never wraps within a phase.
+  if (cursors_[s].next.load(std::memory_order_relaxed) >= limits_[s]) {
+    return -1;
+  }
+  const int64_t block = cursors_[s].next.fetch_add(1, std::memory_order_relaxed);
+  return block < limits_[s] ? block : -1;
+}
+
+bool StealSchedule::Claim(int worker, int* shard, int64_t* block,
+                          bool* stolen) {
+  const int num_shards = static_cast<int>(limits_.size());
+  // Own shards first, in fixed order.
+  for (int s = worker; s < num_shards; s += num_workers_) {
+    const int64_t b = TryClaim(s);
+    if (b >= 0) {
+      *shard = s;
+      *block = b;
+      *stolen = false;
+      tasks_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  // Steal from the shard with the most unclaimed blocks, retrying while
+  // racing claimants drain the snapshot underneath us.
+  while (true) {
+    int victim = -1;
+    int64_t victim_remaining = 0;
+    for (int s = 0; s < num_shards; ++s) {
+      const int64_t taken = std::min(
+          cursors_[s].next.load(std::memory_order_relaxed), limits_[s]);
+      const int64_t remaining = limits_[s] - taken;
+      if (remaining > victim_remaining) {
+        victim = s;
+        victim_remaining = remaining;
+      }
+    }
+    if (victim < 0) return false;  // every block claimed
+    const int64_t b = TryClaim(victim);
+    if (b < 0) continue;  // lost the race; re-scan
+    *shard = victim;
+    *block = b;
+    *stolen = victim % num_workers_ != worker;
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+    if (*stolen) stolen_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+}
+
+}  // namespace spinner

@@ -1,0 +1,70 @@
+// StealSchedule: the block-granular work-stealing scheduler behind the
+// in-process superstep backend. Each phase exposes every shard as a run of
+// kBlockSize vertex blocks; worker w drains the shards it primarily owns
+// (s % num_workers == w), then steals blocks from the shard with the most
+// left. Skewed shards therefore no longer serialize a superstep: the
+// moment any worker runs dry it helps on the heaviest remainder.
+//
+// The scheduler is free to hand blocks out in any racy order — results
+// stay bit-identical anyway, because the phase bodies write only
+// block-owned state (spinner/shard_superstep.h), per-shard mutable state
+// is merged by order-free integer sums, and float reductions happen in
+// fixed block order from the shared per-block arrays. Determinism lives
+// in the data layout, not the schedule.
+#ifndef SPINNER_SPINNER_STEAL_SCHEDULE_H_
+#define SPINNER_SPINNER_STEAL_SCHEDULE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace spinner {
+
+class StealSchedule {
+ public:
+  /// Lifetime claim counters, for observability and the stealing-occurs
+  /// tests: `tasks` counts every claimed block, `stolen` the ones claimed
+  /// by a non-primary worker.
+  struct Stats {
+    int64_t tasks = 0;
+    int64_t stolen = 0;
+  };
+
+  /// Arms one phase: shard s offers blocks_per_shard[s] blocks (indices
+  /// [0, blocks_per_shard[s])) to `num_workers` ≥ 1 workers. Claim
+  /// counters are NOT reset — they accumulate across phases.
+  void ResetPhase(std::span<const int64_t> blocks_per_shard, int num_workers);
+
+  /// Claims one block for `worker`: own shards first, then the shard with
+  /// the most unclaimed blocks. Returns false when every block of the
+  /// phase has been claimed; otherwise sets *shard, *block (the block's
+  /// index within the shard) and *stolen (claimed from a non-owned
+  /// shard). Thread-safe; any number of workers may claim concurrently.
+  bool Claim(int worker, int* shard, int64_t* block, bool* stolen);
+
+  Stats stats() const {
+    return Stats{tasks_.load(std::memory_order_relaxed),
+                 stolen_.load(std::memory_order_relaxed)};
+  }
+
+ private:
+  /// One shard's claim cursor, cache-line-isolated so claims on different
+  /// shards never false-share.
+  struct alignas(64) Cursor {
+    std::atomic<int64_t> next{0};
+  };
+
+  /// fetch_add-claims a block of shard s; -1 when the shard is drained.
+  int64_t TryClaim(int s);
+
+  std::vector<Cursor> cursors_;
+  std::vector<int64_t> limits_;
+  int num_workers_ = 1;
+  std::atomic<int64_t> tasks_{0};
+  std::atomic<int64_t> stolen_{0};
+};
+
+}  // namespace spinner
+
+#endif  // SPINNER_SPINNER_STEAL_SCHEDULE_H_

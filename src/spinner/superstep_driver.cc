@@ -193,6 +193,7 @@ Result<ShardedRunResult> DriveSpinnerSupersteps(
 
   stats.total_wall_seconds = total_timer.ElapsedSeconds();
   backend->CollectWireTraffic(&out.wire);
+  backend->CollectScheduleStats(&out.schedule);
   return out;
 }
 

@@ -77,6 +77,11 @@ class SuperstepBackend {
   /// backends leave the zeros.
   virtual void CollectWireTraffic(WireTraffic* out) { (void)out; }
 
+  /// Called once by the driver after the superstep loop: the backend
+  /// reports its scheduler claim counters (ScheduleStats contract).
+  /// Backends without block-granular scheduling leave the zeros.
+  virtual void CollectScheduleStats(ScheduleStats* out) { (void)out; }
+
   /// Superstep 0: initialize labels and loads from `initial_labels`
   /// (ShardInitialize contract).
   virtual Status Initialize(const std::vector<PartitionId>& initial_labels,

@@ -1,0 +1,146 @@
+// The LPA kernel's two label scans must be interchangeable per vertex:
+// PickLabelSparse (touched-list walk, the scalar reference) and
+// PickLabelDense (all-k masked SIMD max) score the same candidate set with
+// the same expressions and an order-independent tie break, so they must
+// agree bit-for-bit on every input — including exact-score ties and any
+// permutation of the touched list. The table-fill helpers must match the
+// direct per-label computation exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/types.h"
+#include "spinner/lpa_kernel.h"
+
+namespace spinner {
+namespace {
+
+struct KernelInput {
+  std::vector<int64_t> freq;
+  std::vector<PartitionId> touched;  // labels with freq > 0
+  PartitionId current = 0;
+  double inv_degree = 0.0;
+  std::vector<double> penalty;
+};
+
+KernelInput RandomInput(std::mt19937_64& rng, int k, bool force_ties) {
+  KernelInput in;
+  in.freq.assign(static_cast<size_t>(k), 0);
+  in.penalty.assign(static_cast<size_t>(k), 0.0);
+  std::uniform_int_distribution<int> label_dist(0, k - 1);
+  std::uniform_int_distribution<int64_t> weight_dist(1, 5);
+  const int touched_count = 1 + static_cast<int>(rng() % k);
+  for (int i = 0; i < touched_count; ++i) {
+    const PartitionId l = label_dist(rng);
+    if (in.freq[l] == 0) in.touched.push_back(l);
+    in.freq[l] += weight_dist(rng);
+  }
+  if (force_ties) {
+    // Equal frequencies + zero penalties make every touched label an
+    // exact-score tie, exercising the TieKey resolution path.
+    for (const PartitionId l : in.touched) in.freq[l] = 3;
+  } else {
+    std::uniform_real_distribution<double> pen_dist(0.0, 0.5);
+    for (int l = 0; l < k; ++l) in.penalty[l] = pen_dist(rng);
+  }
+  int64_t deg = 0;
+  for (const int64_t f : in.freq) deg += f;
+  in.inv_degree = 1.0 / static_cast<double>(deg);
+  // current may or may not appear in the neighborhood.
+  in.current = label_dist(rng);
+  return in;
+}
+
+TEST(LpaKernelTest, SparseAndDenseScansAgreeOnRandomInputs) {
+  std::mt19937_64 rng(1234);
+  for (const bool force_ties : {false, true}) {
+    for (int trial = 0; trial < 2000; ++trial) {
+      const int k = 2 + static_cast<int>(rng() % 15);
+      const KernelInput in = RandomInput(rng, k, force_ties);
+      const uint64_t seed = rng();
+      const int64_t superstep = 1 + static_cast<int64_t>(rng() % 9);
+      const VertexId v = static_cast<VertexId>(rng() % 100000);
+      const double current_score = lpa::Score(
+          in.freq[in.current], in.inv_degree, in.penalty[in.current]);
+
+      const lpa::LabelChoice sparse = lpa::PickLabelSparse(
+          in.freq, in.touched, in.current, current_score, in.inv_degree,
+          in.penalty, seed, superstep, v);
+      std::vector<double> score_buf(static_cast<size_t>(k), 0.0);
+      const lpa::LabelChoice dense = lpa::PickLabelDense(
+          in.freq, in.current, current_score, in.inv_degree, in.penalty,
+          score_buf, seed, superstep, v);
+
+      ASSERT_EQ(sparse.better, dense.better)
+          << "k=" << k << " trial=" << trial << " ties=" << force_ties;
+      ASSERT_EQ(sparse.label, dense.label)
+          << "k=" << k << " trial=" << trial << " ties=" << force_ties;
+    }
+  }
+}
+
+TEST(LpaKernelTest, SparseScanIsTouchedOrderIndependent) {
+  std::mt19937_64 rng(77);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int k = 3 + static_cast<int>(rng() % 12);
+    KernelInput in = RandomInput(rng, k, trial % 2 == 0);
+    const uint64_t seed = rng();
+    const VertexId v = static_cast<VertexId>(trial);
+    const double current_score = lpa::Score(in.freq[in.current],
+                                            in.inv_degree,
+                                            in.penalty[in.current]);
+    const lpa::LabelChoice reference = lpa::PickLabelSparse(
+        in.freq, in.touched, in.current, current_score, in.inv_degree,
+        in.penalty, seed, /*superstep=*/3, v);
+    for (int shuffle = 0; shuffle < 5; ++shuffle) {
+      std::shuffle(in.touched.begin(), in.touched.end(), rng);
+      const lpa::LabelChoice got = lpa::PickLabelSparse(
+          in.freq, in.touched, in.current, current_score, in.inv_degree,
+          in.penalty, seed, /*superstep=*/3, v);
+      ASSERT_EQ(got.better, reference.better);
+      ASSERT_EQ(got.label, reference.label);
+    }
+  }
+}
+
+TEST(LpaKernelTest, FillPenaltiesMatchesDirectComputation) {
+  const std::vector<int64_t> loads = {10, 0, 7, 123456789, 3};
+  const std::vector<double> capacities = {100.0, 50.0, 0.0, 1e9, -1.0};
+  std::vector<double> penalty(loads.size(), -1.0);
+  lpa::FillPenalties(loads, capacities, penalty);
+  for (size_t l = 0; l < loads.size(); ++l) {
+    const double want =
+        capacities[l] > 0
+            ? static_cast<double>(loads[l]) / capacities[l]
+            : 0.0;
+    EXPECT_EQ(penalty[l], want) << "l=" << l;
+  }
+}
+
+TEST(LpaKernelTest, FillMigrationProbabilitiesMatchesDirectComputation) {
+  const std::vector<int64_t> loads = {10, 90, 100, 7};
+  const std::vector<double> capacities = {100.0, 100.0, 100.0, 0.0};
+  const std::vector<int64_t> wanting = {45, 20, 5, 9};
+  std::vector<double> p(loads.size(), -1.0);
+  lpa::FillMigrationProbabilities(loads, capacities, wanting, p);
+  for (size_t l = 0; l < loads.size(); ++l) {
+    const double want = lpa::MigrationProbability(
+        capacities[l] - static_cast<double>(loads[l]),
+        static_cast<double>(wanting[l]));
+    EXPECT_EQ(p[l], want) << "l=" << l;
+  }
+}
+
+TEST(LpaKernelTest, ScoreHoistsTheDivisionWithoutChangingEq8) {
+  // Score(freq, 1/deg, load/cap) is Eq. 8 with both divisions hoisted;
+  // spot-check against the longhand form on benign values where the
+  // reassociation is exact.
+  EXPECT_EQ(lpa::Score(4, 1.0 / 8.0, 0.25), 4.0 / 8.0 - 0.25);
+  EXPECT_EQ(lpa::Score(0, 1.0 / 2.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace spinner

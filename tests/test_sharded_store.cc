@@ -4,6 +4,9 @@
 // shard/thread count.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
 #include <vector>
 
 #include "common/threadpool.h"
@@ -226,8 +229,12 @@ TEST(ShardedSpinnerTest, ResolveHelpersHonorExplicitConfig) {
   config.num_threads = 0;
   config.num_workers = 5;  // legacy knob maps to the shard count
   EXPECT_EQ(ResolveNumShards(config, 100000), 5);
+  // Block stealing decouples threads from shards: the default is the
+  // hardware concurrency even when it exceeds the shard count.
   EXPECT_GE(ResolveNumThreads(config, 5), 1);
-  EXPECT_LE(ResolveNumThreads(config, 5), 5);
+  EXPECT_EQ(ResolveNumThreads(config, 5),
+            static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency())));
 
   config.num_workers = 0;
   // Tiny graphs never get more shards than blocks.
