@@ -33,6 +33,16 @@
 # run — twice, so the second run exercises the Assign/Resume
 # zero-download restart path against the populated stores.
 #
+# Chaos mode (one ASan Release configuration):
+#   ./ci.sh --mode=chaos
+# Builds RelWithDebInfo with AddressSanitizer, runs the failure-recovery
+# and fault-injection tests, then the failover smoke: a coordinator with
+# recovery armed drives 3 dial-in workers, one of which kills itself
+# mid-superstep (`worker --fail-after-scores`), under a benign
+# SPINNER_FAULT_PLAN of frame delays — the run must survive the failover
+# and stay byte-identical to the in-process assignment (delays and
+# recovery preserve bytes by construction; docs/DISTRIBUTED.md).
+#
 # SIMD-parity mode (two Release configurations):
 #   ./ci.sh --mode=simd-parity
 # Builds Release with SPINNER_SIMD=ON (the default) and =OFF, runs the
@@ -57,10 +67,11 @@ for arg in "$@"; do
     --mode=multiprocess) MODE="multiprocess" ;;
     --mode=wire-stress) MODE="wire-stress" ;;
     --mode=tcp) MODE="tcp" ;;
+    --mode=chaos) MODE="chaos" ;;
     --mode=simd-parity) MODE="simd-parity" ;;
     --mode=*)
       echo "ci.sh: unknown mode '${arg#--mode=}'" \
-        "(multiprocess|wire-stress|tcp|simd-parity)" >&2
+        "(multiprocess|wire-stress|tcp|chaos|simd-parity)" >&2
       exit 2
       ;;
     *)
@@ -109,6 +120,69 @@ if [[ "${MODE}" == "simd-parity" ]]; then
   done
   cmp "${smoke_dir}/simd_on.txt" "${smoke_dir}/simd_off.txt"
   echo "ci.sh: SIMD=ON and SIMD=OFF assignments are byte-identical"
+  exit 0
+fi
+
+if [[ "${MODE}" == "chaos" ]]; then
+  # Recovery code paths (deadlines, fleet rebuild, state replay, the
+  # fault proxy's pump threads) under AddressSanitizer: a failover that
+  # leaks endpoints or races the proxies fails here loudly.
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+  build_dir="build-ci-chaos"
+  echo "=== RelWithDebInfo (-Werror, -fsanitize=address, chaos lane) ==="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSPINNER_WERROR=ON \
+    -DSPINNER_SANITIZE=address
+  cmake --build "${build_dir}" -j "${JOBS}"
+
+  echo "=== recovery + fault-injection tests (ASan) ==="
+  ctest --test-dir "${build_dir}" \
+    -R '^(Recovery|FaultPlan|Tcp|MultiProcess)' \
+    --output-on-failure -j "${JOBS}"
+
+  echo "=== failover smoke: 3 workers, one dies mid-superstep ==="
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  listen="127.0.0.1:17078"
+  "./${build_dir}/partition_tool" generate \
+    --out="${smoke_dir}/edges.txt" --vertices=5000 --seed=7
+  "./${build_dir}/partition_tool" partition \
+    --input="${smoke_dir}/edges.txt" --k=16 --seed=11 \
+    --out="${smoke_dir}/in_process.txt"
+  # Workers 0 and 1 are healthy; worker 2 kills itself (_exit(3)) while
+  # handling its 3rd score superstep — mid-run, after the fleet is fully
+  # assigned. With --recover the coordinator must absorb its shards onto
+  # the survivors and finish. The fault plan adds deterministic frame
+  # delays on every connection: bytes are preserved, so the assignment
+  # must STILL be byte-identical to the in-process run.
+  "./${build_dir}/partition_tool" worker \
+    --connect="${listen}" --store="${smoke_dir}/store0" &
+  worker0="$!"
+  "./${build_dir}/partition_tool" worker \
+    --connect="${listen}" --store="${smoke_dir}/store1" &
+  worker1="$!"
+  "./${build_dir}/partition_tool" worker \
+    --connect="${listen}" --fail-after-scores=2 &
+  doomed="$!"
+  SPINNER_FAULT_PLAN="seed=7;delay:p=0.15:ms=2" \
+    "./${build_dir}/partition_tool" partition \
+    --input="${smoke_dir}/edges.txt" --k=16 --seed=11 --shards=6 \
+    --transport=tcp --listen="${listen}" --workers=3 \
+    --recover=2 --rpc-timeout-ms=4000 --heartbeat-ms=50 \
+    --out="${smoke_dir}/chaos.txt"
+  wait "${worker0}" "${worker1}"
+  # The doomed worker's _exit(3) is the expected crash, not a lane error.
+  doomed_rc=0
+  wait "${doomed}" || doomed_rc="$?"
+  if [[ "${doomed_rc}" -ne 3 ]]; then
+    echo "ci.sh: doomed worker exited ${doomed_rc}, expected 3" >&2
+    exit 1
+  fi
+  cmp "${smoke_dir}/in_process.txt" "${smoke_dir}/chaos.txt"
+  echo "ci.sh: run survived a mid-superstep worker loss under frame" \
+    "delays, assignment byte-identical to in-process"
   exit 0
 fi
 

@@ -89,7 +89,13 @@ constexpr const char* kCommonFlags =
     "  --listen=HOST:PORT   tcp: coordinator bind address (default "
     "127.0.0.1:0)\n"
     "  --store-dir=DIR      forked workers: persistent shard store root\n"
-    "  --wire-max-payload=N frame payload ceiling in bytes\n";
+    "  --wire-max-payload=N frame payload ceiling in bytes\n"
+    "  --rpc-timeout-ms=N   per-recv worker liveness deadline (default "
+    "120000)\n"
+    "  --heartbeat-ms=N     liveness poll period / recovery backoff base "
+    "(default 1000)\n"
+    "  --recover=N          superstep retries after a worker failure "
+    "(default 0 = off)\n";
 
 const Subcommand kSubcommands[] = {
     {"partition", "one-shot k-way partitioning of an edge-list file",
@@ -134,6 +140,9 @@ const Subcommand kSubcommands[] = {
      "1)\n"
      "  --dial-timeout-ms=N  how long to retry the dial (default 30000)\n"
      "  --wire-max-payload=N must match the coordinator's setting\n"
+     "  --fail-after-scores=N\n"
+     "                       chaos hook: _exit(3) in the Nth score "
+     "superstep\n"
      "  serves runs until the coordinator closes the connection; exits 0\n"},
     {"list", "registered partitioners and their capabilities",
      "usage: partition_tool list\n"},
@@ -218,6 +227,12 @@ PartitionerOptions OptionsFrom(const CommandLine& cli) {
     std::exit(2);
   }
   options.execution.worker_store_dir = cli.GetString("store-dir", "");
+  // Failure detection/recovery knobs (cross-process transports only; the
+  // in-process path ignores them). Defaults match ExecutionOptions.
+  options.execution.rpc_timeout_ms = cli.GetInt("rpc-timeout-ms", 120'000);
+  options.execution.heartbeat_period_ms = cli.GetInt("heartbeat-ms", 1'000);
+  options.execution.max_recovery_attempts =
+      static_cast<int>(cli.GetInt("recover", 0));
   // Cross-process transport: frame payload ceiling in bytes; larger
   // messages stream across chunk frames (0 = transport default). The
   // wire-stress CI lane forces this tiny to execute every chunk path.
@@ -264,6 +279,8 @@ int RunWorker(const CommandLine& cli) {
   loop.store_dir = cli.GetString("store", "");
   loop.capacity = cli.GetInt("capacity", 1);
   loop.dial_timeout_ms = cli.GetInt("dial-timeout-ms", 30'000);
+  loop.fail_after_score_steps =
+      static_cast<int32_t>(cli.GetInt("fail-after-scores", -1));
   if (loop.capacity < 1) {
     std::fprintf(stderr, "error: --capacity must be >= 1\n");
     return 2;

@@ -22,6 +22,10 @@ enum class StatusCode : int {
   kFailedPrecondition = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  /// A bounded wait elapsed with the peer still connected but silent —
+  /// distinct from kIOError (peer dead/EOF) so callers can tell a hung
+  /// worker from a crashed one.
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a short human-readable name for a StatusCode ("OK", "IOError"...).
@@ -63,6 +67,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   /// True iff this status represents success.

@@ -1,11 +1,15 @@
 #include "dist/coordinator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <functional>
 #include <thread>
 #include <utility>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "dist/fault_injection.h"
 #include "dist/shard_store.h"
 #include "graph/binary_io.h"
 #include "spinner/superstep_driver.h"
@@ -37,7 +41,23 @@ Status Coordinator::Spawn(const SpinnerConfig& config,
     return Status::InvalidArgument(
         StrFormat("num_workers must be >= 1 (got %d)", num_workers));
   }
+  if (options.rpc_timeout_ms <= 0 || options.heartbeat_period_ms <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "rpc_timeout_ms/heartbeat_period_ms must be > 0 (got %lld/%lld)",
+        static_cast<long long>(options.rpc_timeout_ms),
+        static_cast<long long>(options.heartbeat_period_ms)));
+  }
+  if (options.max_recovery_attempts < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "max_recovery_attempts must be >= 0 (got %d)",
+        options.max_recovery_attempts));
+  }
   transport_ = options.transport;
+  config_ = config;
+  rpc_timeout_ms_ = options.rpc_timeout_ms;
+  heartbeat_period_ms_ = options.heartbeat_period_ms;
+  fail_after_score_steps_ = options.fail_after_score_steps;
+  fail_worker_ = options.fail_worker;
   if (options.worker_transport != nullptr) {
     transport_impl_ = options.worker_transport;
   } else {
@@ -45,9 +65,26 @@ Status Coordinator::Spawn(const SpinnerConfig& config,
         std::make_unique<UnixSocketTransport>(options.worker_store_dir);
     transport_impl_ = owned_transport_.get();
   }
+  // SPINNER_FAULT_PLAN wraps whichever transport was chosen in the frame
+  // fault proxy — how the chaos CI lane injects wire faults into release
+  // binaries without a dedicated flag on every entry point.
+  const char* fault_spec = std::getenv("SPINNER_FAULT_PLAN");
+  if (fault_spec != nullptr && fault_spec[0] != '\0') {
+    SPINNER_ASSIGN_OR_RETURN(FaultPlan plan, FaultPlan::Parse(fault_spec));
+    fault_transport_ = std::make_unique<FaultInjectingTransport>(
+        transport_impl_, std::move(plan));
+    transport_impl_ = fault_transport_.get();
+  }
   SPINNER_ASSIGN_OR_RETURN(std::vector<WorkerEndpoint> endpoints,
                            transport_impl_->Acquire(num_workers, transport_));
+  return AssignFleet(store, std::move(endpoints),
+                     /*inject_fail_hook=*/true);
+}
 
+Status Coordinator::AssignFleet(const ShardedGraphStore& store,
+                                std::vector<WorkerEndpoint> endpoints,
+                                bool inject_fail_hook) {
+  const int num_workers = static_cast<int>(endpoints.size());
   // Contiguous ascending shard ranges per worker, sized proportionally to
   // the capacity each advertised in its Hello (equal capacities reduce to
   // the classic S·w/W split). Contiguity keeps replies received in worker
@@ -79,11 +116,11 @@ Status Coordinator::Spawn(const SpinnerConfig& config,
   std::vector<std::vector<uint64_t>> fingerprints(workers_.size());
   for (int w = 0; w < num_workers; ++w) {
     AssignMessage assign;
-    assign.num_partitions = config.num_partitions;
-    assign.seed = config.seed;
+    assign.num_partitions = config_.num_partitions;
+    assign.seed = config_.seed;
     assign.balance_on_vertices =
-        config.balance_mode == BalanceMode::kVertices ? 1 : 0;
-    assign.per_worker_async = config.per_worker_async ? 1 : 0;
+        config_.balance_mode == BalanceMode::kVertices ? 1 : 0;
+    assign.per_worker_async = config_.per_worker_async ? 1 : 0;
     assign.num_vertices = store.NumVertices();
     assign.num_shards_total = S;
     assign.owned_shards = workers_[w].shards;
@@ -92,8 +129,8 @@ Status Coordinator::Spawn(const SpinnerConfig& config,
           ShardSliceFingerprint(store.shard(s)));
     }
     fingerprints[w] = assign.slice_fingerprints;
-    if (w == options.fail_worker) {
-      assign.fail_after_score_steps = options.fail_after_score_steps;
+    if (inject_fail_hook && w == fail_worker_) {
+      assign.fail_after_score_steps = fail_after_score_steps_;
     }
     const Status sent = SendTo(w, MessageType::kAssign, assign.Encode());
     if (!sent.ok()) {
@@ -118,11 +155,11 @@ Status Coordinator::Spawn(const SpinnerConfig& config,
     }
     if (status.ok()) {
       SetupMessage setup;
-      setup.num_partitions = config.num_partitions;
-      setup.seed = config.seed;
+      setup.num_partitions = config_.num_partitions;
+      setup.seed = config_.seed;
       setup.balance_on_vertices =
-          config.balance_mode == BalanceMode::kVertices ? 1 : 0;
-      setup.per_worker_async = config.per_worker_async ? 1 : 0;
+          config_.balance_mode == BalanceMode::kVertices ? 1 : 0;
+      setup.per_worker_async = config_.per_worker_async ? 1 : 0;
       setup.num_vertices = store.NumVertices();
       setup.num_shards_total = S;
       for (size_t i = 0; i < workers_[w].shards.size(); ++i) {
@@ -215,18 +252,23 @@ Status Coordinator::SendToAll(MessageType type,
 Result<Frame> Coordinator::RecvFrom(int w, MessageType expected) {
   Result<Frame> frame = RecvMessage(
       workers_[static_cast<size_t>(w)].endpoint.socket.fd(), transport_,
-      &counters_);
+      &counters_, rpc_timeout_ms_, heartbeat_period_ms_);
   if (!frame.ok()) {
-    // EOF/EPIPE means the worker process is gone; anything else (chunk
+    // EOF/EPIPE means the worker process is gone; an elapsed deadline a
+    // worker that is connected but silent; anything else (chunk
     // reassembly rejections are InvalidArgument) is a live worker with a
     // corrupt stream — keep the code so operators chase the right bug.
-    const bool died = frame.status().code() == StatusCode::kIOError;
+    const StatusCode code = frame.status().code();
+    const char* what =
+        code == StatusCode::kIOError
+            ? "worker %d (pid %d) died mid-superstep: %s"
+            : (code == StatusCode::kDeadlineExceeded
+                   ? "worker %d (pid %d) hung mid-superstep: %s"
+                   : "worker %d (pid %d) sent a corrupt stream: %s");
     return Status(
-        frame.status().code(),
+        code,
         StrFormat(
-            died ? "worker %d (pid %d) died mid-superstep: %s"
-                 : "worker %d (pid %d) sent a corrupt stream: %s",
-            w,
+            what, w,
             static_cast<int>(
                 workers_[static_cast<size_t>(w)].endpoint.pid),
             frame.status().message().c_str()));
@@ -244,6 +286,71 @@ Result<Frame> Coordinator::RecvFrom(int w, MessageType expected) {
         frame->type, static_cast<uint32_t>(expected)));
   }
   return frame;
+}
+
+Status Coordinator::ResetEndpoint(WorkerEndpoint& endpoint) {
+  SPINNER_RETURN_IF_ERROR(SendMessage(
+      endpoint.socket.fd(), static_cast<uint32_t>(MessageType::kTeardown),
+      {}, transport_, next_message_id_++, &counters_));
+  // A live worker may still owe replies from the interrupted round; skip
+  // them until its TeardownAck arrives (after which it has reset its run
+  // state and awaits the next Assign). The cap bounds a babbling stream.
+  for (int i = 0; i < 64; ++i) {
+    SPINNER_ASSIGN_OR_RETURN(
+        Frame frame,
+        RecvMessage(endpoint.socket.fd(), transport_, &counters_,
+                    rpc_timeout_ms_, heartbeat_period_ms_));
+    if (frame.type == static_cast<uint32_t>(MessageType::kTeardownAck)) {
+      return Status::OK();
+    }
+    if (frame.type == static_cast<uint32_t>(MessageType::kError)) {
+      auto error = ErrorMessage::Decode(frame.payload);
+      return Status::Internal(StrFormat(
+          "worker failed while resetting: %s",
+          error.ok() ? error->ToStatus().ToString().c_str()
+                     : "unreadable error frame"));
+    }
+  }
+  return Status::Internal("worker did not ack Teardown within 64 messages");
+}
+
+Status Coordinator::RebuildFleet(const ShardedGraphStore& store) {
+  if (workers_.empty()) {
+    return Status::FailedPrecondition("no fleet to rebuild");
+  }
+  const int previous = num_workers();
+  std::vector<WorkerEndpoint> survivors;
+  for (Worker& worker : workers_) {
+    if (!worker.endpoint.socket.valid()) continue;
+    if (ResetEndpoint(worker.endpoint).ok()) {
+      survivors.push_back(std::move(worker.endpoint));
+    } else {
+      transport_impl_->Destroy(std::move(worker.endpoint));
+    }
+  }
+  workers_.clear();
+  const int missing = previous - static_cast<int>(survivors.size());
+  if (missing > 0) {
+    // Best-effort top-up: a replacement gets one rpc timeout to
+    // materialize (a fresh fork, or a spare dialing into the registry);
+    // otherwise the survivors absorb the dead worker's shards, and their
+    // stores re-download exactly the slices that changed hands.
+    auto replacements =
+        transport_impl_->TryAcquire(missing, transport_, rpc_timeout_ms_);
+    if (replacements.ok()) {
+      workers_replaced_ += static_cast<int64_t>(replacements->size());
+      for (WorkerEndpoint& ep : *replacements) {
+        survivors.push_back(std::move(ep));
+      }
+    }
+  }
+  if (survivors.empty()) {
+    return Status::IOError(
+        "fleet rebuild found no surviving workers and no replacement "
+        "arrived in time");
+  }
+  return AssignFleet(store, std::move(survivors),
+                     /*inject_fail_hook=*/false);
 }
 
 Status Coordinator::Shutdown() {
@@ -268,6 +375,25 @@ Status Coordinator::Shutdown() {
   }
   workers_.clear();
   return Status::OK();
+}
+
+void Coordinator::Abort() {
+  for (Worker& worker : workers_) {
+    if (!worker.endpoint.socket.valid()) continue;
+    if (transport_impl_ == nullptr) {
+      worker.endpoint.socket.Close();
+      continue;
+    }
+    // A survivor that acks the Teardown probe is back in the defined
+    // Assign-await state and safe to pool; anything else is destroyed so
+    // a half-run connection can never be handed to the next run.
+    if (ResetEndpoint(worker.endpoint).ok()) {
+      transport_impl_->Release(std::move(worker.endpoint));
+    } else {
+      transport_impl_->Destroy(std::move(worker.endpoint));
+    }
+  }
+  workers_.clear();
 }
 
 void Coordinator::ForceKill() {
@@ -296,6 +422,7 @@ void CopyCounters(const Coordinator& coordinator, WireTraffic* out) {
   out->slices_downloaded = coordinator.slices_downloaded();
   out->slice_bytes_downloaded = coordinator.slice_bytes_downloaded();
   out->slices_resumed = coordinator.slices_resumed();
+  out->workers_replaced = coordinator.workers_replaced();
 }
 
 /// The cross-process SuperstepBackend: each phase is one lockstep RPC
@@ -305,8 +432,13 @@ void CopyCounters(const Coordinator& coordinator, WireTraffic* out) {
 class MultiProcessBackend final : public SuperstepBackend {
  public:
   MultiProcessBackend(const SpinnerConfig& config, ShardedGraphStore* store,
-                      Coordinator* coordinator)
-      : config_(config), store_(store), coordinator_(coordinator) {}
+                      Coordinator* coordinator,
+                      const MultiProcessOptions& options)
+      : config_(config),
+        store_(store),
+        coordinator_(coordinator),
+        max_recovery_attempts_(options.max_recovery_attempts),
+        heartbeat_period_ms_(options.heartbeat_period_ms) {}
 
   Status SetupSubscriptions() override {
     SPINNER_RETURN_IF_ERROR(coordinator_->CollectSubscriptions(*store_));
@@ -325,6 +457,57 @@ class MultiProcessBackend final : public SuperstepBackend {
   Status Initialize(const std::vector<PartitionId>& initial_labels,
                     InitOutcome* out) override {
     const int64_t step_start = coordinator_->counters().bytes_sent;
+    // No replay before an Initialize retry: the phase body IS the full
+    // state (re)construction from `initial_labels`.
+    SPINNER_RETURN_IF_ERROR(RunPhase(
+        /*replay=*/false, [&] { return InitializeOnce(initial_labels, out); }));
+    SaveCheckpoint();
+    FinishStep(step_start);
+    return Status::OK();
+  }
+
+  Status ComputeScores(int64_t superstep,
+                       const std::vector<int64_t>& global_loads,
+                       const std::vector<double>& capacities,
+                       ScoreOutcome* out) override {
+    const int64_t step_start = coordinator_->counters().bytes_sent;
+    SPINNER_RETURN_IF_ERROR(RunPhase(/*replay=*/true, [&] {
+      return ComputeScoresOnce(superstep, global_loads, capacities, out);
+    }));
+    FinishStep(step_start);
+    return Status::OK();
+  }
+
+  Status ComputeMigrations(int64_t superstep,
+                           const std::vector<int64_t>& global_loads,
+                           const std::vector<double>& capacities,
+                           const std::vector<int64_t>& migration_counts,
+                           MigrateOutcome* out) override {
+    const int64_t step_start = coordinator_->counters().bytes_sent;
+    bool replayed = false;
+    SPINNER_RETURN_IF_ERROR(RunPhase(/*replay=*/true, [&]() -> Status {
+      if (replayed) {
+        // A retried migrate needs the per-vertex candidate state its
+        // workers lost with the fleet. The preceding score superstep is
+        // index superstep - 1 and ran on exactly these frozen
+        // global_loads/capacities (the driver updates loads only after a
+        // migrate), so silently re-running it rebuilds that state
+        // bit-identically; its outcome is scratch.
+        ScoreOutcome scores;
+        SPINNER_RETURN_IF_ERROR(ComputeScoresOnce(
+            superstep - 1, global_loads, capacities, &scores));
+      }
+      replayed = true;
+      return ComputeMigrationsOnce(superstep, global_loads, capacities,
+                                   migration_counts, out);
+    }));
+    SaveCheckpoint();
+    FinishStep(step_start);
+    return Status::OK();
+  }
+
+  Status InitializeOnce(const std::vector<PartitionId>& initial_labels,
+                        InitOutcome* out) {
     // Each worker gets exactly its owned slice of the initial labels,
     // based at its owned range begin — O(V) total, not O(V·workers).
     const int64_t init_size = static_cast<int64_t>(initial_labels.size());
@@ -372,15 +555,13 @@ class MultiProcessBackend final : public SuperstepBackend {
       SPINNER_RETURN_IF_ERROR(
           coordinator_->SendTo(w, MessageType::kLabels, values.Encode()));
     }
-    FinishStep(step_start);
     return Status::OK();
   }
 
-  Status ComputeScores(int64_t superstep,
-                       const std::vector<int64_t>& global_loads,
-                       const std::vector<double>& capacities,
-                       ScoreOutcome* out) override {
-    const int64_t step_start = coordinator_->counters().bytes_sent;
+  Status ComputeScoresOnce(int64_t superstep,
+                           const std::vector<int64_t>& global_loads,
+                           const std::vector<double>& capacities,
+                           ScoreOutcome* out) {
     ScoresRequest request;
     request.superstep = superstep;
     request.global_loads = global_loads;
@@ -428,16 +609,14 @@ class MultiProcessBackend final : public SuperstepBackend {
         out->migration_counts[l] += reply.migration_counts[l];
       }
     }
-    FinishStep(step_start);
     return Status::OK();
   }
 
-  Status ComputeMigrations(int64_t superstep,
-                           const std::vector<int64_t>& global_loads,
-                           const std::vector<double>& capacities,
-                           const std::vector<int64_t>& migration_counts,
-                           MigrateOutcome* out) override {
-    const int64_t step_start = coordinator_->counters().bytes_sent;
+  Status ComputeMigrationsOnce(int64_t superstep,
+                               const std::vector<int64_t>& global_loads,
+                               const std::vector<double>& capacities,
+                               const std::vector<int64_t>& migration_counts,
+                               MigrateOutcome* out) {
     MigrateRequest request;
     request.superstep = superstep;
     request.global_loads = global_loads;
@@ -517,7 +696,6 @@ class MultiProcessBackend final : public SuperstepBackend {
             static_cast<unsigned long long>(expected)));
       }
     }
-    FinishStep(step_start);
     return Status::OK();
   }
 
@@ -553,6 +731,91 @@ class MultiProcessBackend final : public SuperstepBackend {
   }
 
  private:
+  /// Runs one superstep phase attempt, recovering from worker failures up
+  /// to max_recovery_attempts times: rebuild the fleet, re-collect the new
+  /// roster's subscriptions, replay the checkpointed label state (when
+  /// `replay` — every phase except Initialize, whose body is the replay),
+  /// and re-run the attempt. The frozen phase inputs plus the
+  /// worker-shape-independent kernel hashing make every retry
+  /// bit-identical to an uninterrupted phase.
+  Status RunPhase(bool replay, const std::function<Status()>& attempt) {
+    Status status = attempt();
+    for (int retry = 1; !status.ok() && Recoverable(status) &&
+                        retry <= max_recovery_attempts_;
+         ++retry) {
+      Backoff(retry);
+      Status rebuilt = coordinator_->RebuildFleet(*store_);
+      if (rebuilt.ok()) {
+        rebuilt = coordinator_->CollectSubscriptions(*store_);
+      }
+      if (rebuilt.ok() && replay) rebuilt = ReplayState();
+      if (!rebuilt.ok()) {
+        return Status(rebuilt.code(),
+                      StrFormat("recovery attempt %d failed: %s (recovering "
+                                "from: %s)",
+                                retry, rebuilt.message().c_str(),
+                                status.message().c_str()));
+      }
+      ++wire_.recoveries;
+      status = attempt();
+    }
+    return status;
+  }
+
+  /// Worker failures a fleet rebuild can cure: a dead peer (IOError), a
+  /// hung peer (DeadlineExceeded), a corrupt stream (InvalidArgument from
+  /// frame/chunk validation), or a malformed/diverged reply (Internal).
+  /// Anything else (bad config, precondition) would only recur.
+  static bool Recoverable(const Status& status) {
+    switch (status.code()) {
+      case StatusCode::kIOError:
+      case StatusCode::kDeadlineExceeded:
+      case StatusCode::kInvalidArgument:
+      case StatusCode::kInternal:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Exponential backoff before a rebuild, so a transiently sick fleet
+  /// (restarting workers, network blip) gets time to come back.
+  void Backoff(int retry) const {
+    const int64_t ms = std::min<int64_t>(
+        heartbeat_period_ms_ << std::min(retry - 1, 10), 5'000);
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+
+  /// Checkpoints the authoritative label/load state recovery replays
+  /// from: after Initialize and after every completed migrate superstep —
+  /// the exact superstep-boundary states of the protocol. Skipped when
+  /// recovery is off (no O(V) copies on the default path).
+  void SaveCheckpoint() {
+    if (max_recovery_attempts_ <= 0) return;
+    checkpoint_labels_ = store_->labels();
+    checkpoint_loads_.resize(static_cast<size_t>(store_->num_shards()));
+    for (int s = 0; s < store_->num_shards(); ++s) {
+      checkpoint_loads_[static_cast<size_t>(s)] = store_->shard(s).loads;
+    }
+  }
+
+  /// Restores every worker (and the coordinator store) to the checkpoint:
+  /// replaying the authoritative labels as a fully-fixed initial
+  /// assignment makes the workers' Init handling a pure restore — no hash
+  /// draws — and their recomputed loads must land exactly on the
+  /// checkpointed values, which is asserted.
+  Status ReplayState() {
+    InitOutcome scratch;
+    SPINNER_RETURN_IF_ERROR(InitializeOnce(checkpoint_labels_, &scratch));
+    for (int s = 0; s < store_->num_shards(); ++s) {
+      if (store_->shard(s).loads != checkpoint_loads_[static_cast<size_t>(s)]) {
+        return Status::Internal(StrFormat(
+            "shard %d loads diverged from the checkpoint during replay", s));
+      }
+    }
+    return Status::OK();
+  }
+
   /// What worker w's DeltasAck digest must be, computed from the
   /// coordinator's authoritative labels: owned slices in ascending shard
   /// order, then subscribed mirror values in subscription order — the
@@ -600,6 +863,12 @@ class MultiProcessBackend final : public SuperstepBackend {
   const SpinnerConfig& config_;
   ShardedGraphStore* store_;
   Coordinator* coordinator_;
+  const int max_recovery_attempts_;
+  const int64_t heartbeat_period_ms_;
+  /// Superstep-boundary state recovery replays from (empty until the
+  /// first SaveCheckpoint; Initialize failures replay nothing).
+  std::vector<PartitionId> checkpoint_labels_;
+  std::vector<std::vector<int64_t>> checkpoint_loads_;
   WireTraffic wire_;
 };
 
@@ -656,17 +925,21 @@ Result<ShardedRunResult> RunMultiProcessSpinner(
   Coordinator coordinator;
   SPINNER_RETURN_IF_ERROR(
       coordinator.Spawn(config, *store, num_workers, options));
-  MultiProcessBackend backend(config, store, &coordinator);
+  MultiProcessBackend backend(config, store, &coordinator, options);
   Result<ShardedRunResult> run = DriveSpinnerSupersteps(
       config, store, std::move(initial_labels), &backend, observer);
   if (!run.ok()) {
-    coordinator.ForceKill();
+    // Graceful abort, not ForceKill: surviving registry workers are
+    // walked back to the Assign-await state before their connections
+    // return to the pool — a failed run must never leave a pooled
+    // connection mid-protocol for the next run to trip over.
+    coordinator.Abort();
     return run.status();
   }
   const Status verified =
       VerifyFinalSnapshots(&coordinator, &backend, store);
   if (!verified.ok()) {
-    coordinator.ForceKill();
+    coordinator.Abort();
     return verified;
   }
   SPINNER_RETURN_IF_ERROR(coordinator.Shutdown());

@@ -66,9 +66,29 @@ struct MultiProcessOptions {
   /// only; dial-in workers configure their own store). Empty = in-memory.
   std::string worker_store_dir;
 
+  /// Read deadline of every coordinator recv: a worker that stays
+  /// connected but sends nothing for this long is declared hung
+  /// (DeadlineExceeded, distinct from the dead-peer IOError). The
+  /// deadline renews on every byte of progress, so a slow-but-alive
+  /// worker streaming a large reply is never falsely declared hung.
+  int64_t rpc_timeout_ms = 120'000;
+  /// Liveness poll granularity of those deadlines, and the base unit of
+  /// the exponential backoff between recovery attempts.
+  int64_t heartbeat_period_ms = 1'000;
+  /// Superstep-phase retries after a worker failure before the run
+  /// surfaces the error. 0 (the default) disables recovery: the first
+  /// failure aborts the run, the pre-recovery behavior. Each retry
+  /// pauses at the failed phase, rebuilds the fleet (probing survivors,
+  /// destroying the dead, topping up from the transport), replays the
+  /// checkpointed label state, and re-runs the phase — the recovered
+  /// run's assignments and float histories stay bit-identical to a
+  /// failure-free run.
+  int max_recovery_attempts = 0;
+
   /// Test hooks: worker `fail_worker` calls _exit(3) right before replying
   /// to its (fail_after_score_steps+1)-th ComputeScores request — a
-  /// deterministic mid-superstep crash. -1 = never (the default).
+  /// deterministic mid-superstep crash. -1 = never (the default). Injected
+  /// only by the initial Spawn, never by a recovery re-assign.
   int fail_after_score_steps = -1;
   int fail_worker = 0;
 };
@@ -118,19 +138,35 @@ class Coordinator {
   Status SendTo(int w, MessageType type, std::span<const uint8_t> payload);
   Status SendToAll(MessageType type, std::span<const uint8_t> payload);
 
-  /// Receives the next message from worker `w` and checks its type. An
-  /// Error frame decodes into the worker's Status; EOF (a dead worker)
-  /// becomes an IOError naming the worker — callers never hang on a
-  /// crashed process.
+  /// Receives the next message from worker `w` and checks its type,
+  /// bounded by the rpc_timeout_ms read deadline. An Error frame decodes
+  /// into the worker's Status; EOF (a dead worker) becomes an IOError
+  /// and an elapsed deadline (connected but silent) a DeadlineExceeded,
+  /// each naming the worker — callers never hang on a failed process.
   Result<Frame> RecvFrom(int w, MessageType expected);
+
+  /// Rebuilds the fleet after a worker failure: probes every attached
+  /// endpoint with the Teardown handshake (survivors reset to the
+  /// Assign-await state; the dead and the hung are destroyed), tops the
+  /// fleet back up from the transport best-effort (a replacement gets one
+  /// rpc timeout to materialize, otherwise survivors absorb the missing
+  /// range), and re-runs the Assign/Resume/Setup handshake over the new
+  /// roster — re-carving ALL shard ranges capacity-weighted, with
+  /// matching PersistentShardStore fingerprints downloading nothing.
+  /// Callers must re-run CollectSubscriptions afterwards. Fails when no
+  /// worker survives.
+  Status RebuildFleet(const ShardedGraphStore& store);
 
   /// Bytes/frames moved through this coordinator, all workers combined.
   const WireCounters& counters() const { return counters_; }
 
-  /// Slice download accounting of the Spawn handshake.
+  /// Slice download accounting of the Spawn/RebuildFleet handshakes.
   int64_t slices_downloaded() const { return slices_downloaded_; }
   int64_t slice_bytes_downloaded() const { return slice_bytes_downloaded_; }
   int64_t slices_resumed() const { return slices_resumed_; }
+
+  /// Endpoints newly acquired by RebuildFleet top-ups.
+  int64_t workers_replaced() const { return workers_replaced_; }
 
   /// Clean teardown handshake, then releases every endpoint back to the
   /// transport (a registry pools the live connections for the next run).
@@ -138,7 +174,13 @@ class Coordinator {
   /// error.
   Status Shutdown();
 
-  /// Destroys every attached endpoint through the transport (error
+  /// Graceful abort for error paths: probes every attached endpoint with
+  /// the Teardown handshake, Releases the ones that ack (a registry gets
+  /// its pooled connection back in a defined, Assign-await state — not
+  /// mid-run), and Destroys the rest. Idempotent.
+  void Abort();
+
+  /// Destroys every attached endpoint through the transport (last-resort
   /// paths; idempotent). Forked children are SIGKILLed and reaped.
   void ForceKill();
 
@@ -150,14 +192,36 @@ class Coordinator {
     std::vector<VertexId> subscription;
   };
 
+  /// Carves contiguous capacity-weighted shard ranges over `endpoints`
+  /// and runs the Assign/Resume/Setup handshake (the body shared by
+  /// Spawn and RebuildFleet). Repopulates workers_; on failure every
+  /// endpoint is destroyed. `inject_fail_hook` arms the crash test hook
+  /// (initial Spawn only).
+  Status AssignFleet(const ShardedGraphStore& store,
+                     std::vector<WorkerEndpoint> endpoints,
+                     bool inject_fail_hook);
+
+  /// Returns a mid-run endpoint to the Assign-await state: sends
+  /// Teardown, then drains in-flight replies (bounded) until the
+  /// TeardownAck. Non-OK means the worker is dead, hung, or babbling —
+  /// destroy it.
+  Status ResetEndpoint(WorkerEndpoint& endpoint);
+
   std::vector<Worker> workers_;
   Transport* transport_impl_ = nullptr;
   std::unique_ptr<UnixSocketTransport> owned_transport_;
+  std::unique_ptr<Transport> fault_transport_;
   TransportOptions transport_;
+  SpinnerConfig config_;
+  int64_t rpc_timeout_ms_ = 120'000;
+  int64_t heartbeat_period_ms_ = 1'000;
+  int fail_after_score_steps_ = -1;
+  int fail_worker_ = 0;
   WireCounters counters_;
   int64_t slices_downloaded_ = 0;
   int64_t slice_bytes_downloaded_ = 0;
   int64_t slices_resumed_ = 0;
+  int64_t workers_replaced_ = 0;
   uint64_t next_message_id_ = 1;
 };
 

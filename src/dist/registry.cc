@@ -2,10 +2,12 @@
 
 #include <poll.h>
 #include <signal.h>
+#include <sys/syscall.h>
 #include <sys/wait.h>
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <utility>
 
 #include "common/string_util.h"
@@ -46,8 +48,15 @@ Status PollReadable(int fd, int64_t timeout_ms) {
 /// worker prints it and exits) before the failure is returned.
 Result<HelloMessage> RecvHello(int fd, const TransportOptions& options,
                                int64_t timeout_ms) {
+  const int64_t deadline = NowMs() + (timeout_ms < 0 ? 0 : timeout_ms);
   SPINNER_RETURN_IF_ERROR(PollReadable(fd, timeout_ms));
-  SPINNER_ASSIGN_OR_RETURN(Frame frame, RecvMessage(fd, options));
+  // The remaining budget bounds the Hello bytes themselves: a dial-in that
+  // sends half a frame and stalls is rejected (DeadlineExceeded from the
+  // transport), not allowed to park the registry.
+  SPINNER_ASSIGN_OR_RETURN(
+      Frame frame,
+      RecvMessage(fd, options, /*counters=*/nullptr,
+                  /*timeout_ms=*/std::max<int64_t>(deadline - NowMs(), 1)));
   if (frame.type != static_cast<uint32_t>(MessageType::kHello)) {
     return Status::InvalidArgument(StrFormat(
         "expected Hello as the first message, got frame type %u",
@@ -71,6 +80,27 @@ Result<HelloMessage> RecvHello(int fd, const TransportOptions& options,
         static_cast<long long>(hello.capacity)));
   }
   return hello;
+}
+
+/// Closes every fd except stdio and `keep`, in a freshly forked child.
+/// Uses the close_range syscall — a pure syscall is safe after forking a
+/// multithreaded parent (fault-proxy pumps may be running), where
+/// opendir("/proc/self/fd") is not.
+void CloseAllFdsExcept(int keep) {
+  bool ok = true;
+  if (keep > 3) {
+    ok = syscall(SYS_close_range, 3u, static_cast<unsigned>(keep) - 1,
+                 0u) == 0;
+  }
+  ok = syscall(SYS_close_range, static_cast<unsigned>(keep) + 1, ~0u,
+               0u) == 0 &&
+       ok;
+  if (!ok) {
+    // Pre-5.9 kernel: bounded brute force.
+    for (int fd = 3; fd < 4096; ++fd) {
+      if (fd != keep) ::close(fd);
+    }
+  }
 }
 
 }  // namespace
@@ -101,11 +131,13 @@ Result<std::vector<WorkerEndpoint>> UnixSocketTransport::Acquire(
       return Status::IOError(StrFormat("fork: %s", strerror(errno)));
     }
     if (pid == 0) {
-      // Child: keep only our end of our pair; the earlier workers'
-      // coordinator-side fds were inherited across fork and must go, or a
-      // dead coordinator would never read as EOF to those workers.
-      pair->first.Close();
-      for (auto& ep : endpoints) ep.socket.Close();
+      // Child: keep only our end of our pair. fork() copied every fd the
+      // coordinator holds — earlier workers' sockets, and (when this is a
+      // recovery top-up mid-run) the surviving workers' connections and
+      // any fault-proxy fds. A stray duplicate of another connection's
+      // write end would keep its peer from ever reading EOF, so a worker
+      // release (or a coordinator crash) could hang the fleet.
+      CloseAllFdsExcept(pair->second.fd());
       WorkerLoopOptions loop;
       loop.store_dir = worker_store_dir_;
       _exit(RunShardWorkerLoop(pair->second.fd(), options, loop));
@@ -169,6 +201,17 @@ Result<std::unique_ptr<WorkerRegistry>> WorkerRegistry::Listen(
 
 Result<std::vector<WorkerEndpoint>> WorkerRegistry::Acquire(
     int num_workers, const TransportOptions& options) {
+  return AcquireWithin(num_workers, options, options_.handshake_timeout_ms);
+}
+
+Result<std::vector<WorkerEndpoint>> WorkerRegistry::TryAcquire(
+    int num_workers, const TransportOptions& options, int64_t timeout_ms) {
+  return AcquireWithin(num_workers, options,
+                       std::max<int64_t>(timeout_ms, 1));
+}
+
+Result<std::vector<WorkerEndpoint>> WorkerRegistry::AcquireWithin(
+    int num_workers, const TransportOptions& options, int64_t timeout_ms) {
   if (num_workers < 1) {
     return Status::InvalidArgument("num_workers must be >= 1");
   }
@@ -193,21 +236,21 @@ Result<std::vector<WorkerEndpoint>> WorkerRegistry::Acquire(
     endpoints.push_back(std::move(ep));
   }
 
-  const int64_t deadline = NowMs() + options_.handshake_timeout_ms;
+  const int64_t deadline = NowMs() + timeout_ms;
   while (endpoints.size() < static_cast<size_t>(num_workers)) {
     const int64_t remaining = deadline - NowMs();
     if (remaining <= 0) {
       return Status::IOError(StrFormat(
           "only %d of %d workers dialed in within %lld ms",
           static_cast<int>(endpoints.size()), num_workers,
-          static_cast<long long>(options_.handshake_timeout_ms)));
+          static_cast<long long>(timeout_ms)));
     }
     auto conn = listener_.AcceptWithin(remaining);
     if (!conn.ok()) {
       return Status::IOError(StrFormat(
           "only %d of %d workers dialed in within %lld ms (%s)",
           static_cast<int>(endpoints.size()), num_workers,
-          static_cast<long long>(options_.handshake_timeout_ms),
+          static_cast<long long>(timeout_ms),
           conn.status().message().c_str()));
     }
     auto hello =

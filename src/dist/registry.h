@@ -61,6 +61,18 @@ class Transport {
   virtual Result<std::vector<WorkerEndpoint>> Acquire(
       int num_workers, const TransportOptions& options) = 0;
 
+  /// Bounded acquisition for the fleet-recovery path: like Acquire but
+  /// waits at most `timeout_ms` for endpoints to materialize, so a
+  /// coordinator topping up a fleet mid-recovery can fall back to the
+  /// surviving workers instead of stalling a run on a replacement that may
+  /// never dial in. The default forwards to Acquire — correct for
+  /// transports whose Acquire cannot block indefinitely (fork-based).
+  virtual Result<std::vector<WorkerEndpoint>> TryAcquire(
+      int num_workers, const TransportOptions& options, int64_t timeout_ms) {
+    (void)timeout_ms;
+    return Acquire(num_workers, options);
+  }
+
   /// Returns an endpoint after a clean run (TeardownAck received).
   /// UnixSocketTransport closes and reaps; WorkerRegistry parks the live
   /// connection for the next Acquire.
@@ -129,11 +141,20 @@ class WorkerRegistry final : public Transport {
   Result<std::vector<WorkerEndpoint>> Acquire(
       int num_workers, const TransportOptions& options) override;
 
+  /// Acquire with an explicit wait bound instead of the registry-wide
+  /// handshake timeout — the recovery top-up path.
+  Result<std::vector<WorkerEndpoint>> TryAcquire(
+      int num_workers, const TransportOptions& options,
+      int64_t timeout_ms) override;
+
   void Release(WorkerEndpoint endpoint) override;
   void Destroy(WorkerEndpoint endpoint) override;
 
  private:
   WorkerRegistry() = default;
+
+  Result<std::vector<WorkerEndpoint>> AcquireWithin(
+      int num_workers, const TransportOptions& options, int64_t timeout_ms);
 
   TcpListener listener_;
   RegistryOptions options_;

@@ -221,12 +221,18 @@ Status PersistentShardStore::Put(int32_t shard_id,
     root_created_ = true;
   }
   int64_t records = 0;
+  const int64_t corrupt_before = corrupt_tails_ignored_;
   SPINNER_ASSIGN_OR_RETURN(auto current, CurrentBytes(shard_id, &records));
-  if (current.has_value() &&
+  const bool log_damaged = corrupt_tails_ignored_ > corrupt_before;
+  if (current.has_value() && !log_damaged &&
       ChecksumBytes(*current) == ChecksumBytes(slice_bytes)) {
     return Status::OK();  // already hosting exactly these bytes
   }
-  if (!current.has_value() || records + 1 >= options_.compact_after_records) {
+  // A damaged log forces a fresh base: appending after garbage would put
+  // the new record where replay never reaches (it stops at the first
+  // invalid record), leaving the store permanently stale.
+  if (!current.has_value() || log_damaged ||
+      records + 1 >= options_.compact_after_records) {
     if (current.has_value()) ++compactions_;
     return WriteBase(shard_id, slice_bytes);
   }

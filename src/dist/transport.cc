@@ -1,6 +1,8 @@
 #include "dist/transport.h"
 
+#include <poll.h>
 #include <sys/socket.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -16,7 +18,7 @@ namespace spinner::dist {
 namespace {
 
 /// Header layout: magic u32 | type u32 | payload_size u64 (little-endian).
-constexpr size_t kHeaderSize = 16;
+constexpr size_t kHeaderSize = kFrameHeaderSize;
 
 /// Chunk envelope layout (little-endian, packed):
 ///   message_id u64 | inner_type u32 | chunk_index u32 | chunk_count u32 |
@@ -81,12 +83,58 @@ Status SendAll(int fd, const uint8_t* data, size_t size) {
   return Status::OK();
 }
 
+int64_t NowMs() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1'000'000;
+}
+
+/// Blocks until `fd` is readable (or hung up — the following recv reports
+/// EOF/reset as its own IOError) or `deadline_ms` (absolute CLOCK_MONOTONIC,
+/// < 0 = none) passes. The wait wakes every `poll_period_ms` to re-check
+/// the clock, so a deadline is honored even across spurious wakeups. A
+/// peer that stays connected but sends nothing surfaces DeadlineExceeded —
+/// deliberately distinct from a dead peer's IOError.
+Status AwaitReadable(int fd, int64_t deadline_ms, int64_t poll_period_ms,
+                     size_t received, size_t size) {
+  for (;;) {
+    const int64_t remaining = deadline_ms - NowMs();
+    if (remaining <= 0) {
+      return Status::DeadlineExceeded(
+          StrFormat("read deadline exceeded: peer connected but silent "
+                    "after %zu of %zu bytes",
+                    received, size));
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int slice = static_cast<int>(
+        std::min<int64_t>(remaining, std::max<int64_t>(poll_period_ms, 1)));
+    const int rc = ::poll(&pfd, 1, slice);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(
+          StrFormat("poll failed: %s", std::strerror(errno)));
+    }
+    if (rc > 0) return Status::OK();
+  }
+}
+
 /// Reads exactly `size` bytes. `*got_any` reports whether at least one byte
 /// arrived, distinguishing a clean peer close (EOF at a frame boundary)
-/// from a torn frame.
-Status RecvAll(int fd, uint8_t* data, size_t size, bool* got_any) {
+/// from a torn frame. `timeout_ms` (< 0 = none) bounds every wait for more
+/// bytes; the deadline renews on progress, so only a peer that stops
+/// sending entirely for a full timeout is declared hung.
+Status RecvAll(int fd, uint8_t* data, size_t size, bool* got_any,
+               int64_t timeout_ms = -1,
+               int64_t poll_period_ms = kDefaultPollPeriodMs) {
   size_t received = 0;
+  int64_t deadline_ms = timeout_ms < 0 ? -1 : NowMs() + timeout_ms;
   while (received < size) {
+    if (deadline_ms >= 0) {
+      SPINNER_RETURN_IF_ERROR(AwaitReadable(fd, deadline_ms, poll_period_ms,
+                                            received, size));
+    }
     const ssize_t n = ::recv(fd, data + received, size - received, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -103,6 +151,7 @@ Status RecvAll(int fd, uint8_t* data, size_t size, bool* got_any) {
     }
     *got_any = true;
     received += static_cast<size_t>(n);
+    if (deadline_ms >= 0) deadline_ms = NowMs() + timeout_ms;
   }
   return Status::OK();
 }
@@ -177,11 +226,12 @@ Status SendFrame(int fd, uint32_t type, std::span<const uint8_t> payload,
   return SendAll(fd, payload.data(), payload.size());
 }
 
-Result<Frame> RecvFrame(int fd, const TransportOptions& options) {
+Result<Frame> RecvFrame(int fd, const TransportOptions& options,
+                        int64_t timeout_ms, int64_t poll_period_ms) {
   uint8_t header[kHeaderSize];
   bool got_any = false;
-  SPINNER_RETURN_IF_ERROR(
-      RecvAll(fd, header, sizeof(header), &got_any));
+  SPINNER_RETURN_IF_ERROR(RecvAll(fd, header, sizeof(header), &got_any,
+                                  timeout_ms, poll_period_ms));
   uint32_t magic = 0;
   uint64_t size = 0;
   Frame frame;
@@ -200,8 +250,9 @@ Result<Frame> RecvFrame(int fd, const TransportOptions& options) {
                       options.max_frame_payload)));
   }
   frame.payload.resize(static_cast<size_t>(size));
-  SPINNER_RETURN_IF_ERROR(
-      RecvAll(fd, frame.payload.data(), frame.payload.size(), &got_any));
+  SPINNER_RETURN_IF_ERROR(RecvAll(fd, frame.payload.data(),
+                                  frame.payload.size(), &got_any, timeout_ms,
+                                  poll_period_ms));
   return frame;
 }
 
@@ -260,8 +311,10 @@ Status SendMessage(int fd, uint32_t type, std::span<const uint8_t> payload,
 }
 
 Result<Frame> RecvMessage(int fd, const TransportOptions& options,
-                          WireCounters* counters) {
-  SPINNER_ASSIGN_OR_RETURN(Frame first, RecvFrame(fd, options));
+                          WireCounters* counters, int64_t timeout_ms,
+                          int64_t poll_period_ms) {
+  SPINNER_ASSIGN_OR_RETURN(
+      Frame first, RecvFrame(fd, options, timeout_ms, poll_period_ms));
   CountFrame(counters, &WireCounters::bytes_received,
              &WireCounters::frames_received, first.payload.size());
   if (first.type != kChunkFrameType) return first;
@@ -335,7 +388,8 @@ Result<Frame> RecvMessage(int fd, const TransportOptions& options,
       bytes = std::span<const uint8_t>(first.payload)
                   .subspan(kChunkEnvelopeSize);
     } else {
-      SPINNER_ASSIGN_OR_RETURN(Frame frame, RecvFrame(fd, options));
+      SPINNER_ASSIGN_OR_RETURN(
+          Frame frame, RecvFrame(fd, options, timeout_ms, poll_period_ms));
       CountFrame(counters, &WireCounters::bytes_received,
                  &WireCounters::frames_received, frame.payload.size());
       if (frame.type != kChunkFrameType) {

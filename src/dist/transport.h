@@ -80,6 +80,16 @@ Result<std::pair<UnixSocket, UnixSocket>> CreateSocketPair();
 /// foreign byte streams immediately.
 inline constexpr uint32_t kFrameMagic = 0x464d5053u;
 
+/// Frame header size: magic u32 | type u32 | payload_size u64. Exported so
+/// frame-granular middleboxes (dist/fault_injection.h pumps frames through
+/// a proxy) can parse the stream without re-deriving the layout.
+inline constexpr size_t kFrameHeaderSize = 16;
+
+/// Default liveness-poll period of deadline-bounded receives: while a
+/// deadline is armed the receiver wakes at this granularity to re-check the
+/// clock. Overridden by ExecutionOptions::heartbeat_period_ms plumbing.
+inline constexpr int64_t kDefaultPollPeriodMs = 1'000;
+
 /// Absolute ceiling on a single frame payload (1 GiB) and the default of
 /// TransportOptions::max_frame_payload. A header announcing more than the
 /// effective limit is rejected as malformed before any allocation, so a
@@ -157,7 +167,17 @@ Status SendFrame(int fd, uint32_t type, std::span<const uint8_t> payload,
 /// Reads exactly one frame. IOError on EOF or a short read (peer died,
 /// truncated frame), InvalidArgument on bad magic or an announced payload
 /// above `options.max_frame_payload`.
-Result<Frame> RecvFrame(int fd, const TransportOptions& options = {});
+///
+/// `timeout_ms` arms a read deadline: < 0 blocks forever (the idle-worker
+/// default — a pooled worker legitimately waits days for its next Assign);
+/// >= 0 bounds the wait for this frame's bytes and surfaces
+/// DeadlineExceeded when the peer stays connected but silent — distinct
+/// from the IOError of a dead peer, which the recovery layer treats
+/// differently (a hung worker still needs its connection torn down). The
+/// wait polls at `poll_period_ms` granularity.
+Result<Frame> RecvFrame(int fd, const TransportOptions& options = {},
+                        int64_t timeout_ms = -1,
+                        int64_t poll_period_ms = kDefaultPollPeriodMs);
 
 /// Sends one message of any size: payloads within the frame limit travel
 /// as one plain frame; larger payloads are split into chunk frames whose
@@ -175,8 +195,16 @@ Status SendMessage(int fd, uint32_t type, std::span<const uint8_t> payload,
 /// size against `options.max_message_size` BEFORE allocating, then the
 /// per-message checksum after the last chunk. Every violation is a
 /// descriptive InvalidArgument — never a hang or an unbounded allocation.
+///
+/// `timeout_ms` / `poll_period_ms` arm the per-frame read deadline of
+/// RecvFrame on every frame of the message: a peer streaming a large
+/// chunked message stays alive as long as it makes frame-level progress,
+/// but one that stalls mid-message surfaces DeadlineExceeded within one
+/// timeout.
 Result<Frame> RecvMessage(int fd, const TransportOptions& options = {},
-                          WireCounters* counters = nullptr);
+                          WireCounters* counters = nullptr,
+                          int64_t timeout_ms = -1,
+                          int64_t poll_period_ms = kDefaultPollPeriodMs);
 
 /// FNV-1a offset basis — the seed of an empty ChecksumBytes fold.
 inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;

@@ -83,7 +83,11 @@ class ShardWorker {
  public:
   ShardWorker(int fd, const TransportOptions& options,
               const WorkerLoopOptions& loop)
-      : fd_(fd), options_(options), capacity_(loop.capacity) {
+      : fd_(fd),
+        options_(options),
+        capacity_(loop.capacity),
+        loop_fail_after_score_steps_(loop.fail_after_score_steps),
+        fail_after_score_steps_(loop.fail_after_score_steps) {
     if (!loop.store_dir.empty()) store_.emplace(loop.store_dir);
   }
 
@@ -164,7 +168,7 @@ class ShardWorker {
     block_score_.clear();
     block_candidates_.clear();
     scratch_.clear();
-    fail_after_score_steps_ = -1;
+    fail_after_score_steps_ = loop_fail_after_score_steps_;
     scores_seen_ = 0;
   }
 
@@ -238,7 +242,9 @@ class ShardWorker {
     n_ = assign.num_vertices;
     owned_shards_ = std::move(assign.owned_shards);
     assigned_fingerprints_ = std::move(assign.slice_fingerprints);
-    fail_after_score_steps_ = assign.fail_after_score_steps;
+    if (assign.fail_after_score_steps >= 0) {
+      fail_after_score_steps_ = assign.fail_after_score_steps;
+    }
     assign_done_ = true;
 
     // Probe the local store and report what this worker already hosts.
@@ -523,6 +529,9 @@ class ShardWorker {
   std::vector<double> block_score_;     // owned blocks only
   std::vector<int32_t> block_candidates_;  // owned blocks only
   std::vector<ShardScratch> scratch_;   // one per owned shard
+  /// The process-wide kill knob (WorkerLoopOptions); survives ResetRun.
+  int32_t loop_fail_after_score_steps_ = -1;
+  /// The effective per-run kill knob (loop value, or the Assign override).
   int32_t fail_after_score_steps_ = -1;
   int32_t scores_seen_ = 0;
 };

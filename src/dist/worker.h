@@ -91,6 +91,12 @@ struct WorkerLoopOptions {
   int64_t capacity = 1;
   /// TCP dial budget of RunTcpWorker (the coordinator may bind late).
   int64_t dial_timeout_ms = 30'000;
+  /// Fault-injection hook for chaos testing dial-in fleets: >= 0 makes
+  /// the worker _exit(3) while handling its Nth Scores request — after
+  /// consuming the request, before replying — exactly the worst spot for
+  /// the coordinator. The Assign-carried hook (coordinator-injected, used
+  /// by the forked-transport tests) overrides this per run when set.
+  int32_t fail_after_score_steps = -1;
 };
 
 /// Runs the worker protocol loop over the coordinator connection `fd`

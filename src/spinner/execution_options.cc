@@ -24,6 +24,23 @@ Status ExecutionOptions::Validate() const {
         "execution.handshake_timeout_ms must be > 0 (got %lld)",
         static_cast<long long>(handshake_timeout_ms)));
   }
+  if (rpc_timeout_ms <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "execution.rpc_timeout_ms must be > 0 (got %lld): every blocking "
+        "coordinator recv needs a finite deadline",
+        static_cast<long long>(rpc_timeout_ms)));
+  }
+  if (heartbeat_period_ms <= 0) {
+    return Status::InvalidArgument(StrFormat(
+        "execution.heartbeat_period_ms must be > 0 (got %lld)",
+        static_cast<long long>(heartbeat_period_ms)));
+  }
+  if (max_recovery_attempts < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "execution.max_recovery_attempts must be >= 0 (0 = recovery "
+        "disabled; got %d)",
+        max_recovery_attempts));
+  }
   if (mode == ExecutionMode::kTcp && num_workers <= 0) {
     return Status::InvalidArgument(
         "execution.mode = kTcp requires an explicit num_workers: the "
@@ -60,6 +77,15 @@ ExecutionOptions MergedExecution(const ExecutionOptions& primary,
   }
   if (merged.handshake_timeout_ms == defaults.handshake_timeout_ms) {
     merged.handshake_timeout_ms = fallback.handshake_timeout_ms;
+  }
+  if (merged.rpc_timeout_ms == defaults.rpc_timeout_ms) {
+    merged.rpc_timeout_ms = fallback.rpc_timeout_ms;
+  }
+  if (merged.heartbeat_period_ms == defaults.heartbeat_period_ms) {
+    merged.heartbeat_period_ms = fallback.heartbeat_period_ms;
+  }
+  if (merged.max_recovery_attempts == defaults.max_recovery_attempts) {
+    merged.max_recovery_attempts = fallback.max_recovery_attempts;
   }
   return merged;
 }

@@ -78,6 +78,26 @@ struct ExecutionOptions {
   /// dial in and complete the Hello handshake.
   int64_t handshake_timeout_ms = 30'000;
 
+  /// kMultiProcess/kTcp: read deadline of every coordinator-side blocking
+  /// recv. A worker that stays connected but sends nothing for this long
+  /// is declared hung (DeadlineExceeded — distinct from a dead peer's
+  /// IOError) and, when recovery is enabled, replaced. The deadline renews
+  /// on progress, so a worker slowly streaming a large reply is never
+  /// falsely declared hung. Must be > 0.
+  int64_t rpc_timeout_ms = 120'000;
+
+  /// kMultiProcess/kTcp: granularity at which a deadline-armed wait
+  /// re-checks liveness, and the base of the exponential backoff between
+  /// recovery attempts. Must be > 0.
+  int64_t heartbeat_period_ms = 1'000;
+
+  /// kMultiProcess/kTcp: how many times a run may rebuild its worker
+  /// fleet and replay state after a detected worker failure before giving
+  /// up. 0 (default) disables recovery — the first failure surfaces as a
+  /// Status, the pre-recovery behavior. Recovered runs are bit-identical
+  /// to failure-free runs (assignments and float φ/ρ/score histories).
+  int max_recovery_attempts = 0;
+
   Status Validate() const;
 };
 

@@ -128,6 +128,9 @@ Result<PartitionResult> SpinnerPartitioner::RunOnGraph(
       mp.transport =
           dist::TransportOptions::Resolve(execution.wire_max_payload);
       mp.worker_store_dir = execution.worker_store_dir;
+      mp.rpc_timeout_ms = execution.rpc_timeout_ms;
+      mp.heartbeat_period_ms = execution.heartbeat_period_ms;
+      mp.max_recovery_attempts = execution.max_recovery_attempts;
       std::unique_ptr<dist::WorkerRegistry> registry;
       if (execution.mode == ExecutionMode::kTcp) {
         // One-shot run: bind a throwaway registry and wait for dial-ins.

@@ -117,6 +117,9 @@ Status PartitioningSession::RunLpa(const CsrGraph& metrics_graph,
     mp.transport =
         dist::TransportOptions::Resolve(run_config.wire_max_payload);
     mp.worker_store_dir = execution_.worker_store_dir;
+    mp.rpc_timeout_ms = execution_.rpc_timeout_ms;
+    mp.heartbeat_period_ms = execution_.heartbeat_period_ms;
+    mp.max_recovery_attempts = execution_.max_recovery_attempts;
     if (execution_.mode == ExecutionMode::kTcp) {
       SPINNER_RETURN_IF_ERROR(EnsureRegistry());
       mp.worker_transport = registry_.get();

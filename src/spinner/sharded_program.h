@@ -68,6 +68,13 @@ struct WireTraffic {
   int64_t slices_downloaded = 0;
   int64_t slice_bytes_downloaded = 0;
   int64_t slices_resumed = 0;
+  /// Failure-recovery accounting: superstep phases retried after a worker
+  /// failure (each retry rebuilt the fleet, replayed the checkpointed
+  /// label state, and re-ran the phase — results stay bit-identical), and
+  /// endpoints newly acquired during those rebuilds. Zero on a
+  /// failure-free run or when execution.max_recovery_attempts == 0.
+  int64_t recoveries = 0;
+  int64_t workers_replaced = 0;
   /// Bytes sent to workers during each driver superstep, in the order of
   /// run_stats.per_superstep (Initialize, then Scores/Migrate rounds).
   std::vector<int64_t> per_superstep_bytes;

@@ -77,6 +77,56 @@ TEST(ExecutionOptionsTest, ValidateCatchesBadShapes) {
   EXPECT_TRUE(tiny_frames.Validate().ok());
 }
 
+TEST(ExecutionOptionsTest, ValidateRejectsBadRecoveryKnobs) {
+  // A zero or negative deadline would mean "hang forever" or "instantly
+  // hung" — both rejected rather than interpreted.
+  ExecutionOptions no_deadline;
+  no_deadline.rpc_timeout_ms = 0;
+  EXPECT_FALSE(no_deadline.Validate().ok());
+  no_deadline.rpc_timeout_ms = -5;
+  EXPECT_FALSE(no_deadline.Validate().ok());
+  no_deadline.rpc_timeout_ms = 1;
+  EXPECT_TRUE(no_deadline.Validate().ok());
+
+  ExecutionOptions no_heartbeat;
+  no_heartbeat.heartbeat_period_ms = 0;
+  EXPECT_FALSE(no_heartbeat.Validate().ok());
+  no_heartbeat.heartbeat_period_ms = -1;
+  EXPECT_FALSE(no_heartbeat.Validate().ok());
+  no_heartbeat.heartbeat_period_ms = 10;
+  EXPECT_TRUE(no_heartbeat.Validate().ok());
+
+  ExecutionOptions negative_attempts;
+  negative_attempts.max_recovery_attempts = -1;
+  EXPECT_FALSE(negative_attempts.Validate().ok());
+  negative_attempts.max_recovery_attempts = 0;  // recovery off: valid
+  EXPECT_TRUE(negative_attempts.Validate().ok());
+  negative_attempts.max_recovery_attempts = 3;
+  EXPECT_TRUE(negative_attempts.Validate().ok());
+}
+
+TEST(ExecutionOptionsTest, MergeCarriesTheRecoveryKnobs) {
+  ExecutionOptions fallback;
+  fallback.rpc_timeout_ms = 5'000;
+  fallback.heartbeat_period_ms = 100;
+  fallback.max_recovery_attempts = 4;
+
+  // Defaults in the primary fall through to the fallback's knobs.
+  ExecutionOptions merged = MergedExecution(ExecutionOptions{}, fallback);
+  EXPECT_EQ(merged.rpc_timeout_ms, 5'000);
+  EXPECT_EQ(merged.heartbeat_period_ms, 100);
+  EXPECT_EQ(merged.max_recovery_attempts, 4);
+
+  // Explicitly-set primary knobs win.
+  ExecutionOptions primary;
+  primary.rpc_timeout_ms = 250;
+  primary.max_recovery_attempts = 1;
+  merged = MergedExecution(primary, fallback);
+  EXPECT_EQ(merged.rpc_timeout_ms, 250);
+  EXPECT_EQ(merged.heartbeat_period_ms, 100);  // fell through
+  EXPECT_EQ(merged.max_recovery_attempts, 1);
+}
+
 TEST(ExecutionOptionsTest, ConfigResolvesDeprecatedFlatFields) {
   SpinnerConfig config;
   config.num_shards = 4;

@@ -175,6 +175,96 @@ TEST(PersistentShardStoreTest, CorruptBaseMeansRedownloadNotCrash) {
   EXPECT_FALSE(loaded->has_value());  // "re-download", never fatal
 }
 
+TEST(PersistentShardStoreTest, CorruptRecordRollsBackAndRedownloadHeals) {
+  // The failover-resume sequence: a replacement worker adopts a store
+  // whose delta log was damaged mid-record (not just a truncated tail).
+  // The log replay must roll back to the base, surface the STALE
+  // fingerprint — which the coordinator's Assign/Resume diff turns into
+  // a re-download of that one slice — and the subsequent Put must heal
+  // the store back to the current content.
+  const CsrGraph g1 = SmallWorldConverted(600, 3);
+  const CsrGraph g2 = SmallWorldConverted(600, 4);
+  auto s1 = ShardedGraphStore::Build(g1, 1);
+  auto s2 = ShardedGraphStore::Build(g2, 1);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  const std::string dir = FreshDir("spsb_failover");
+  {
+    PersistentShardStore disk(dir);
+    ASSERT_TRUE(disk.Put(0, SliceBytes(s1->shard(0))).ok());
+    ASSERT_TRUE(disk.Put(0, SliceBytes(s2->shard(0))).ok());  // record 0
+  }
+
+  // Flip a byte inside the record body (past the log header), corrupting
+  // the record itself rather than appending a torn tail.
+  {
+    std::FILE* f = std::fopen((dir + "/shard_0.dlog").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    const int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, 64, SEEK_SET), 0);
+    std::fputc(byte ^ 0x5a, f);
+    std::fclose(f);
+  }
+
+  // A fresh store instance (the replacement worker) replays the log: the
+  // corrupt record is ignored and the slice rolls back to the base — the
+  // fingerprint is v1's, NOT v2's, so a coordinator expecting v2 would
+  // re-download. Never an error, never a wedge.
+  PersistentShardStore replacement(dir);
+  auto loaded = replacement.Load(0);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->has_value());
+  EXPECT_EQ((*loaded)->fingerprint, ShardSliceFingerprint(s1->shard(0)));
+  EXPECT_NE((*loaded)->fingerprint, ShardSliceFingerprint(s2->shard(0)));
+  EXPECT_GT(replacement.corrupt_tails_ignored(), 0);
+
+  // The re-download (a Put of the authoritative bytes) heals the store.
+  ASSERT_TRUE(replacement.Put(0, SliceBytes(s2->shard(0))).ok());
+  auto healed = replacement.Load(0);
+  ASSERT_TRUE(healed.ok() && healed->has_value());
+  EXPECT_EQ((*healed)->fingerprint, ShardSliceFingerprint(s2->shard(0)));
+  EXPECT_EQ((*healed)->shard.targets, s2->shard(0).targets);
+}
+
+TEST(PersistentShardStoreTest, LogBoundToADifferentBaseIsRejectedWhole) {
+  // A replacement worker may inherit a base freshly re-downloaded after
+  // the old base was lost, plus a delta log still bound to the OLD base.
+  // The whole log must be rejected (fingerprint binding), leaving the
+  // new base's content — not a replay of records onto the wrong base.
+  const CsrGraph g1 = SmallWorldConverted(600, 3);
+  const CsrGraph g2 = SmallWorldConverted(600, 4);
+  const CsrGraph g3 = SmallWorldConverted(600, 5);
+  auto s1 = ShardedGraphStore::Build(g1, 1);
+  auto s2 = ShardedGraphStore::Build(g2, 1);
+  auto s3 = ShardedGraphStore::Build(g3, 1);
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  const std::string dir_old = FreshDir("spsb_rebind_old");
+  {
+    PersistentShardStore disk(dir_old);
+    ASSERT_TRUE(disk.Put(0, SliceBytes(s1->shard(0))).ok());
+    ASSERT_TRUE(disk.Put(0, SliceBytes(s2->shard(0))).ok());  // log record
+  }
+  const std::string dir = FreshDir("spsb_rebind");
+  {
+    PersistentShardStore disk(dir);
+    ASSERT_TRUE(disk.Put(0, SliceBytes(s3->shard(0))).ok());  // fresh base
+  }
+  // Splice the OLD store's delta log (bound to v1's base) next to the new
+  // v3 base — a partial restore from backup does exactly this.
+  std::filesystem::copy_file(
+      dir_old + "/shard_0.dlog", dir + "/shard_0.dlog",
+      std::filesystem::copy_options::overwrite_existing);
+
+  PersistentShardStore replacement(dir);
+  auto loaded = replacement.Load(0);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_TRUE(loaded->has_value());
+  // The stale log must not replay its v2 record onto v3's base.
+  EXPECT_EQ((*loaded)->fingerprint, ShardSliceFingerprint(s3->shard(0)));
+  EXPECT_GT(replacement.corrupt_tails_ignored(), 0);
+}
+
 // --- Worker layout (the index remap) --------------------------------------
 
 TEST(WorkerLayoutTest, SlotsCoverOwnedPlusSubscribedNotAllOfV) {

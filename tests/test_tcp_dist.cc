@@ -311,6 +311,141 @@ TEST(TcpSpinnerTest, WorkerDiesMidSuperstepSurfacesStatusNeverHangs) {
   }
 }
 
+TEST(TcpSpinnerTest, LostWorkerFailsOverToSurvivorsBitIdentical) {
+  // The acceptance scenario: a TCP run loses 1 of 3 workers
+  // mid-superstep; with recovery armed the coordinator tears the fleet
+  // down to the survivors (no replacement ever dials in), re-carves the
+  // dead worker's shard range onto them, replays label state, and
+  // finishes byte-identical to the failure-free in-process run.
+  const CsrGraph g = SmallWorldConverted(900, 23);
+  SpinnerConfig config;
+  config.num_partitions = 5;
+  config.seed = 3;
+  config.max_iterations = 6;
+  config.use_halting = false;
+  const int kShards = 6;
+
+  std::vector<PartitionId> reference_labels;
+  auto reference = ReferenceRun(config, g, kShards, &reference_labels);
+  ASSERT_TRUE(reference.ok());
+
+  auto registry = WorkerRegistry::Listen(RegistryOptions{});
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  MultiProcessOptions options;
+  options.num_workers = 3;
+  options.worker_transport = registry->get();
+  options.fail_after_score_steps = 2;  // worker 1 dies mid-superstep
+  options.fail_worker = 1;
+  options.max_recovery_attempts = 2;
+  options.heartbeat_period_ms = 25;
+  // Bounds the wait for a replacement that never comes.
+  options.rpc_timeout_ms = 1'500;
+  std::vector<pid_t> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.push_back(
+        ForkTcpWorker((*registry)->address(), options.transport));
+  }
+
+  auto store = ShardedGraphStore::Build(g, kShards);
+  ASSERT_TRUE(store.ok());
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                          options, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(store->labels(), reference_labels);
+  EXPECT_EQ(run->iterations, reference->iterations);
+  ASSERT_EQ(run->history.size(), reference->history.size());
+  for (size_t i = 0; i < run->history.size(); ++i) {
+    EXPECT_EQ(run->history[i].score, reference->history[i].score) << i;
+    EXPECT_EQ(run->history[i].phi, reference->history[i].phi) << i;
+    EXPECT_EQ(run->history[i].rho, reference->history[i].rho) << i;
+    EXPECT_EQ(run->history[i].loads, reference->history[i].loads) << i;
+  }
+  EXPECT_GE(run->wire.recoveries, 1);
+  EXPECT_EQ(run->wire.workers_replaced, 0);  // survivors absorbed it
+
+  // The two survivors were released back to the pool; the third is a
+  // corpse with exit code 3 (the crash hook).
+  EXPECT_EQ((*registry)->num_pooled(), 2);
+  registry->reset();
+  int crashed = 0;
+  for (const pid_t pid : workers) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    if (WEXITSTATUS(status) == 3) {
+      ++crashed;
+    } else {
+      EXPECT_EQ(WEXITSTATUS(status), 0) << "worker pid " << pid;
+    }
+  }
+  EXPECT_EQ(crashed, 1);
+}
+
+TEST(TcpSpinnerTest, ReplacementDialInTakesOverTheDeadWorkersShards) {
+  // Failover with a spare: a 4th worker dials in while the fleet is
+  // being rebuilt and adopts the dead worker's range — the run completes
+  // with a full-strength fleet and workers_replaced records the top-up.
+  const CsrGraph g = SmallWorldConverted(900, 23);
+  SpinnerConfig config;
+  config.num_partitions = 5;
+  config.seed = 3;
+  config.max_iterations = 6;
+  config.use_halting = false;
+  const int kShards = 6;
+
+  std::vector<PartitionId> reference_labels;
+  auto reference = ReferenceRun(config, g, kShards, &reference_labels);
+  ASSERT_TRUE(reference.ok());
+
+  auto registry = WorkerRegistry::Listen(RegistryOptions{});
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  MultiProcessOptions options;
+  options.num_workers = 3;
+  options.worker_transport = registry->get();
+  options.fail_after_score_steps = 1;
+  options.fail_worker = 0;
+  options.max_recovery_attempts = 2;
+  options.heartbeat_period_ms = 25;
+  options.rpc_timeout_ms = 10'000;  // plenty for the spare to hande over
+  std::vector<pid_t> workers;
+  for (int w = 0; w < 3; ++w) {
+    workers.push_back(
+        ForkTcpWorker((*registry)->address(), options.transport));
+  }
+  // The spare dials in immediately; it idles in the accept queue until
+  // the recovery top-up acquires it.
+  workers.push_back(
+      ForkTcpWorker((*registry)->address(), options.transport));
+
+  auto store = ShardedGraphStore::Build(g, kShards);
+  ASSERT_TRUE(store.ok());
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                          options, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(store->labels(), reference_labels);
+  ASSERT_EQ(run->history.size(), reference->history.size());
+  for (size_t i = 0; i < run->history.size(); ++i) {
+    EXPECT_EQ(run->history[i].score, reference->history[i].score) << i;
+    EXPECT_EQ(run->history[i].phi, reference->history[i].phi) << i;
+    EXPECT_EQ(run->history[i].rho, reference->history[i].rho) << i;
+  }
+  EXPECT_GE(run->wire.recoveries, 1);
+  EXPECT_EQ(run->wire.workers_replaced, 1);
+  EXPECT_EQ((*registry)->num_pooled(), 3);  // 2 survivors + the spare
+
+  registry->reset();
+  int crashed = 0;
+  for (const pid_t pid : workers) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    if (WEXITSTATUS(status) == 3) ++crashed;
+  }
+  EXPECT_EQ(crashed, 1);
+}
+
 TEST(TcpSpinnerTest, PooledWorkersResumeWithZeroSliceDownload) {
   const CsrGraph g = SmallWorldConverted(900, 23);
   SpinnerConfig config;
@@ -438,6 +573,91 @@ TEST(TcpSpinnerTest, RestartedWorkersResumeFromStoreWithZeroDownload) {
   EXPECT_EQ(run->wire.slices_downloaded, 0);
   EXPECT_EQ(run->wire.slice_bytes_downloaded, 0);
   EXPECT_EQ(run->wire.slices_resumed, kShards);
+  EXPECT_EQ(store->labels(), labels1);
+
+  registry->reset();
+  for (const pid_t pid : workers) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+}
+
+TEST(TcpSpinnerTest, CorruptStoreOnRestartRedownloadsOnlyThatSlice) {
+  // The failover-resume contract of the persistent store: a replacement
+  // (here: restarted) worker whose on-disk copy of one shard is damaged
+  // must report a stale fingerprint for it and re-download exactly that
+  // slice — the rest of the store still resumes with zero download, and
+  // the run's result is unaffected.
+  const CsrGraph g = SmallWorldConverted(900, 29);
+  SpinnerConfig config;
+  config.num_partitions = 5;
+  config.seed = 9;
+  config.max_iterations = 6;
+  config.use_halting = false;
+  const int kShards = 4;
+  const int kWorkers = 2;
+  const std::string store_dir =
+      testing::TempDir() + "/tcp_torn_store";
+  std::filesystem::remove_all(store_dir);
+  std::vector<PartitionId> labels1;
+
+  {
+    auto registry = WorkerRegistry::Listen(RegistryOptions{});
+    ASSERT_TRUE(registry.ok()) << registry.status();
+    MultiProcessOptions options;
+    options.num_workers = kWorkers;
+    options.worker_transport = registry->get();
+    dist::WorkerLoopOptions loop;
+    loop.store_dir = store_dir;
+    std::vector<pid_t> workers;
+    for (int w = 0; w < kWorkers; ++w) {
+      workers.push_back(
+          ForkTcpWorker((*registry)->address(), options.transport, loop));
+    }
+    auto store = ShardedGraphStore::Build(g, kShards);
+    ASSERT_TRUE(store.ok());
+    std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+    auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                            options, nullptr);
+    ASSERT_TRUE(run.ok()) << run.status();
+    labels1 = store->labels();
+    registry->reset();
+    ReapAll(&workers);
+  }
+
+  // Damage shard 0's base mid-file (a torn write, not just an appended
+  // tail — appended garbage on the delta log is ignored by design and
+  // costs no download). Load() rolls this back to "absent".
+  {
+    dist::PersistentShardStore probe(store_dir);
+    std::FILE* f = std::fopen(probe.BasePath(0).c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 40, SEEK_SET), 0);
+    std::fputc(0xff, f);
+    std::fclose(f);
+  }
+
+  auto registry = WorkerRegistry::Listen(RegistryOptions{});
+  ASSERT_TRUE(registry.ok()) << registry.status();
+  MultiProcessOptions options;
+  options.num_workers = kWorkers;
+  options.worker_transport = registry->get();
+  dist::WorkerLoopOptions loop;
+  loop.store_dir = store_dir;
+  std::vector<pid_t> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.push_back(
+        ForkTcpWorker((*registry)->address(), options.transport, loop));
+  }
+  auto store = ShardedGraphStore::Build(g, kShards);
+  ASSERT_TRUE(store.ok());
+  std::vector<PartitionId> no_labels(g.NumVertices(), kNoPartition);
+  auto run = dist::RunMultiProcessSpinner(config, &*store, no_labels,
+                                          options, nullptr);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->wire.slices_downloaded, 1);
+  EXPECT_EQ(run->wire.slices_resumed, kShards - 1);
   EXPECT_EQ(store->labels(), labels1);
 
   registry->reset();
