@@ -45,6 +45,7 @@
 #include "common/cli.h"
 #include "dist/transport.h"
 #include "dist/worker.h"
+#include "elastic/policy_spec.h"
 #include "graph/conversion.h"
 #include "graph/edge_list.h"
 #include "graph/generators.h"
@@ -106,13 +107,23 @@ const Subcommand kSubcommands[] = {
      "usage: partition_tool adapt --input=EDGES --previous=PARTS [flags]\n"
      "  --input=FILE         edge-list file (required)\n"
      "  --previous=FILE      previous partitioning (required)\n"
-     "  --out=FILE           write the adapted partitioning here\n"},
+     "  --out=FILE           write the adapted partitioning here\n"
+     "  --policy=SPEC        after adapting, let an autoscaling policy\n"
+     "                       decide whether to rescale too;\n"
+     "                       spec: name[:key=value,...], see --policy=help\n"
+     "  --capacity=N         machines available to the policy (0 = "
+     "unbounded)\n"},
     {"rescale", "elastic adaptation to a new partition count",
      "usage: partition_tool rescale --input=EDGES --previous=PARTS "
      "--new-k=N [flags]\n"
      "  --input=FILE         edge-list file (required)\n"
      "  --previous=FILE      previous partitioning (required)\n"
      "  --new-k=N            target partition count\n"
+     "  --policy=SPEC        let an autoscaling policy pick the target k\n"
+     "                       instead of --new-k;\n"
+     "                       spec: name[:key=value,...], see --policy=help\n"
+     "  --capacity=N         machines available to the policy (0 = "
+     "unbounded)\n"
      "  --out=FILE           write the rescaled partitioning here\n"},
     {"metrics", "score an existing partition file",
      "usage: partition_tool metrics --input=EDGES --parts=PARTS --k=N\n"
@@ -262,6 +273,42 @@ int Report(const CsrGraph& g, const std::vector<PartitionId>& labels, int k,
               m->rho, static_cast<long long>(m->cut_weight),
               static_cast<long long>(m->total_weight));
   return 0;
+}
+
+/// One-shot policy evaluation for `adapt`/`rescale` --policy=SPEC: builds
+/// the same signals the ElasticController publishes from a metrics pass
+/// over `labels`, asks the policy once, prints the verdict, and returns
+/// the k the partitioning should run at (the current k on hold). The spec
+/// grammar is shared with the simulator's policy lab via
+/// elastic::MakePolicy. Note this is a single evaluation: a
+/// hysteresis=N (N>1) wrapper can never fire here.
+Result<int> PolicyTargetK(const std::string& spec, const CsrGraph& g,
+                          const std::vector<PartitionId>& labels, int k,
+                          double c, int available_capacity) {
+  SPINNER_ASSIGN_OR_RETURN(std::unique_ptr<elastic::ScalingPolicy> policy,
+                           elastic::MakePolicy(spec));
+  SPINNER_ASSIGN_OR_RETURN(PartitionMetrics m,
+                           ComputeMetrics(g, labels, k, c));
+  elastic::ScalingSignals signals;
+  signals.current_k = k;
+  signals.phi = m.phi;
+  signals.rho = m.rho;
+  signals.score = m.score;
+  for (int64_t load : m.loads) {
+    if (load > signals.max_load) signals.max_load = load;
+  }
+  signals.total_weight = m.total_weight;
+  signals.available_capacity = available_capacity;
+  const elastic::ScalingDecision decision = policy->Decide(signals);
+  if (decision.acts()) {
+    std::printf("policy %s: %s k=%d -> %d  (%s)\n", policy->name().c_str(),
+                elastic::ToString(decision.action), k, decision.target_k,
+                decision.reason.c_str());
+    return decision.target_k;
+  }
+  std::printf("policy %s: hold at k=%d  (%s)\n", policy->name().c_str(), k,
+              decision.reason.c_str());
+  return k;
 }
 
 int RunWorker(const CommandLine& cli) {
@@ -455,20 +502,63 @@ int main(int argc, char** argv) {
     auto previous = graph_io::ReadPartitioning(
         cli.GetString("previous", ""), loaded->num_vertices);
     if (!previous.ok()) return Fail(previous.status());
+    const std::string policy_spec = cli.GetString("policy", "");
+    if (policy_spec == "help") {
+      std::fprintf(stderr, "%s\n", elastic::PolicySpecHelp().c_str());
+      return 0;
+    }
     if (command == "adapt") {
       if (!(*partitioner)->SupportsRepartition()) {
         return Fail(Status::Unimplemented(
             partitioner_name + " does not support adapt"));
       }
       labels = (*partitioner)->Repartition(loaded->converted, k, *previous);
+      if (labels.ok() && !policy_spec.empty()) {
+        // Post-adapt elasticity check: did the drift that adapt absorbed
+        // push the cluster past the policy's comfort zone?
+        auto target = PolicyTargetK(
+            policy_spec, loaded->converted, *labels, k, c,
+            static_cast<int>(cli.GetInt("capacity", 0)));
+        if (!target.ok()) return Fail(target.status());
+        if (*target != k) {
+          if (!(*partitioner)->SupportsRescale()) {
+            return Fail(Status::Unimplemented(
+                partitioner_name + " does not support rescale"));
+          }
+          result_k = *target;
+          labels = (*partitioner)->Rescale(loaded->converted, *labels, k,
+                                           result_k);
+        }
+      }
     } else {
       if (!(*partitioner)->SupportsRescale()) {
         return Fail(Status::Unimplemented(
             partitioner_name + " does not support rescale"));
       }
-      result_k = static_cast<int>(cli.GetInt("new-k", k));
-      labels = (*partitioner)->Rescale(loaded->converted, *previous, k,
-                                       result_k);
+      if (!policy_spec.empty()) {
+        // The policy picks the target from the previous partitioning's
+        // signals; --new-k is ignored (one decision, not a mandate).
+        if (cli.Has("new-k")) {
+          std::fprintf(stderr,
+                       "note: --policy decides the target; ignoring "
+                       "--new-k\n");
+        }
+        auto target = PolicyTargetK(
+            policy_spec, loaded->converted, *previous, k, c,
+            static_cast<int>(cli.GetInt("capacity", 0)));
+        if (!target.ok()) return Fail(target.status());
+        result_k = *target;
+        if (result_k == k) {
+          labels = std::move(*previous);  // hold: nothing to migrate
+        } else {
+          labels = (*partitioner)->Rescale(loaded->converted, *previous, k,
+                                           result_k);
+        }
+      } else {
+        result_k = static_cast<int>(cli.GetInt("new-k", k));
+        labels = (*partitioner)->Rescale(loaded->converted, *previous, k,
+                                         result_k);
+      }
     }
   } else if (command == "metrics") {
     auto parts = graph_io::ReadPartitioning(cli.GetString("parts", ""),

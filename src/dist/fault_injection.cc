@@ -279,7 +279,10 @@ void PumpFrames(int src, int dst, int real_fd, int proxy_fd, int stop_fd,
       if (errno == EINTR) continue;
       break;
     }
-    if (fds[1].revents != 0) break;  // stop requested
+    // Stop requested (Release/Destroy): exit without touching either
+    // side — the real connection may be on its way to a registry pool,
+    // and a half-close here would make the idle worker read EOF and die.
+    if (fds[1].revents != 0) return;
     if (fds[0].revents == 0) continue;
 
     if (raw_passthrough) {
@@ -470,8 +473,11 @@ void FaultInjectingTransport::Release(WorkerEndpoint endpoint) {
     inner_->Release(std::move(endpoint));
     return;
   }
-  endpoint.socket.Close();  // our proxy end; the real connection lives on
+  // Stop the pumps BEFORE closing our proxy end: closing first would wake
+  // the to-worker pump with a genuine source EOF, which it would propagate
+  // onto the real connection — killing the worker we are about to pool.
   proxy->Stop();
+  endpoint.socket.Close();
   if (proxy->closed.load()) {
     // A close fault killed the real connection — never pool a corpse.
     inner_->Destroy(std::move(proxy->real));
@@ -486,8 +492,8 @@ void FaultInjectingTransport::Destroy(WorkerEndpoint endpoint) {
     inner_->Destroy(std::move(endpoint));
     return;
   }
-  endpoint.socket.Close();
   proxy->Stop();
+  endpoint.socket.Close();
   inner_->Destroy(std::move(proxy->real));
 }
 

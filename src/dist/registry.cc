@@ -281,4 +281,17 @@ void WorkerRegistry::Destroy(WorkerEndpoint endpoint) {
   endpoint.socket.Close();
 }
 
+int WorkerRegistry::DrainPooled(int keep) {
+  if (keep < 0) keep = 0;
+  int drained = 0;
+  while (static_cast<int>(pool_.size()) > keep) {
+    // Closing the coordinator side is the whole drain protocol: the
+    // dial-in worker's serve loop reads EOF and exits 0.
+    pool_.back().socket.Close();
+    pool_.pop_back();
+    ++drained;
+  }
+  return drained;
+}
+
 }  // namespace spinner::dist

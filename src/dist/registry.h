@@ -150,6 +150,16 @@ class WorkerRegistry final : public Transport {
   void Release(WorkerEndpoint endpoint) override;
   void Destroy(WorkerEndpoint endpoint) override;
 
+  /// Elastic scale-in: closes pooled connections until at most `keep`
+  /// remain (newest releases drained first) and returns how many were
+  /// closed. A drained dial-in worker sees EOF on its coordinator
+  /// connection and exits cleanly (RunTcpWorker returns 0) — the
+  /// registry-side half of a controller shrinking the fleet. Connections
+  /// currently checked out by a run are untouched; scale-*out* needs no
+  /// registry call at all, the next Acquire simply waits for more
+  /// dial-ins.
+  int DrainPooled(int keep);
+
  private:
   WorkerRegistry() = default;
 

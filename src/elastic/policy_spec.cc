@@ -1,0 +1,219 @@
+#include "elastic/policy_spec.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace spinner::elastic {
+namespace {
+
+/// The `key=value,...` tail of a spec, parsed but not yet interpreted.
+/// Consumers Take() the keys they understand; whatever remains at the end
+/// is an error (strict parsing).
+class KeyValues {
+ public:
+  static Result<KeyValues> Parse(std::string_view tail) {
+    KeyValues kv;
+    if (tail.empty()) return kv;
+    for (std::string_view field : Split(tail, ',')) {
+      field = Trim(field);
+      if (field.empty()) {
+        return Status::InvalidArgument("policy spec has an empty option");
+      }
+      const size_t eq = field.find('=');
+      if (eq == std::string_view::npos || eq == 0 ||
+          eq + 1 == field.size()) {
+        return Status::InvalidArgument(
+            StrFormat("policy option '%.*s' is not key=value",
+                      static_cast<int>(field.size()), field.data()));
+      }
+      const std::string key(Trim(field.substr(0, eq)));
+      const std::string value(Trim(field.substr(eq + 1)));
+      if (!kv.entries_.emplace(key, value).second) {
+        return Status::InvalidArgument(
+            StrFormat("policy option '%s' given twice", key.c_str()));
+      }
+    }
+    return kv;
+  }
+
+  /// Removes and parses `key` as a double; leaves *out untouched when the
+  /// key is absent.
+  Status TakeDouble(const std::string& key, double* out) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return Status::OK();
+    if (!ParseDouble(it->second, out)) {
+      return Status::InvalidArgument(StrFormat(
+          "policy option %s=%s is not a number", key.c_str(),
+          it->second.c_str()));
+    }
+    entries_.erase(it);
+    return Status::OK();
+  }
+
+  Status TakeInt(const std::string& key, int64_t* out) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return Status::OK();
+    if (!ParseInt64(it->second, out)) {
+      return Status::InvalidArgument(StrFormat(
+          "policy option %s=%s is not an integer", key.c_str(),
+          it->second.c_str()));
+    }
+    entries_.erase(it);
+    return Status::OK();
+  }
+
+  /// The strictness check: every key must have been consumed.
+  Status ExpectEmpty(std::string_view policy) const {
+    if (entries_.empty()) return Status::OK();
+    std::string unknown;
+    for (const auto& [key, value] : entries_) {
+      if (!unknown.empty()) unknown += ", ";
+      unknown += key;
+    }
+    return Status::InvalidArgument(
+        StrFormat("unknown option(s) for policy '%.*s': %s",
+                  static_cast<int>(policy.size()), policy.data(),
+                  unknown.c_str()));
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+#define ELASTIC_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    Status _status = (expr);                     \
+    if (!_status.ok()) return _status;           \
+  } while (0)
+
+Status TakePositiveInt(KeyValues& kv, const std::string& key, int* out) {
+  int64_t value = *out;
+  ELASTIC_RETURN_IF_ERROR(kv.TakeInt(key, &value));
+  if (value < 1) {
+    return Status::InvalidArgument(StrFormat(
+        "policy option %s=%lld must be >= 1", key.c_str(),
+        static_cast<long long>(value)));
+  }
+  *out = static_cast<int>(value);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ScalingPolicy>> MakeWatermark(KeyValues kv) {
+  CapacityWatermarkPolicy::Options options;
+  ELASTIC_RETURN_IF_ERROR(kv.TakeDouble("high", &options.high));
+  ELASTIC_RETURN_IF_ERROR(kv.TakeDouble("low", &options.low));
+  ELASTIC_RETURN_IF_ERROR(TakePositiveInt(kv, "step", &options.step));
+  ELASTIC_RETURN_IF_ERROR(TakePositiveInt(kv, "min-k", &options.min_k));
+  int64_t max_k = options.max_k;
+  ELASTIC_RETURN_IF_ERROR(kv.TakeInt("max-k", &max_k));
+  int64_t machine_capacity = options.machine_capacity;
+  ELASTIC_RETURN_IF_ERROR(kv.TakeInt("machine-capacity", &machine_capacity));
+  ELASTIC_RETURN_IF_ERROR(kv.ExpectEmpty("watermark"));
+  if (max_k < 0 || machine_capacity < 0) {
+    return Status::InvalidArgument(
+        "watermark max-k / machine-capacity must be >= 0 (0 = unbounded)");
+  }
+  options.max_k = static_cast<int>(max_k);
+  options.machine_capacity = machine_capacity;
+  if (!(options.low < options.high)) {
+    return Status::InvalidArgument(StrFormat(
+        "watermark needs low < high, got low=%.4f high=%.4f", options.low,
+        options.high));
+  }
+  return std::unique_ptr<ScalingPolicy>(
+      std::make_unique<CapacityWatermarkPolicy>(options));
+}
+
+Result<std::unique_ptr<ScalingPolicy>> MakeCut(KeyValues kv) {
+  CutDegradationPolicy::Options options;
+  ELASTIC_RETURN_IF_ERROR(kv.TakeDouble("budget", &options.budget));
+  ELASTIC_RETURN_IF_ERROR(TakePositiveInt(kv, "window", &options.window));
+  ELASTIC_RETURN_IF_ERROR(TakePositiveInt(kv, "step", &options.step));
+  ELASTIC_RETURN_IF_ERROR(TakePositiveInt(kv, "min-k", &options.min_k));
+  int64_t max_k = options.max_k;
+  ELASTIC_RETURN_IF_ERROR(kv.TakeInt("max-k", &max_k));
+  ELASTIC_RETURN_IF_ERROR(kv.ExpectEmpty("cut"));
+  if (max_k < 0) {
+    return Status::InvalidArgument("cut max-k must be >= 0 (0 = unbounded)");
+  }
+  options.max_k = static_cast<int>(max_k);
+  if (options.budget <= 0.0) {
+    return Status::InvalidArgument(StrFormat(
+        "cut budget=%.4f must be > 0", options.budget));
+  }
+  return std::unique_ptr<ScalingPolicy>(
+      std::make_unique<CutDegradationPolicy>(options));
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ScalingPolicy>> MakePolicy(std::string_view spec) {
+  spec = Trim(spec);
+  if (spec.empty()) {
+    return Status::InvalidArgument("empty policy spec; " + PolicySpecHelp());
+  }
+  std::string_view name = spec;
+  std::string_view tail;
+  if (const size_t colon = spec.find(':'); colon != std::string_view::npos) {
+    name = Trim(spec.substr(0, colon));
+    tail = spec.substr(colon + 1);
+  }
+  SPINNER_ASSIGN_OR_RETURN(KeyValues kv, KeyValues::Parse(tail));
+
+  // Wrapper keys first: every base policy accepts them.
+  int64_t hysteresis = 0;
+  int64_t cooldown_ms = 0;
+  ELASTIC_RETURN_IF_ERROR(kv.TakeInt("hysteresis", &hysteresis));
+  ELASTIC_RETURN_IF_ERROR(kv.TakeInt("cooldown-ms", &cooldown_ms));
+  if (hysteresis < 0 || cooldown_ms < 0) {
+    return Status::InvalidArgument(
+        "hysteresis / cooldown-ms must be >= 0 (0 = disabled)");
+  }
+
+  std::unique_ptr<ScalingPolicy> policy;
+  if (name == "none") {
+    ELASTIC_RETURN_IF_ERROR(kv.ExpectEmpty(name));
+    policy = std::make_unique<NullPolicy>();
+  } else if (name == "watermark") {
+    SPINNER_ASSIGN_OR_RETURN(policy, MakeWatermark(std::move(kv)));
+  } else if (name == "cut") {
+    SPINNER_ASSIGN_OR_RETURN(policy, MakeCut(std::move(kv)));
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown policy '%.*s'; ", static_cast<int>(name.size()),
+                  name.data()) +
+        PolicySpecHelp());
+  }
+
+  // Hysteresis inside, cooldown outside: a streak that hysteresis is
+  // still suppressing must not re-arm the cooldown timer.
+  if (hysteresis > 0) {
+    policy = std::make_unique<HysteresisPolicy>(
+        std::move(policy), static_cast<int>(hysteresis));
+  }
+  if (cooldown_ms > 0) {
+    policy = std::make_unique<CooldownPolicy>(std::move(policy),
+                                              cooldown_ms * 1000);
+  }
+  return policy;
+}
+
+std::string PolicySpecHelp() {
+  return
+      "known policies (spec: name[:key=value,...]):\n"
+      "  none        never rescale (the baseline)\n"
+      "  watermark   load watermarks; keys: high, low, step, min-k, max-k,\n"
+      "              machine-capacity (0 = watch rho, >0 = watch\n"
+      "              max_load/machine-capacity utilization)\n"
+      "  cut         phi-degradation trigger; keys: budget, window, step,\n"
+      "              min-k, max-k\n"
+      "  any policy also accepts hysteresis=N (require N consecutive\n"
+      "  identical proposals) and cooldown-ms=N (suppress actions within\n"
+      "  N ms of the last executed one)";
+}
+
+}  // namespace spinner::elastic

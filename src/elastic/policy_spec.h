@@ -1,0 +1,38 @@
+// One textual policy-spec grammar shared by every surface that lets a
+// human pick a ScalingPolicy — `partition_tool adapt --policy=...`, the
+// trace-replay lab, the elastic bench sweep, the example:
+//
+//   name[:key=value,key=value,...]
+//
+//   none
+//   watermark:high=1.2,low=0.5,step=2,min-k=2,max-k=32,machine-capacity=50000
+//   cut:budget=0.05,window=8
+//   watermark:high=1.2,hysteresis=3,cooldown-ms=5000
+//
+// `hysteresis=N` and `cooldown-ms=N` are wrapper keys accepted by every
+// base policy; they wrap the parsed policy in HysteresisPolicy /
+// CooldownPolicy (cooldown outermost, so a suppressed streak does not
+// restart the cooldown clock). Parsing is strict: unknown names, unknown
+// keys, malformed numbers and out-of-range values are errors, not
+// defaults — a typo'd watermark must not silently become "none".
+#ifndef SPINNER_ELASTIC_POLICY_SPEC_H_
+#define SPINNER_ELASTIC_POLICY_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "elastic/scaling_policy.h"
+
+namespace spinner::elastic {
+
+/// Parses `spec` and builds the policy it names, wrappers applied.
+Result<std::unique_ptr<ScalingPolicy>> MakePolicy(std::string_view spec);
+
+/// One line per known policy/key, for --help text and error messages.
+std::string PolicySpecHelp();
+
+}  // namespace spinner::elastic
+
+#endif  // SPINNER_ELASTIC_POLICY_SPEC_H_

@@ -1,0 +1,357 @@
+// When should a maintained partitioning change its own shape? The paper's
+// elasticity mechanisms (§III.E Rescale, the kTcp worker registry) are
+// reactive primitives — something still has to *decide* to invoke them.
+// ScalingPolicy is that decision point: a pure function from the live
+// quality/load signals (the φ/ρ/score stream the ProgressObserver already
+// publishes, staleness from the ingestion service, per-partition loads)
+// to "hold / scale out to k' / scale in to k'". Hanai et al. (arXiv
+// 2101.07026) frame the trade-off these policies navigate: scaling is a
+// spend of migration time and transient quality against future capacity.
+//
+// Policies are deliberately clock-free: every time input arrives in
+// ScalingSignals::now_micros, stamped by the ElasticController from an
+// injected stream::Clock — so a ManualClock makes every decision sequence
+// (including cooldown windows) deterministic under test, exactly like the
+// ingestion TriggerPolicy family in stream/trigger_policy.h.
+//
+// Decide() may be stateful (sliding windows, streak counters, cooldown
+// anchors) but is only ever called from one thread — the ingestion thread
+// in the streaming path, the caller's thread in the blocking path.
+#ifndef SPINNER_ELASTIC_SCALING_POLICY_H_
+#define SPINNER_ELASTIC_SCALING_POLICY_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace spinner::elastic {
+
+/// Everything a policy may react to. The ElasticController fills one of
+/// these after every applied window (streaming path) or on demand
+/// (blocking path); all quality numbers come from the same
+/// ComputeMetricsEx pass the session itself reports, so they are
+/// bit-deterministic for a fixed event sequence.
+struct ScalingSignals {
+  /// Current partition count of the session.
+  int current_k = 0;
+  /// Weighted ratio of local edges φ after the last apply.
+  double phi = 0.0;
+  /// Maximum normalized load ρ = max_l b(l) / (|E|/k).
+  double rho = 0.0;
+  /// Normalized global score (Eq. 10); 0 when the caller has no history.
+  double score = 0.0;
+  /// Heaviest per-partition load b(l) in weighted arcs — the absolute
+  /// number a physical machine actually has to serve (ρ is relative to
+  /// the per-k ideal share, so it cannot see the graph *growing*).
+  int64_t max_load = 0;
+  /// Total arc weight |E| (Σ_l b(l)).
+  int64_t total_weight = 0;
+  /// "Now" in the controller clock's microsecond domain.
+  int64_t now_micros = 0;
+  /// Staleness of the oldest event the partitioning has not absorbed at
+  /// the last apply (stream path; 0 when idle or blocking).
+  int64_t staleness_micros = 0;
+  /// Events folded into the window that produced these signals.
+  int64_t window_events = 0;
+  /// Machines the cluster can currently host partitions on; 0 = no bound
+  /// advertised. Capacity-change events of a load trace land here.
+  int available_capacity = 0;
+};
+
+enum class ScalingAction { kHold, kScaleOut, kScaleIn };
+
+inline const char* ToString(ScalingAction action) {
+  switch (action) {
+    case ScalingAction::kHold: return "hold";
+    case ScalingAction::kScaleOut: return "scale-out";
+    case ScalingAction::kScaleIn: return "scale-in";
+  }
+  return "?";
+}
+
+/// One verdict. `reason` is human-readable and lands verbatim in the
+/// controller's decision log, so keep it deterministic (no pointers, no
+/// wall-clock text).
+struct ScalingDecision {
+  ScalingAction action = ScalingAction::kHold;
+  /// Target partition count; meaningful iff action != kHold.
+  int target_k = 0;
+  std::string reason;
+
+  bool acts() const { return action != ScalingAction::kHold; }
+
+  static ScalingDecision Hold(std::string reason = "") {
+    return {ScalingAction::kHold, 0, std::move(reason)};
+  }
+  static ScalingDecision ScaleOut(int target_k, std::string reason) {
+    return {ScalingAction::kScaleOut, target_k, std::move(reason)};
+  }
+  static ScalingDecision ScaleIn(int target_k, std::string reason) {
+    return {ScalingAction::kScaleIn, target_k, std::move(reason)};
+  }
+};
+
+/// The pluggable decision point. Implementations may keep state across
+/// calls (Decide is never called concurrently) and must be deterministic:
+/// the same signal sequence yields the same decision sequence.
+class ScalingPolicy {
+ public:
+  virtual ~ScalingPolicy() = default;
+  virtual ScalingDecision Decide(const ScalingSignals& signals) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Clamps a proposed partition count to the policy's k bounds and the
+/// advertised cluster capacity. `max_k` 0 = unbounded.
+inline int ClampTargetK(int k, int min_k, int max_k, int available_capacity) {
+  if (max_k > 0 && k > max_k) k = max_k;
+  if (available_capacity > 0 && k > available_capacity) {
+    k = available_capacity;
+  }
+  if (k < min_k) k = min_k;
+  return k;
+}
+
+/// The "none" policy: never acts. Replaying a trace under it must
+/// reproduce a controller-free run byte-for-byte — the contract the
+/// determinism tests pin.
+class NullPolicy final : public ScalingPolicy {
+ public:
+  ScalingDecision Decide(const ScalingSignals&) override {
+    return ScalingDecision::Hold("policy none never acts");
+  }
+  std::string name() const override { return "none"; }
+};
+
+/// Capacity watermarks: scale out when the load watermark crosses `high`,
+/// back in when it settles under `low`.
+///
+/// Two load gauges, selected by `machine_capacity`:
+///   * 0 (default): the gauge is ρ itself — scale out when max ρ crosses
+///     the high watermark (balance unattainable at this k: the LPA cannot
+///     pack the heaviest partition under its ideal share, e.g. atomic
+///     hubs), in on the low one.
+///   * > 0: the gauge is utilization max_load / machine_capacity — the
+///     cloud reading, where each partition maps to a machine of fixed
+///     serving capacity. ρ cannot see the graph growing (its denominator
+///     |E|/k grows too); absolute load can, which is what "we need more
+///     machines" physically means.
+class CapacityWatermarkPolicy final : public ScalingPolicy {
+ public:
+  struct Options {
+    /// Gauge level that triggers scale-out (exclusive lower bound is the
+    /// low watermark; must satisfy low < high).
+    double high = 1.15;
+    /// Gauge level at or below which the policy scales in.
+    double low = 0.55;
+    /// Partitions added/removed per decision.
+    int step = 1;
+    int min_k = 2;
+    /// 0 = unbounded (the cluster's available capacity still caps).
+    int max_k = 0;
+    /// Weighted arcs one machine serves; 0 selects the ρ gauge.
+    int64_t machine_capacity = 0;
+  };
+
+  explicit CapacityWatermarkPolicy(Options options) : options_(options) {}
+
+  ScalingDecision Decide(const ScalingSignals& signals) override {
+    const bool physical = options_.machine_capacity > 0;
+    const double gauge =
+        physical ? static_cast<double>(signals.max_load) /
+                       static_cast<double>(options_.machine_capacity)
+                 : signals.rho;
+    const char* gauge_name = physical ? "utilization" : "rho";
+    if (gauge >= options_.high) {
+      const int target =
+          ClampTargetK(signals.current_k + options_.step, options_.min_k,
+                       options_.max_k, signals.available_capacity);
+      if (target > signals.current_k) {
+        return ScalingDecision::ScaleOut(
+            target, StrFormat("%s %.4f >= high watermark %.4f", gauge_name,
+                              gauge, options_.high));
+      }
+      return ScalingDecision::Hold(
+          StrFormat("%s %.4f >= high watermark %.4f but k=%d is capped",
+                    gauge_name, gauge, options_.high, signals.current_k));
+    }
+    if (gauge <= options_.low) {
+      const int target =
+          ClampTargetK(signals.current_k - options_.step, options_.min_k,
+                       options_.max_k, signals.available_capacity);
+      if (target < signals.current_k) {
+        return ScalingDecision::ScaleIn(
+            target, StrFormat("%s %.4f <= low watermark %.4f", gauge_name,
+                              gauge, options_.low));
+      }
+      return ScalingDecision::Hold(
+          StrFormat("%s %.4f <= low watermark %.4f but k=%d is the floor",
+                    gauge_name, gauge, options_.low, signals.current_k));
+    }
+    return ScalingDecision::Hold(
+        StrFormat("%s %.4f within watermarks [%.4f, %.4f]", gauge_name,
+                  gauge, options_.low, options_.high));
+  }
+
+  std::string name() const override { return "watermark"; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+/// Cut-degradation trigger: watches φ over a sliding window of applies
+/// and scales out when the cut has degraded past a budget — the
+/// restreaming-style reading (Stanton) where the maintained quality
+/// stream is itself the trigger. A degradation that persists means the
+/// graph drifted away from the partitioning faster than LPA can pull it
+/// back at this k; more partitions buy the optimizer finer granularity.
+class CutDegradationPolicy final : public ScalingPolicy {
+ public:
+  struct Options {
+    /// Absolute φ drop (best-in-window − current) that triggers.
+    double budget = 0.05;
+    /// Applies the sliding window spans.
+    int window = 8;
+    int step = 1;
+    int min_k = 2;
+    int max_k = 0;
+  };
+
+  explicit CutDegradationPolicy(Options options) : options_(options) {}
+
+  ScalingDecision Decide(const ScalingSignals& signals) override {
+    if (signals.current_k != last_k_) {
+      // A rescale (ours or anyone's) starts a new quality regime; stale
+      // φ samples from the old k would double-trigger.
+      window_.clear();
+      last_k_ = signals.current_k;
+    }
+    window_.push_back(signals.phi);
+    while (static_cast<int>(window_.size()) > options_.window) {
+      window_.pop_front();
+    }
+    double best = window_.front();
+    for (double phi : window_) {
+      if (phi > best) best = phi;
+    }
+    const double drop = best - signals.phi;
+    if (drop > options_.budget) {
+      const int target =
+          ClampTargetK(signals.current_k + options_.step, options_.min_k,
+                       options_.max_k, signals.available_capacity);
+      if (target > signals.current_k) {
+        window_.clear();  // the new k starts a fresh window
+        return ScalingDecision::ScaleOut(
+            target,
+            StrFormat("phi dropped %.4f from window best %.4f (> budget "
+                      "%.4f over %d applies)",
+                      drop, best, options_.budget, options_.window));
+      }
+      return ScalingDecision::Hold(
+          StrFormat("phi dropped %.4f > budget %.4f but k=%d is capped",
+                    drop, options_.budget, signals.current_k));
+    }
+    return ScalingDecision::Hold(
+        StrFormat("phi %.4f within %.4f of window best %.4f", signals.phi,
+                  options_.budget, best));
+  }
+
+  std::string name() const override { return "cut"; }
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::deque<double> window_;
+  int last_k_ = -1;
+};
+
+/// Hysteresis wrapper: the inner policy must propose the same action
+/// `consecutive` evaluations in a row before it is let through — one
+/// noisy window can never trigger a migration. A hold (or a change of
+/// direction) resets the streak. The inner policy still observes every
+/// signal, so its own sliding state stays warm.
+class HysteresisPolicy final : public ScalingPolicy {
+ public:
+  HysteresisPolicy(std::unique_ptr<ScalingPolicy> inner, int consecutive)
+      : inner_(std::move(inner)),
+        consecutive_(consecutive < 1 ? 1 : consecutive) {}
+
+  ScalingDecision Decide(const ScalingSignals& signals) override {
+    ScalingDecision decision = inner_->Decide(signals);
+    if (!decision.acts()) {
+      streak_ = 0;
+      streak_action_ = ScalingAction::kHold;
+      return decision;
+    }
+    if (decision.action == streak_action_) {
+      ++streak_;
+    } else {
+      streak_ = 1;
+      streak_action_ = decision.action;
+    }
+    if (streak_ >= consecutive_) {
+      streak_ = 0;
+      streak_action_ = ScalingAction::kHold;
+      return decision;
+    }
+    return ScalingDecision::Hold(
+        StrFormat("hysteresis: %s streak %d/%d (%s)",
+                  ToString(decision.action), streak_, consecutive_,
+                  decision.reason.c_str()));
+  }
+
+  std::string name() const override {
+    return inner_->name() + "+hysteresis";
+  }
+
+ private:
+  std::unique_ptr<ScalingPolicy> inner_;
+  int consecutive_;
+  int streak_ = 0;
+  ScalingAction streak_action_ = ScalingAction::kHold;
+};
+
+/// Cooldown wrapper: after an executed action, suppress further actions
+/// for `cooldown_micros` of controller-clock time — the partitioning gets
+/// to settle (and the migration to amortize) before the next move. The
+/// inner policy still observes every signal during the cooldown.
+class CooldownPolicy final : public ScalingPolicy {
+ public:
+  CooldownPolicy(std::unique_ptr<ScalingPolicy> inner,
+                 int64_t cooldown_micros)
+      : inner_(std::move(inner)),
+        cooldown_micros_(cooldown_micros < 0 ? 0 : cooldown_micros) {}
+
+  ScalingDecision Decide(const ScalingSignals& signals) override {
+    ScalingDecision decision = inner_->Decide(signals);
+    if (!decision.acts()) return decision;
+    if (last_action_micros_ >= 0 &&
+        signals.now_micros - last_action_micros_ < cooldown_micros_) {
+      const int64_t remaining_ms =
+          (cooldown_micros_ - (signals.now_micros - last_action_micros_)) /
+          1000;
+      return ScalingDecision::Hold(
+          StrFormat("cooldown: %lldms remaining, suppressing %s (%s)",
+                    static_cast<long long>(remaining_ms),
+                    ToString(decision.action), decision.reason.c_str()));
+    }
+    last_action_micros_ = signals.now_micros;
+    return decision;
+  }
+
+  std::string name() const override { return inner_->name() + "+cooldown"; }
+
+ private:
+  std::unique_ptr<ScalingPolicy> inner_;
+  int64_t cooldown_micros_;
+  int64_t last_action_micros_ = -1;
+};
+
+}  // namespace spinner::elastic
+
+#endif  // SPINNER_ELASTIC_SCALING_POLICY_H_

@@ -1,6 +1,17 @@
-// ClusterSimulator: runs any Pregel program under a chosen vertex→worker
-// placement and reports simulated distributed timings — the harness behind
-// the paper's application-performance experiments (§V.F).
+// ClusterSimulator: the what-if harness of the repo, in two halves.
+//
+//   * RunOnCluster (below): runs any Pregel program under a chosen
+//     vertex→worker placement and reports simulated distributed timings —
+//     the harness behind the paper's application-performance experiments
+//     (§V.F).
+//   * The trace-replay policy lab (simulator/trace.h +
+//     simulator/policy_lab.h, re-exported here): replays recorded load
+//     traces through the real IngestionService + ElasticController and
+//     scores autoscaling policies on φ degradation, ρ violations,
+//     rescale count and modeled migration cost.
+//
+// Both answer the same kind of question — "what would this cluster
+// decision have cost?" — against the same CostModel currency.
 #ifndef SPINNER_SIMULATOR_CLUSTER_SIMULATOR_H_
 #define SPINNER_SIMULATOR_CLUSTER_SIMULATOR_H_
 
@@ -10,6 +21,8 @@
 #include "pregel/engine.h"
 #include "pregel/topology.h"
 #include "simulator/cost_model.h"
+#include "simulator/policy_lab.h"
+#include "simulator/trace.h"
 
 namespace spinner::sim {
 

@@ -63,6 +63,20 @@ struct SimulationResult {
 SimulationResult Simulate(const pregel::RunStats& stats,
                           const CostModel& model);
 
+/// Modeled cost of elastic re-shaping (the policy lab's migration gauge):
+/// each moved vertex ships its state to another machine (one remote
+/// message) and is re-registered there (one vertex touch), and each
+/// rescale pays one cluster-wide barrier. The same coefficients that
+/// price a simulated superstep price the migration, so "rescale often"
+/// vs "tolerate degradation" is argued in one currency.
+inline double MigrationSeconds(int64_t moved_vertices, int64_t num_rescales,
+                               const CostModel& model) {
+  return (static_cast<double>(moved_vertices) *
+              (model.per_remote_message_us + model.per_vertex_us) +
+          static_cast<double>(num_rescales) * model.barrier_us) *
+         1e-6;
+}
+
 }  // namespace spinner::sim
 
 #endif  // SPINNER_SIMULATOR_COST_MODEL_H_

@@ -1,0 +1,219 @@
+#include "simulator/policy_lab.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "elastic/policy_spec.h"
+#include "stream/clock.h"
+#include "stream/ingestion_service.h"
+#include "stream/trigger_policy.h"
+
+namespace spinner::sim {
+namespace {
+
+using elastic::ElasticController;
+using stream::EdgeEvent;
+using stream::IngestStats;
+
+/// Per-window bookkeeping shared by the streaming and blocking paths:
+/// runs the controller, meters migration, records the post-decision
+/// quality trajectory.
+class ReplayRecorder {
+ public:
+  ReplayRecorder(PartitioningSession* session, ElasticController* controller,
+                 PolicyReplayResult* result, double rho_violation_threshold)
+      : session_(session),
+        controller_(controller),
+        result_(result),
+        rho_violation_threshold_(rho_violation_threshold) {}
+
+  /// The on_apply hook (streaming) / post-apply call (blocking).
+  bool OnApply(const IngestStats& stats) {
+    // A rescale remaps labels; diff the assignment around the decision to
+    // meter migration. The copy is O(V) per window — lab scale, fine.
+    const std::vector<PartitionId> before = session_->assignment();
+    const int rescales_before = controller_->rescales_executed();
+    controller_->OnApply(stats);
+    if (controller_->rescales_executed() > rescales_before) {
+      const std::vector<PartitionId>& after = session_->assignment();
+      const size_t n = std::min(before.size(), after.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (before[i] != after[i]) ++result_->moved_vertices;
+      }
+    }
+    const PartitionMetrics& metrics = session_->last_result().metrics;
+    if (result_->phi_history.empty()) result_->initial_phi = metrics.phi;
+    result_->phi_history.push_back(metrics.phi);
+    result_->rho_history.push_back(metrics.rho);
+    if (metrics.rho > rho_violation_threshold_) ++result_->rho_violations;
+    return true;
+  }
+
+ private:
+  PartitioningSession* session_;
+  ElasticController* controller_;
+  PolicyReplayResult* result_;
+  double rho_violation_threshold_;
+};
+
+/// Streaming replay: the real service, queue and ingestion thread. The
+/// ManualClock is pinned to each burst's timestamp and the service is
+/// drained per burst, so windows are a pure function of the trace.
+Status ReplayStreaming(PartitioningSession* session, const LoadTrace& trace,
+                       const ReplayOptions& options,
+                       std::shared_ptr<stream::ManualClock> clock,
+                       ElasticController* controller,
+                       ReplayRecorder* recorder) {
+  stream::IngestionOptions ingest;
+  ingest.clock = clock;
+  ingest.policy =
+      std::make_unique<stream::EventCountPolicy>(options.events_per_window);
+  ingest.on_apply = [recorder](const IngestStats& stats) {
+    return recorder->OnApply(stats);
+  };
+  stream::IngestionService service(session, std::move(ingest));
+  SPINNER_RETURN_IF_ERROR(service.Start());
+  for (const TraceBurst& burst : trace.bursts) {
+    // The service is quiescent here (previous Drain returned), so the
+    // controller is not concurrently evaluating: capacity and clock
+    // updates are race-free.
+    clock->SetMicros(burst.at_micros);
+    if (burst.capacity >= 0) {
+      controller->set_available_capacity(burst.capacity);
+    }
+    for (const EdgeEvent& event : burst.events) {
+      SPINNER_RETURN_IF_ERROR(service.Submit(event));
+    }
+    SPINNER_RETURN_IF_ERROR(service.Drain());
+  }
+  return service.Stop();
+}
+
+/// Blocking replay: the identical window schedule — events_per_window
+/// chunks, partial window flushed at each burst boundary — as direct
+/// ApplyDelta calls plus synthesized controller signals. Bit-identical to
+/// ReplayStreaming by the stream-vs-blocking invariant.
+Status ReplayBlocking(PartitioningSession* session, const LoadTrace& trace,
+                      const ReplayOptions& options,
+                      std::shared_ptr<stream::ManualClock> clock,
+                      ElasticController* controller,
+                      ReplayRecorder* recorder) {
+  IngestStats stats;  // the fields OnApply reads, accumulated by hand
+  GraphDelta window;
+  int64_t window_events = 0;
+
+  auto apply_window = [&]() -> Status {
+    GraphDelta delta = std::move(window);
+    window = GraphDelta{};
+    delta.Coalesce();
+    SPINNER_RETURN_IF_ERROR(session->ApplyDelta(delta));
+    stats.events_ingested += window_events;
+    window_events = 0;
+    ++stats.windows_applied;
+    // Events are stamped at submission and applied at the same frozen
+    // clock instant, so replay staleness is identically zero.
+    stats.last_staleness_micros = 0;
+    stats.last_phi = session->last_result().metrics.phi;
+    stats.last_rho = session->last_result().metrics.rho;
+    recorder->OnApply(stats);
+    return Status::OK();
+  };
+
+  for (const TraceBurst& burst : trace.bursts) {
+    clock->SetMicros(burst.at_micros);
+    if (burst.capacity >= 0) {
+      controller->set_available_capacity(burst.capacity);
+    }
+    for (const EdgeEvent& event : burst.events) {
+      switch (event.kind) {
+        case EdgeEvent::Kind::kAddEdge:
+          window.AddEdge(event.src, event.dst);
+          break;
+        case EdgeEvent::Kind::kRemoveEdge:
+          window.RemoveEdge(event.src, event.dst);
+          break;
+        case EdgeEvent::Kind::kAddVertices:
+          window.AddVertex(event.count);
+          break;
+      }
+      if (++window_events >= options.events_per_window) {
+        SPINNER_RETURN_IF_ERROR(apply_window());
+      }
+    }
+    if (window_events > 0) {
+      SPINNER_RETURN_IF_ERROR(apply_window());  // the burst-drain flush
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PolicyReplayResult> ReplayTrace(PartitioningSession* session,
+                                       const LoadTrace& trace,
+                                       const ReplayOptions& options) {
+  if (session == nullptr || !session->is_open()) {
+    return Status::FailedPrecondition(
+        "ReplayTrace needs an open PartitioningSession");
+  }
+  SPINNER_ASSIGN_OR_RETURN(std::unique_ptr<elastic::ScalingPolicy> policy,
+                           elastic::MakePolicy(options.policy_spec));
+
+  auto clock = std::make_shared<stream::ManualClock>(0);
+  elastic::ControllerOptions controller_options;
+  controller_options.clock = clock;
+  controller_options.workers_per_partition = options.workers_per_partition;
+  ElasticController controller(session, std::move(policy),
+                               controller_options);
+  controller.set_available_capacity(trace.initial_capacity);
+
+  PolicyReplayResult result;
+  result.policy = options.policy_spec;
+  result.initial_k = session->num_partitions();
+  ReplayRecorder recorder(session, &controller, &result,
+                          options.rho_violation_threshold);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const Status replay_status =
+      options.streaming
+          ? ReplayStreaming(session, trace, options, clock, &controller,
+                            &recorder)
+          : ReplayBlocking(session, trace, options, clock, &controller,
+                           &recorder);
+  result.replay_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  SPINNER_RETURN_IF_ERROR(replay_status);
+  SPINNER_RETURN_IF_ERROR(controller.status());
+
+  result.final_k = session->num_partitions();
+  result.windows_applied =
+      static_cast<int64_t>(result.phi_history.size());
+  result.evaluations = controller.evaluations();
+  result.rescales = controller.rescales_executed();
+  result.migration_seconds = MigrationSeconds(
+      result.moved_vertices, result.rescales, options.cost_model);
+  result.decisions = controller.log();
+  result.decision_log = controller.FormatLog();
+  result.final_assignment = session->assignment();
+
+  if (!result.phi_history.empty()) {
+    result.final_phi = result.phi_history.back();
+    result.min_phi = result.phi_history.front();
+    double sum = 0.0;
+    for (double phi : result.phi_history) {
+      result.min_phi = std::min(result.min_phi, phi);
+      sum += phi;
+    }
+    result.mean_phi = sum / static_cast<double>(result.phi_history.size());
+  }
+  for (double rho : result.rho_history) {
+    result.max_rho = std::max(result.max_rho, rho);
+  }
+  return result;
+}
+
+}  // namespace spinner::sim

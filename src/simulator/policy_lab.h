@@ -1,0 +1,100 @@
+// The trace-replay policy lab: run a recorded LoadTrace through the REAL
+// machinery — IngestionService windows feeding ApplyDelta, an
+// ElasticController evaluating a ScalingPolicy after every applied
+// window, capacity events steering what scale-out is allowed — and score
+// the outcome. No mocks: the partitioning that emerges is the one
+// production would compute, so policy comparisons are arguments about
+// real φ/ρ trajectories, not about a simulator's opinion of them.
+//
+// Determinism: the replay owns a ManualClock pinned to each burst's
+// timestamp and drains the service after every burst, so window
+// boundaries (and therefore every signal, decision, and assignment) are a
+// pure function of (trace, session shape, policy) — the decision log is
+// byte-stable and diffable. `streaming=false` replays the identical
+// window schedule through blocking ApplyDelta calls on the caller's
+// thread; the two paths are bit-identical (the extension of the repo's
+// stream-vs-blocking invariant to the closed loop, which tests assert).
+//
+// Scorecard (PolicyReplayResult): φ degradation, ρ violations, rescale
+// count, moved vertices priced by CostModel::MigrationSeconds — the
+// quality-vs-migration-time trade-off of Hanai et al. in one struct.
+#ifndef SPINNER_SIMULATOR_POLICY_LAB_H_
+#define SPINNER_SIMULATOR_POLICY_LAB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "elastic/elastic_controller.h"
+#include "simulator/cost_model.h"
+#include "simulator/trace.h"
+#include "spinner/session.h"
+
+namespace spinner::sim {
+
+/// Replay knobs.
+struct ReplayOptions {
+  /// Policy spec (elastic/policy_spec.h grammar). "none" is the baseline
+  /// that must reproduce a controller-free run byte-for-byte.
+  std::string policy_spec = "none";
+  /// Events per ingestion window (EventCountPolicy watermark) — the
+  /// deterministic trigger; bursts additionally flush partial windows.
+  int64_t events_per_window = 256;
+  /// Forwarded to the controller (off-thread modes: resize the worker
+  /// fleet proportionally after every rescale).
+  double workers_per_partition = 0.0;
+  /// True: events flow through a live IngestionService (queue, ingestion
+  /// thread, on_apply hook). False: the identical window schedule runs as
+  /// blocking ApplyDelta + controller evaluations on this thread.
+  bool streaming = true;
+  /// An apply whose ρ exceeds this counts as a violation in the score.
+  double rho_violation_threshold = 1.10;
+  /// Prices moved vertices and rescale barriers.
+  CostModel cost_model;
+};
+
+/// The scorecard of one (trace, policy) replay.
+struct PolicyReplayResult {
+  std::string policy;
+  int initial_k = 0;
+  int final_k = 0;
+  int64_t windows_applied = 0;
+  int evaluations = 0;
+  int rescales = 0;
+  /// φ after the first / last apply, and the trajectory extremes.
+  double initial_phi = 0.0;
+  double final_phi = 0.0;
+  double min_phi = 0.0;
+  double mean_phi = 0.0;
+  double max_rho = 0.0;
+  /// Applies whose ρ exceeded the violation threshold.
+  int rho_violations = 0;
+  /// Vertices whose label changed across executed rescales, and their
+  /// modeled migration price.
+  int64_t moved_vertices = 0;
+  double migration_seconds = 0.0;
+  /// Real wall time of the replay (the only nondeterministic field).
+  double replay_wall_seconds = 0.0;
+  /// φ/ρ after every applied window (post-decision, so a rescale's effect
+  /// lands in the same slot that triggered it). Bit-comparable.
+  std::vector<double> phi_history;
+  std::vector<double> rho_history;
+  /// The controller's decision log (elastic/elastic_controller.h).
+  std::vector<elastic::DecisionRecord> decisions;
+  /// FormatLog() of the same — the deterministic text artifact.
+  std::string decision_log;
+  /// Final assignment, for byte-for-byte baseline comparisons.
+  std::vector<PartitionId> final_assignment;
+};
+
+/// Replays `trace` against `session` (must be open; it is mutated) under
+/// `options`. Returns the scorecard or the first ingestion / elasticity /
+/// parse error.
+Result<PolicyReplayResult> ReplayTrace(PartitioningSession* session,
+                                       const LoadTrace& trace,
+                                       const ReplayOptions& options);
+
+}  // namespace spinner::sim
+
+#endif  // SPINNER_SIMULATOR_POLICY_LAB_H_

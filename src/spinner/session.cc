@@ -273,6 +273,26 @@ Status PartitioningSession::Refine() {
   return Status::OK();
 }
 
+Status PartitioningSession::ResizeWorkers(int num_workers) {
+  SPINNER_RETURN_IF_ERROR(init_status_);
+  if (num_workers < 1) {
+    return Status::InvalidArgument(
+        StrFormat("num_workers must be >= 1 (got %d)", num_workers));
+  }
+  if (execution_.mode == ExecutionMode::kInProcess) {
+    return Status::FailedPrecondition(
+        "ResizeWorkers applies to kMultiProcess/kTcp sessions; "
+        "kInProcess has no worker fleet");
+  }
+  execution_.num_workers = num_workers;
+  config_.execution.num_workers = num_workers;
+  config_.num_processes = num_workers;  // RunLpa reads this per call
+  if (execution_.mode == ExecutionMode::kTcp && registry_ != nullptr) {
+    registry_->DrainPooled(num_workers);
+  }
+  return Status::OK();
+}
+
 Status PartitioningSession::Snapshot(const std::string& path) const {
   SPINNER_RETURN_IF_ERROR(CheckReady());
   graph_io::SessionSnapshot snapshot;

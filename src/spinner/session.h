@@ -119,6 +119,19 @@ class PartitioningSession {
   /// run or to tighten a restored snapshot.
   Status Refine();
 
+  /// Elastic worker-fleet resize for the off-thread modes: the next
+  /// lifecycle call runs with `num_workers` workers. Under kTcp this also
+  /// drains surplus pooled registry connections immediately (the drained
+  /// dial-in workers see EOF and exit 0); growing the fleet needs no
+  /// registry action — the next Acquire waits for additional dial-ins.
+  /// Worker count never affects the computed partitioning (bit-identity
+  /// across shapes), so no re-partitioning happens here.
+  /// FailedPrecondition under kInProcess, where there is no fleet.
+  Status ResizeWorkers(int num_workers);
+
+  /// The worker count the next off-thread lifecycle call will use.
+  int num_workers() const { return config_.num_processes; }
+
   // --- Persistence -------------------------------------------------------
 
   /// Writes graph + assignment + k to `path` (binary SPNS format).

@@ -11,8 +11,10 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -28,8 +30,10 @@
 #include "dist/wire_format.h"
 #include "dist/worker.h"
 #include "graph/conversion.h"
+#include "graph/delta.h"
 #include "graph/generators.h"
 #include "graph/sharded_store.h"
+#include "spinner/session.h"
 #include "spinner/sharded_program.h"
 
 namespace spinner {
@@ -706,6 +710,83 @@ TEST(TcpSpinnerTest, CapacityWeightsSkewTheShardSplit) {
 
   registry->reset();
   ReapAll(&workers);
+}
+
+// --- Elastic worker fleet --------------------------------------------------
+
+TEST(TcpElasticTest, DrainAndTopUpRoundTripStaysBitIdentical) {
+  // Delay-only wire faults (PR-9 chaos machinery): bytes are preserved,
+  // so the whole elastic sequence must still be bit-identical.
+  ASSERT_EQ(::setenv("SPINNER_FAULT_PLAN", "seed=5;delay:p=0.15:ms=1", 1), 0);
+  auto ws = WattsStrogatz(600, 3, 0.3, 13);
+  ASSERT_TRUE(ws.ok());
+  SpinnerConfig config;
+  config.num_partitions = 4;
+  config.seed = 3;
+  config.max_iterations = 8;
+  config.use_halting = false;
+
+  // The in-process reference of the same lifecycle, staged.
+  const GraphDelta delta =
+      RandomEdgeAdditions(ws->num_vertices, ws->edges, 40, /*seed=*/7);
+  PartitioningSession reference(config);
+  ASSERT_TRUE(reference.Open(ws->num_vertices, ws->edges, true).ok());
+  const std::vector<PartitionId> after_open = reference.assignment();
+  ASSERT_TRUE(reference.ApplyDelta(delta).ok());
+  const std::vector<PartitionId> after_delta = reference.assignment();
+  ASSERT_TRUE(reference.Rescale(5).ok());
+  const std::vector<PartitionId> after_rescale = reference.assignment();
+
+  std::vector<pid_t> workers;
+  {
+    SessionOptions options;
+    options.execution.mode = ExecutionMode::kTcp;
+    options.execution.num_workers = 2;
+    options.execution.listen_address = "127.0.0.1:0";
+    PartitioningSession session(config, options);
+    auto address = session.TcpAddress();
+    ASSERT_TRUE(address.ok()) << address.status();
+    const dist::TransportOptions transport;
+    for (int w = 0; w < 2; ++w) {
+      workers.push_back(ForkTcpWorker(*address, transport));
+    }
+    ASSERT_TRUE(session.Open(ws->num_vertices, ws->edges, true).ok());
+    EXPECT_EQ(session.assignment(), after_open);
+    EXPECT_EQ(session.num_workers(), 2);
+
+    // Scale the fleet in: the drained pooled connection gets EOF and its
+    // worker exits 0 — the clean decommission path.
+    ASSERT_TRUE(session.ResizeWorkers(1).ok());
+    EXPECT_EQ(session.num_workers(), 1);
+    int status = 0;
+    const pid_t drained = ::waitpid(-1, &status, 0);
+    ASSERT_GT(drained, 0);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "drained worker status " << status;
+    workers.erase(std::find(workers.begin(), workers.end(), drained));
+
+    // The next lifecycle call runs on the shrunken fleet, bit-identical.
+    const Status applied = session.ApplyDelta(delta);
+    ASSERT_TRUE(applied.ok()) << applied.ToString();
+    EXPECT_EQ(session.assignment(), after_delta);
+
+    // Top the fleet back up: no registry verb needed, the next Acquire
+    // waits for the fresh dial-in.
+    ASSERT_TRUE(session.ResizeWorkers(2).ok());
+    EXPECT_EQ(session.num_workers(), 2);
+    workers.push_back(ForkTcpWorker(*address, transport));
+    ASSERT_TRUE(session.Rescale(5).ok());
+    EXPECT_EQ(session.assignment(), after_rescale);
+    EXPECT_EQ(session.num_partitions(), 5);
+  }
+  // Session teardown closed the pool; the remaining workers exit 0.
+  for (const pid_t pid : workers) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "worker pid " << pid << " status " << status;
+  }
+  ASSERT_EQ(::unsetenv("SPINNER_FAULT_PLAN"), 0);
 }
 
 }  // namespace

@@ -27,6 +27,10 @@ baseline:
     --single-shot-tolerance (default 150%), which still catches the
     asymptotic regressions the bench exists to guard (a super-linear
     shape blowup, a lane suddenly costing several times its siblings).
+  * the fig8 elastic replay is clock-injected and seeded end to end, so
+    its integer outcomes (final_k, rescales, windows, evaluations,
+    rho_violations) must match the baseline exactly; its quality floats
+    gate at --tolerance and replay_wall_seconds is never gated.
 
 Baselines are refreshed by re-running the benches with --smoke and
 committing the new JSON in the same PR that changes performance.
@@ -191,6 +195,35 @@ def compare_fig6(gate, base, fresh, single_shot_tolerance):
                    single_shot_tolerance, higher_is_better=False)
 
 
+def compare_fig8_elastic(gate, base, fresh, tolerance):
+    name = "BENCH_fig8_elastic.json"
+    fresh_rows = index_rows(fresh.get("rows", []), "policy")
+    for row in base.get("rows", []):
+        label = row["policy"]
+        got = fresh_rows.get(label)
+        if got is None:
+            gate.error(f"{name}: policy '{label}' missing from fresh output")
+            continue
+        # The policy-lab replay is clock-injected and seeded end to end, so
+        # every decision the controller takes is deterministic: the integer
+        # outcomes must match the baseline exactly. A mismatch means the
+        # replay took a different path, not that a runner was slow.
+        for metric in ("final_k", "rescales", "windows", "evaluations",
+                       "rho_violations"):
+            if row[metric] != got[metric]:
+                gate.error(
+                    f"{name}: {label}.{metric} changed (baseline"
+                    f" {row[metric]}, fresh {got[metric]}) — the"
+                    " deterministic replay took a different path"
+                )
+        for metric, higher in (("phi_final", True), ("phi_min", True),
+                               ("rho_max", False), ("moved_pct", False),
+                               ("migration_seconds", False)):
+            gate.check(name, f"{label}.{metric}", row[metric], got[metric],
+                       tolerance, higher_is_better=higher)
+        # replay_wall_seconds is host wall clock — informational, not gated.
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fresh", required=True,
@@ -220,6 +253,8 @@ def main():
                                             args.wall_tolerance)),
         ("BENCH_fig6_scalability.json",
          lambda b, f: compare_fig6(gate, b, f, args.single_shot_tolerance)),
+        ("BENCH_fig8_elastic.json",
+         lambda b, f: compare_fig8_elastic(gate, b, f, args.tolerance)),
     ]
     known = {name for name, _ in comparators}
     for entry in sorted(os.listdir(args.baseline)):
